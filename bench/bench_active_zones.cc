@@ -1,0 +1,76 @@
+// E8 — §4.2: "A simple strategy is to assign a fixed number of zones to each application
+// together with a fixed active zone budget. However, this approach does not scale for typical
+// bursty workloads as it does not allow multiplexing of this scarce resource."
+//
+// Setup: four bursty tenants (staggered on/off phases) share a 14-active-zone device (the
+// paper's example limit), under a static per-tenant partition vs a demand-based budget with a
+// guaranteed minimum. Reported: aggregate and per-tenant throughput, acquisition stalls, and
+// mean active-slot utilization.
+
+#include <cstdio>
+
+#include "src/alloc/zone_budget.h"
+#include "src/core/matched_pair.h"
+
+using namespace blockhead;
+
+namespace {
+
+MultiTenantResult Run(ZoneBudgetManager& budget, std::uint32_t tenants, SimTime duration) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.zns.max_active_zones = 14;  // Paper §2.1: a current device supports 14 active zones.
+  cfg.zns.max_open_zones = 14;
+  cfg.zns.planes_per_zone = 4;  // A zone stripes over a die group: one zone can't saturate the device.
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  std::vector<TenantConfig> configs(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    configs[t].seed = t + 1;
+    configs[t].on_duration = 4 * kMillisecond;
+    configs[t].off_duration = 28 * kMillisecond;
+    configs[t].desired_zones = 10;  // Bursts want far more than a static share (3).
+  }
+  return RunMultiTenantSim(dev, budget, configs, duration);
+}
+
+void Report(const char* name, const MultiTenantResult& result) {
+  std::printf("%s:\n", name);
+  std::printf("  total: %.1f MiB written, slot utilization %.0f%%\n",
+              static_cast<double>(result.total_pages) * 4096 / static_cast<double>(kMiB),
+              100.0 * result.slot_utilization);
+  for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+    const TenantResult& tenant = result.tenants[t];
+    std::printf("  tenant %zu: %6.1f MiB, %5llu acquire rejections, %.1f ms stalled\n", t,
+                static_cast<double>(tenant.pages_written) * 4096 / static_cast<double>(kMiB),
+                static_cast<unsigned long long>(tenant.acquire_failures),
+                static_cast<double>(tenant.stalled_time) / kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: Active-zone budgeting under bursty multi-tenant load ===\n");
+  std::printf("Paper claim (§4.2): static partitioning wastes the scarce active-zone budget;\n"
+              "demand-based assignment multiplexes it.\n\n");
+
+  const std::uint32_t tenants = 4;
+  const SimTime duration = 400 * kMillisecond;
+
+  StaticPartitionBudget static_budget(14 / tenants * tenants, tenants);
+  const MultiTenantResult static_result = Run(static_budget, tenants, duration);
+  DemandBudget demand_budget(14, tenants, /*guaranteed_min=*/1);
+  const MultiTenantResult demand_result = Run(demand_budget, tenants, duration);
+
+  Report("static-partition (3-4 slots/tenant, not lendable)", static_result);
+  std::printf("\n");
+  Report("demand-based (shared pool, 1 slot guaranteed)", demand_result);
+
+  const double gain = static_result.total_pages == 0
+                          ? 0.0
+                          : static_cast<double>(demand_result.total_pages) /
+                                static_cast<double>(static_result.total_pages);
+  std::printf("\nDemand-based aggregate throughput gain: %.2fx\n", gain);
+  std::printf("Shape check: demand-based writes more in the same time and keeps budget slots\n"
+              "busier, because a bursting tenant borrows slots that idle tenants are not using.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E14 — §4.1: "Applications have evolved to use DRAM as a buffer to coalesce many writes into
+// one very large write. With ZNS SSDs, these buffers are no longer necessary. How can we
+// identify and modify these applications at scale to reclaim the wasted DRAM?"
+//
+// Setup: the same object-cache workload (zipfian gets, miss-fill puts) on three designs over
+// identical flash: naive per-object block cache, DRAM-coalescing block cache, and the
+// zone-per-segment ZNS cache. Reported: hit ratio (identical by construction), device write
+// amplification, staging DRAM, and get latency.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/cache/flash_cache.h"
+#include "src/core/matched_pair.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+using namespace blockhead;
+
+namespace {
+
+struct CacheRunResult {
+  double hit_ratio = 0.0;
+  double wa = 0.0;
+  std::uint64_t staging_dram = 0;
+  double get_p99_us = 0.0;
+  bool ok = false;
+};
+
+constexpr std::uint64_t kObjects = 12000;   // Key universe (larger than cache capacity).
+constexpr std::uint64_t kOps = 250000;
+constexpr std::uint32_t kMeanObjectBytes = 12 * 1024;
+
+CacheRunResult Drive(FlashCache& cache, const FlashDevice& flash) {
+  CacheRunResult result;
+  ZipfGenerator keys(kObjects, 0.9, 31);
+  Rng rng(37);
+  Histogram get_latency;
+  SimTime t = 0;
+  for (std::uint64_t n = 0; n < kOps; ++n) {
+    const std::uint64_t key = keys.Next();
+    auto got = cache.Get(key, t);
+    if (!got.ok()) {
+      return result;
+    }
+    get_latency.Record(got->completion > t ? got->completion - t : 0);
+    t = std::max(t, got->completion);
+    if (!got->hit) {
+      // Miss fill, as a cache in front of slow origin storage would do.
+      const std::uint32_t size =
+          4096 + static_cast<std::uint32_t>(rng.NextBelow(2 * kMeanObjectBytes - 4096));
+      auto put = cache.Put(key, size, t);
+      if (!put.ok()) {
+        return result;
+      }
+      t = std::max(t, put.value());
+    }
+  }
+  result.hit_ratio = cache.stats().HitRatio();
+  const FlashStats& fs = flash.stats();
+  result.wa = fs.host_pages_programmed == 0
+                  ? 1.0
+                  : static_cast<double>(fs.total_pages_programmed()) /
+                        static_cast<double>(fs.host_pages_programmed);
+  result.staging_dram = cache.StagingDramBytes();
+  result.get_p99_us = static_cast<double>(get_latency.Percentile(0.99)) / kMicrosecond;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E14: Flash-cache write staging — DRAM buffers vs zones (§4.1) ===\n");
+  std::printf("Paper claim: conventional-SSD caches need DRAM coalescing buffers to control\n"
+              "WA; on ZNS the zone does the coalescing, and the DRAM can be reclaimed.\n\n");
+
+  // 64 MiB devices so the churn wraps the flash several times and the FTL's GC is active.
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.geometry.channels = 2;
+  cfg.flash.geometry.planes_per_channel = 2;
+  cfg.flash.geometry.blocks_per_plane = 64;
+  cfg.flash.geometry.pages_per_block = 64;
+  TablePrinter table({"design", "hit ratio", "device WA", "staging DRAM", "get p99 (us)"});
+
+  {
+    ConventionalSsd ssd(cfg.flash, cfg.ftl);
+    BlockCacheConfig ccfg;
+    ccfg.coalesce_writes = false;
+    BlockFlashCache cache(&ssd, ccfg);
+    const CacheRunResult r = Drive(cache, ssd.flash());
+    table.AddRow({"block, per-object (naive)", TablePrinter::Fmt(r.hit_ratio, 3),
+                  TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
+                  TablePrinter::Fmt(r.get_p99_us)});
+  }
+  {
+    ConventionalSsd ssd(cfg.flash, cfg.ftl);
+    BlockCacheConfig ccfg;
+    ccfg.coalesce_writes = true;
+    ccfg.segment_pages = 1024;  // 4 MiB DRAM staging buffer.
+    BlockFlashCache cache(&ssd, ccfg);
+    const CacheRunResult r = Drive(cache, ssd.flash());
+    table.AddRow({"block, DRAM-coalesced segments", TablePrinter::Fmt(r.hit_ratio, 3),
+                  TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
+                  TablePrinter::Fmt(r.get_p99_us)});
+  }
+  {
+    ZnsDevice dev(cfg.flash, cfg.zns);
+    ZnsFlashCache cache(&dev, ZnsCacheConfig{});
+    const CacheRunResult r = Drive(cache, dev.flash());
+    table.AddRow({"ZNS, zone-per-segment", TablePrinter::Fmt(r.hit_ratio, 3),
+                  TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
+                  TablePrinter::Fmt(r.get_p99_us)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check: the naive block design pays FTL write amplification; the coalesced\n"
+              "design buys WA~1 with a DRAM buffer per writer; the ZNS design gets WA~1 with\n"
+              "ZERO staging DRAM — the buffer the paper says can be reclaimed.\n");
+  return 0;
+}

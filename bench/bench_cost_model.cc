@@ -1,0 +1,67 @@
+// E12 — §2.2 + footnote 2: ZNS devices cost less per usable gigabyte because they drop the
+// overprovisioned flash pool (7-28% of usable capacity on conventional devices) and nearly all
+// on-board mapping DRAM; what DRAM need remains moves to cheap bulk host DIMMs (small embedded
+// DRAM costs >2x per GB).
+
+#include <cstdio>
+
+#include "src/core/matched_pair.h"
+#include "src/cost/cost_model.h"
+
+using namespace blockhead;
+
+int main() {
+  std::printf("=== E12: Device cost per usable GiB, conventional (OP sweep) vs ZNS ===\n");
+  std::printf("Paper claims (§2.2): OP is 7-28%% of usable capacity; flash dominates device\n"
+              "cost; ZNS needs neither the OP pool nor page-granular mapping DRAM.\n\n");
+
+  const CostModelConfig cfg;
+  const std::uint64_t capacity = 4 * kTiB;
+  const DeviceCost zns = ZnsDeviceCost(capacity, cfg);
+
+  TablePrinter table({"device", "raw flash", "flash $", "DRAM $", "total $", "$/usable GiB",
+                      "vs ZNS"});
+  for (const double op : {0.07, 0.125, 0.20, 0.28}) {
+    const DeviceCost conv = ConventionalDeviceCost(capacity, op, cfg);
+    char name[32];
+    std::snprintf(name, sizeof(name), "conventional %.1f%% OP", op * 100);
+    table.AddRow({name, TablePrinter::FmtBytes(conv.raw_flash_bytes),
+                  TablePrinter::Fmt(conv.flash_usd), TablePrinter::Fmt(conv.dram_usd),
+                  TablePrinter::Fmt(conv.total_usd()),
+                  TablePrinter::Fmt(conv.usd_per_usable_gib(), 4),
+                  "+" + TablePrinter::Fmt(
+                            100.0 * (conv.usd_per_usable_gib() / zns.usd_per_usable_gib() - 1.0),
+                            1) +
+                      "%"});
+  }
+  table.AddRow({"ZNS (2% bad-block reserve)", TablePrinter::FmtBytes(zns.raw_flash_bytes),
+                TablePrinter::Fmt(zns.flash_usd), TablePrinter::Fmt(zns.dram_usd),
+                TablePrinter::Fmt(zns.total_usd()),
+                TablePrinter::Fmt(zns.usd_per_usable_gib(), 4), "baseline"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Footnote-2 check (DRAM price asymmetry): embedded device DRAM modeled at\n"
+              "$%.2f/GiB vs bulk host DIMMs at $%.2f/GiB (ratio %.1fx > 2x).\n",
+              cfg.device_dram_usd_per_gib, cfg.host_dram_usd_per_gib,
+              cfg.device_dram_usd_per_gib / cfg.host_dram_usd_per_gib);
+  std::printf("If a ZNS deployment rebuilds page-granular state in HOST DRAM (block emulation),\n"
+              "that costs $%.2f — still below the $%.2f embedded DRAM it replaces, and zero for\n"
+              "zone-native applications.\n\n",
+              ZnsHostDramUsd(capacity, cfg),
+              ConventionalDeviceCost(capacity, 0.07, cfg).dram_usd);
+  // §2.1/§2.2 endurance: WA burns P/E cycles, shortening device life.
+  std::printf("Endurance (§2.1): device lifetime at 4 TB/day host writes, TLC (3000 cycles):\n");
+  TablePrinter life({"write amplification", "lifetime (years)", "DWPD @ 5-year life"});
+  for (const double wa : {1.0, 2.5, 5.0, 15.0}) {
+    const LifetimeEstimate e = EstimateLifetime(capacity, 3000, wa, 4000.0);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%.1fx%s", wa,
+                  wa == 1.0 ? " (ZNS-native)" : "");
+    life.AddRow({name, TablePrinter::Fmt(e.years, 1), TablePrinter::Fmt(e.dwpd_supported, 2)});
+  }
+  std::printf("%s\n", life.Render().c_str());
+  std::printf("Shape check: ZNS is cheaper per usable GiB at every OP point (gap grows with\n"
+              "OP), and every point of write amplification removed multiplies device lifetime\n"
+              "or the sustainable write rate.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the simulator's own CPU cost: how fast the device
+// models execute operations in wall-clock time. These guard against simulator-performance
+// regressions; the paper-reproduction numbers live in the bench_* table binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/matched_pair.h"
+#include "src/hostftl/host_ftl.h"
+#include "src/util/rng.h"
+
+namespace blockhead {
+namespace {
+
+void BM_FlashProgramPage(benchmark::State& state) {
+  FlashConfig cfg;
+  cfg.geometry = FlashGeometry::Bench();
+  cfg.timing = FlashTiming::FastForTests();
+  cfg.store_data = false;
+  FlashDevice dev(cfg);
+  const FlashGeometry& g = dev.geometry();
+  std::uint64_t i = 0;
+  SimTime t = 0;
+  for (auto _ : state) {
+    const PhysAddr addr = AddrFromFlatPage(g, i % g.total_pages());
+    auto r = dev.ProgramPage(addr, t);
+    if (r.ok()) {
+      t = r.value();
+    } else {
+      // Block full: erase and continue.
+      PhysAddr b = addr;
+      benchmark::DoNotOptimize(dev.EraseBlock(b.channel, b.plane, b.block, t));
+      i += g.pages_per_block;
+      continue;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlashProgramPage);
+
+void BM_ConventionalRandomWrite(benchmark::State& state) {
+  FlashConfig cfg;
+  cfg.geometry = FlashGeometry::Bench();
+  cfg.timing = FlashTiming::FastForTests();
+  cfg.store_data = false;
+  FtlConfig ftl;
+  ftl.op_fraction = 0.15;
+  ConventionalSsd ssd(cfg, ftl);
+  Rng rng(1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    auto r = ssd.WriteBlocks(rng.NextBelow(ssd.num_blocks()), 1, t);
+    if (r.ok()) {
+      t = r.value();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["WA"] = ssd.WriteAmplification();
+}
+BENCHMARK(BM_ConventionalRandomWrite);
+
+void BM_ZnsAppend(benchmark::State& state) {
+  FlashConfig cfg;
+  cfg.geometry = FlashGeometry::Bench();
+  cfg.timing = FlashTiming::FastForTests();
+  cfg.store_data = false;
+  ZnsDevice dev(cfg, ZnsConfig{});
+  std::uint32_t zone = 0;
+  SimTime t = 0;
+  for (auto _ : state) {
+    auto r = dev.Append(zone, 1, t);
+    if (r.ok()) {
+      t = r->completion;
+    } else {
+      zone = (zone + 1) % dev.num_zones();
+      if (dev.zone(zone).state == ZoneState::kFull) {
+        benchmark::DoNotOptimize(dev.ResetZone(zone, t));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZnsAppend);
+
+void BM_HostFtlRandomWrite(benchmark::State& state) {
+  FlashConfig cfg;
+  cfg.geometry = FlashGeometry::Bench();
+  cfg.timing = FlashTiming::FastForTests();
+  cfg.store_data = false;
+  ZnsDevice dev(cfg, ZnsConfig{});
+  HostFtlBlockDevice ftl(&dev, HostFtlConfig{});
+  Rng rng(2);
+  SimTime t = 0;
+  for (auto _ : state) {
+    auto r = ftl.WriteBlocks(rng.NextBelow(ftl.num_blocks()), 1, t);
+    if (r.ok()) {
+      t = r.value();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["WA"] = ftl.EndToEndWriteAmplification();
+}
+BENCHMARK(BM_HostFtlRandomWrite);
+
+}  // namespace
+}  // namespace blockhead
+
+BENCHMARK_MAIN();

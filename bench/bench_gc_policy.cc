@@ -1,0 +1,72 @@
+// A2 (ablation) — §2.4/§4.1: the paper notes FTLs are information-limited "even with
+// near-optimal garbage collection algorithms" (citing Shafaei & Desnoyers). This ablation
+// quantifies how much the *algorithm* matters without application information: greedy vs
+// cost-benefit victim selection, under uniform and skewed overwrites, at two OP points —
+// versus what perfect lifetime knowledge (app-managed zones on ZNS) gets for free.
+
+#include <cstdio>
+
+#include "src/core/matched_pair.h"
+#include "src/util/rng.h"
+#include "src/workload/workload.h"
+
+using namespace blockhead;
+
+namespace {
+
+double RunConventional(GcVictimPolicy policy, AddressDistribution dist, double op) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.timing = FlashTiming::FastForTests();
+  cfg.flash.store_data = false;
+  FtlConfig ftl;
+  ftl.op_fraction = op;
+  ftl.victim_policy = policy;
+  ConventionalSsd ssd(cfg.flash, ftl);
+  auto fill = SequentialFill(ssd, 1.0, 0);
+  if (!fill.ok()) {
+    return -1;
+  }
+  RandomWorkloadConfig wl;
+  wl.lba_space = ssd.num_blocks();
+  wl.read_fraction = 0.0;
+  wl.distribution = dist;
+  wl.zipf_theta = 0.99;
+  wl.seed = 21;
+  RandomWorkload gen(wl);
+  DriverOptions opts;
+  opts.ops = 3 * ssd.num_blocks();
+  opts.start_time = fill.value();
+  (void)RunClosedLoop(ssd, gen, opts);
+  return ssd.WriteAmplification();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A2 (ablation): GC victim selection — how far can the algorithm go without\n"
+              "application information? ===\n\n");
+
+  TablePrinter table({"workload", "OP", "greedy WA", "cost-benefit WA", "ZNS w/ app knowledge"});
+  for (const double op : {0.07, 0.25}) {
+    for (const AddressDistribution dist :
+         {AddressDistribution::kUniform, AddressDistribution::kZipfian}) {
+      char opbuf[16];
+      std::snprintf(opbuf, sizeof(opbuf), "%.0f%%", op * 100);
+      table.AddRow({dist == AddressDistribution::kUniform ? "uniform overwrite"
+                                                          : "zipf(0.99) overwrite",
+                    opbuf,
+                    TablePrinter::Fmt(RunConventional(GcVictimPolicy::kGreedy, dist, op)) + "x",
+                    TablePrinter::Fmt(RunConventional(GcVictimPolicy::kCostBenefit, dist, op)) +
+                        "x",
+                    "1.00x"});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape check: cost-benefit beats greedy on skewed (zipf) workloads by aging out\n"
+              "cold blocks, and roughly ties on uniform ones — but neither algorithm\n"
+              "approaches the WA ~1 that hosts get on ZNS by placing data with knowledge of\n"
+              "its lifetime (§2.4: 'information about applications is the key\n"
+              "bottleneck for near-optimal garbage collection').\n");
+  return 0;
+}

@@ -1,0 +1,220 @@
+// E17 — §4.1: "How should applications interact with zones? ... raw zoned storage access
+// offers the most control over I/O and data placement; filesystems and key-value stores offer
+// less control but are easy to use... In general, will applications prefer to use the zoned
+// interface, a filesystem, or some other API?"
+//
+// Setup: the same log-structured workload (append a stream of records, retire the oldest data
+// wholesale) through each interface class on identical devices:
+//   raw zones   — application manages zone ids, write pointers, and resets itself;
+//   zonefs      — zones as restricted files (no naming/metadata services);
+//   zonefile    — ZenFS-style filesystem (names, metadata journal, hints, compaction);
+//   block (dm-) — legacy block interface emulated by the host FTL.
+// Reported: throughput, flash overhead (WA), and the services each layer provides.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/matched_pair.h"
+#include "src/hostftl/host_ftl.h"
+#include "src/zonefile/zone_file_system.h"
+#include "src/zonefs/zone_fs.h"
+
+using namespace blockhead;
+
+namespace {
+
+constexpr std::uint64_t kRecords = 30000;
+constexpr std::uint32_t kRecordPages = 4;  // 16 KiB records.
+
+struct InterfaceResult {
+  double mibps = 0.0;
+  double wa = 0.0;
+};
+
+MatchedConfig DeviceConfig() {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.geometry.channels = 2;
+  cfg.flash.geometry.planes_per_channel = 2;
+  cfg.flash.geometry.blocks_per_plane = 128;
+  cfg.flash.geometry.pages_per_block = 32;  // 64 MiB device, 512 KiB zones.
+  return cfg;
+}
+
+InterfaceResult Finish(const ZnsDevice& dev, std::uint64_t bytes, SimTime elapsed) {
+  InterfaceResult r;
+  r.mibps = ToMiBPerSec(bytes, elapsed);
+  const FlashStats& fs = dev.flash().stats();
+  r.wa = fs.host_pages_programmed == 0
+             ? 1.0
+             : static_cast<double>(fs.total_pages_programmed()) /
+                   static_cast<double>(fs.host_pages_programmed);
+  return r;
+}
+
+InterfaceResult RunRawZones() {
+  MatchedConfig cfg = DeviceConfig();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  SimTime t = 0;
+  std::uint32_t open_zone = 0;
+  std::uint32_t next_reset = 0;
+  bool wrapped = false;
+  for (std::uint64_t r = 0; r < kRecords; ++r) {
+    ZoneDescriptor d = dev.zone(open_zone);
+    if (d.write_pointer + kRecordPages > d.capacity_pages) {
+      open_zone = (open_zone + 1) % dev.num_zones();
+      if (open_zone == 0) {
+        wrapped = true;
+      }
+      if (wrapped) {
+        auto reset = dev.ResetZone(next_reset, t);
+        if (reset.ok()) {
+          t = reset.value();
+        }
+        next_reset = (next_reset + 1) % dev.num_zones();
+      }
+      d = dev.zone(open_zone);
+    }
+    auto w = dev.Write(open_zone, d.write_pointer, kRecordPages, t);
+    if (!w.ok()) {
+      break;
+    }
+    t = w.value();
+  }
+  return Finish(dev, kRecords * kRecordPages * 4096, t);
+}
+
+InterfaceResult RunZoneFs() {
+  MatchedConfig cfg = DeviceConfig();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  ZoneFs fs(&dev);
+  const std::vector<std::uint8_t> record(kRecordPages * 4096, 0);
+  SimTime t = 0;
+  std::uint32_t file = 0;
+  std::uint32_t next_trunc = 0;
+  bool wrapped = false;
+  for (std::uint64_t r = 0; r < kRecords; ++r) {
+    auto w = fs.Append(file, record, t);
+    if (w.code() == ErrorCode::kZoneFull) {
+      file = (file + 1) % fs.FileCount();
+      if (file == 0) {
+        wrapped = true;
+      }
+      if (wrapped) {
+        auto trunc = fs.Truncate(next_trunc, t);
+        if (trunc.ok()) {
+          t = trunc.value();
+        }
+        next_trunc = (next_trunc + 1) % fs.FileCount();
+      }
+      w = fs.Append(file, record, t);
+    }
+    if (!w.ok()) {
+      break;
+    }
+    t = w.value();
+  }
+  return Finish(dev, kRecords * kRecordPages * 4096, t);
+}
+
+InterfaceResult RunZonefile() {
+  MatchedConfig cfg = DeviceConfig();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  ZoneFileConfig fcfg;
+  fcfg.finish_remainder_pages = 16;
+  auto fs = ZoneFileSystem::Format(&dev, fcfg, 0);
+  if (!fs.ok()) {
+    return {};
+  }
+  const std::vector<std::uint8_t> record(kRecordPages * 4096, 0);
+  SimTime t = 0;
+  std::uint64_t serial = 0;
+  std::deque<std::string> live;
+  // 24 records per file (~one zone), FIFO retirement keeping ~2/3 of the device live.
+  std::string current;
+  std::uint64_t in_file = 0;
+  for (std::uint64_t r = 0; r < kRecords; ++r) {
+    if (current.empty()) {
+      current = "log" + std::to_string(serial++);
+      if (!fs.value()->Create(current, Lifetime::kShort, t).ok()) {
+        break;
+      }
+    }
+    auto w = fs.value()->Append(current, record, t);
+    if (!w.ok()) {
+      break;
+    }
+    t = w.value();
+    if (++in_file >= 24) {
+      (void)fs.value()->Sync(current, t);
+      live.push_back(current);
+      current.clear();
+      in_file = 0;
+      if (live.size() > 80) {
+        (void)fs.value()->Delete(live.front(), t);
+        live.pop_front();
+      }
+    }
+    fs.value()->Pump(t, false, 1);
+  }
+  return Finish(dev, kRecords * kRecordPages * 4096, t);
+}
+
+InterfaceResult RunBlockEmulation() {
+  MatchedConfig cfg = DeviceConfig();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  HostFtlBlockDevice block(&dev, HostFtlConfig{});
+  SimTime t = 0;
+  // The block app just cycles a log over the LBA space (the FTL does the rest).
+  std::uint64_t lba = 0;
+  for (std::uint64_t r = 0; r < kRecords; ++r) {
+    if (lba + kRecordPages > block.num_blocks()) {
+      lba = 0;
+    }
+    auto w = block.WriteBlocks(lba, kRecordPages, t);
+    if (!w.ok()) {
+      break;
+    }
+    t = w.value();
+    lba += kRecordPages;
+    block.Pump(t, false, 1);
+  }
+  InterfaceResult result = Finish(dev, kRecords * kRecordPages * 4096, t);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E17: Interface classes for zoned storage (§4.1) ===\n");
+  std::printf("Same log workload (16 KiB records, FIFO retirement) through each interface on\n"
+              "identical 64 MiB devices.\n\n");
+
+  const InterfaceResult raw = RunRawZones();
+  const InterfaceResult zfs = RunZoneFs();
+  const InterfaceResult zonefile = RunZonefile();
+  const InterfaceResult block = RunBlockEmulation();
+
+  TablePrinter table({"interface", "MiB/s", "device WA", "naming", "crash-safe metadata",
+                      "space mgmt", "lifetime hints"});
+  table.AddRow({"raw zones", TablePrinter::Fmt(raw.mibps), TablePrinter::Fmt(raw.wa) + "x",
+                "-", "-", "app", "app"});
+  table.AddRow({"zonefs (zones as files)", TablePrinter::Fmt(zfs.mibps),
+                TablePrinter::Fmt(zfs.wa) + "x", "fixed", "device-implied", "app", "app"});
+  table.AddRow({"zonefile (ZenFS-style)", TablePrinter::Fmt(zonefile.mibps),
+                TablePrinter::Fmt(zonefile.wa) + "x", "yes", "journaled", "automatic",
+                "yes"});
+  table.AddRow({"block-on-ZNS (dm-zoned)", TablePrinter::Fmt(block.mibps),
+                TablePrinter::Fmt(block.wa) + "x", "n/a (LBAs)", "n/a", "automatic",
+                "lost"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape check (the §4.1 tradeoff): on this zone-friendly log workload every\n"
+              "interface runs near device speed with WA ~1 — the differences are the services\n"
+              "provided. Raw zones and zonefs give the app full control and zero overhead but\n"
+              "no naming, durability, or space management; the ZenFS-style filesystem buys all\n"
+              "three for a small metadata tax; the block emulation is effortless but discards\n"
+              "the lifetime information (its WA advantage would vanish on non-sequential\n"
+              "workloads — see E16).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// E9 — §4.1: "How much can filesystem knowledge reduce write amplification? ... The host may
+// be able to significantly reduce write amplification by grouping data into zones based on
+// when it expects the data will expire."
+//
+// Setup: a mixed-lifetime file churn on the zonefile backend. Files belong to one of three
+// true lifetime classes (short-lived files are recreated 16x more often than long-lived ones).
+// The filesystem places files by *hint*; we sweep hint quality:
+//   exact       — hint == true class (perfect application knowledge),
+//   coarse      — two buckets only (filesystem-level heuristics),
+//   none        — every file hinted identically (what a conventional block stack knows),
+//   adversarial — hints assigned randomly (worst case).
+// Reported: end-to-end write amplification and GC relocation volume per hint policy.
+
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/core/matched_pair.h"
+#include "src/util/rng.h"
+#include "src/zonefile/zone_file_system.h"
+
+using namespace blockhead;
+
+namespace {
+
+enum class TrueClass { kShort = 0, kMedium = 1, kLong = 2 };
+enum class HintPolicy { kExact, kCoarse, kNone, kAdversarial };
+
+const char* PolicyName(HintPolicy policy) {
+  switch (policy) {
+    case HintPolicy::kExact:
+      return "exact";
+    case HintPolicy::kCoarse:
+      return "coarse";
+    case HintPolicy::kNone:
+      return "none";
+    case HintPolicy::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+Lifetime HintFor(TrueClass cls, HintPolicy policy, Rng& rng) {
+  switch (policy) {
+    case HintPolicy::kExact:
+      switch (cls) {
+        case TrueClass::kShort:
+          return Lifetime::kShort;
+        case TrueClass::kMedium:
+          return Lifetime::kMedium;
+        case TrueClass::kLong:
+          return Lifetime::kLong;
+      }
+      return Lifetime::kNone;
+    case HintPolicy::kCoarse:
+      return cls == TrueClass::kShort ? Lifetime::kShort : Lifetime::kMedium;
+    case HintPolicy::kNone:
+      return Lifetime::kNone;
+    case HintPolicy::kAdversarial:
+      return static_cast<Lifetime>(1 + rng.NextBelow(3));
+  }
+  return Lifetime::kNone;
+}
+
+struct HintResult {
+  double wa = 0.0;
+  std::uint64_t gc_pages_copied = 0;
+  bool ok = false;
+};
+
+constexpr std::uint64_t kFilePages = 16;  // 64 KiB files.
+constexpr std::uint64_t kCreates = 4200;
+
+HintResult RunPolicy(HintPolicy policy) {
+  HintResult result;
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.geometry.channels = 2;
+  cfg.flash.geometry.planes_per_channel = 2;
+  cfg.flash.geometry.blocks_per_plane = 64;
+  cfg.flash.geometry.pages_per_block = 64;  // 64 MiB; 1 MiB zones.
+  cfg.flash.timing = FlashTiming::FastForTests();
+  cfg.flash.store_data = false;
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  auto fs_or = ZoneFileSystem::Format(&dev, ZoneFileConfig{}, 0);
+  if (!fs_or.ok()) {
+    std::fprintf(stderr, "format failed: %s\n", fs_or.status().ToString().c_str());
+    return result;
+  }
+  ZoneFileSystem& fs = *fs_or.value();
+
+  // Steady-state populations per class (~40 MiB live on a ~62 MiB data area).
+  const std::size_t population[3] = {160, 240, 240};
+  // Creation mix: short churns 16x as fast as long.
+  const int weight[3] = {16, 4, 1};
+  std::deque<std::string> live[3];
+  Rng rng(3);
+  const std::vector<std::uint8_t> payload(kFilePages * 4096, 0);
+
+  SimTime t = 0;
+  std::uint64_t serial = 0;
+  for (std::uint64_t create = 0; create < kCreates; ++create) {
+    // Pick a class by weight.
+    int pick = static_cast<int>(rng.NextBelow(weight[0] + weight[1] + weight[2]));
+    TrueClass cls = TrueClass::kShort;
+    if (pick >= weight[0] + weight[1]) {
+      cls = TrueClass::kLong;
+    } else if (pick >= weight[0]) {
+      cls = TrueClass::kMedium;
+    }
+    const int c = static_cast<int>(cls);
+    const std::string name = "f" + std::to_string(serial++);
+    if (!fs.Create(name, HintFor(cls, policy, rng), t).ok()) {
+      return result;
+    }
+    auto a = fs.Append(name, payload, t);
+    if (!a.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", a.status().ToString().c_str());
+      return result;
+    }
+    t = a.value();
+    if (!fs.Sync(name, t).ok()) {
+      return result;
+    }
+    live[c].push_back(name);
+    if (live[c].size() > population[c]) {
+      if (!fs.Delete(live[c].front(), t).ok()) {
+        return result;
+      }
+      live[c].pop_front();
+    }
+    fs.Pump(t, /*reads_pending=*/false, 1);
+  }
+
+  result.wa = fs.EndToEndWriteAmplification();
+  result.gc_pages_copied = fs.stats().gc_pages_copied;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E9: Write amplification vs lifetime-hint quality (zonefile on ZNS) ===\n");
+  std::printf("Paper claim (§4.1): grouping data by expected expiry into zones reduces WA;\n"
+              "application knowledge beats filesystem heuristics beats none.\n\n");
+
+  TablePrinter table({"hint policy", "end-to-end WA", "GC pages relocated"});
+  for (const HintPolicy policy : {HintPolicy::kExact, HintPolicy::kCoarse, HintPolicy::kNone,
+                                  HintPolicy::kAdversarial}) {
+    const HintResult r = RunPolicy(policy);
+    table.AddRow({PolicyName(policy), r.ok ? TablePrinter::Fmt(r.wa) + "x" : "failed",
+                  std::to_string(r.gc_pages_copied)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check: WA and relocation volume rise as hints degrade (exact <= coarse\n"
+              "< none <= adversarial). Perfect hints approach WA ~1 (+ metadata overhead):\n"
+              "zones expire wholesale and are reset without copying.\n");
+  return 0;
+}

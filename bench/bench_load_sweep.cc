@@ -1,0 +1,139 @@
+// A3 (ablation) — offered-load sweep under open-loop (Poisson) arrivals: the latency-vs-load
+// hockey stick for both device classes. The paper's throughput claims (§2.4: "3x higher
+// throughput") appear here as the ZNS device sustaining a much higher arrival rate before its
+// read tail explodes — GC steals no bandwidth from the foreground.
+
+#include <cstdio>
+#include <deque>
+
+#include "src/core/matched_pair.h"
+#include "src/util/rng.h"
+#include "src/workload/workload.h"
+
+using namespace blockhead;
+
+namespace {
+
+constexpr double kReadFraction = 0.7;
+constexpr std::uint64_t kOps = 120000;
+
+// Conventional: standard block device, preconditioned to GC steady state (sequential fill
+// plus one logical capacity of closed-loop random writes — standard SSD benchmarking
+// practice; without it the measurement lands in the transient where every GC victim is still
+// ~90% valid and the device saturates at any load).
+Histogram RunConventional(double ops_per_sec) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  // Write-optimized enterprise provisioning: at 7% OP a 93%-full device's steady-state WA
+  // under random writes (~8x) saturates it at any load. The ZNS side needs no such OP — that
+  // asymmetry is the paper's §2.2 cost argument.
+  cfg.ftl.op_fraction = 0.25;
+  ConventionalSsd ssd(cfg.flash, cfg.ftl);
+  auto fill = SequentialFill(ssd, 1.0, 0);
+  RandomWorkloadConfig precond;
+  precond.lba_space = ssd.num_blocks();
+  precond.read_fraction = 0.0;
+  precond.seed = 77;
+  RandomWorkload precond_gen(precond);
+  DriverOptions precond_opts;
+  precond_opts.ops = ssd.num_blocks();
+  precond_opts.queue_depth = 16;
+  precond_opts.start_time = fill.value_or(0);
+  const RunResult pre = RunClosedLoop(ssd, precond_gen, precond_opts);
+
+  // Quiesce: measurement starts only once every plane has drained the preconditioning
+  // backlog (including deferred GC bookings the host clock cannot see).
+  SimTime quiesced = pre.end;
+  const FlashGeometry& g = ssd.flash().geometry();
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch) {
+    for (std::uint32_t pl = 0; pl < g.planes_per_channel; ++pl) {
+      quiesced = std::max(quiesced, ssd.flash().PlaneBusyUntil(ch, pl));
+    }
+  }
+
+  RandomWorkloadConfig wl;
+  wl.lba_space = ssd.num_blocks();
+  wl.read_fraction = kReadFraction;
+  wl.seed = 31;
+  RandomWorkload gen(wl);
+  DriverOptions opts;
+  opts.ops = kOps;
+  opts.start_time = quiesced + 100 * kMillisecond;
+  return RunOpenLoop(ssd, gen, opts, ops_per_sec).read_latency;
+}
+
+// ZNS-native: append/reset pattern with the same read mix, open-loop arrivals.
+Histogram RunZns(double ops_per_sec) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  const std::uint64_t zone_pages = dev.zone_size_pages();
+  Rng rng(31);
+  Histogram read_latency;
+
+  SimTime t = 0;
+  std::deque<std::uint32_t> full_zones;
+  for (std::uint32_t z = 0; z + 2 < dev.num_zones(); ++z) {
+    for (std::uint64_t off = 0; off < zone_pages; off += 8) {
+      auto w = dev.Write(z, off, 8, t);
+      if (w.ok()) {
+        t = w.value();
+      }
+    }
+    full_zones.push_back(z);
+  }
+  std::uint32_t open_zone = dev.num_zones() - 2;
+  const SimTime start = t + 10 * kMillisecond;
+
+  Rng arrivals(1234);
+  const double gap = static_cast<double>(kSecond) / ops_per_sec;
+  double clock = static_cast<double>(start);
+  for (std::uint64_t n = 0; n < kOps; ++n) {
+    clock += arrivals.NextExponential(gap);
+    const SimTime issue = static_cast<SimTime>(clock);
+    if (rng.NextBool(kReadFraction)) {
+      const std::uint32_t zone = full_zones[rng.NextBelow(full_zones.size())];
+      const std::uint64_t lba =
+          dev.zone(zone).start_lba + rng.NextBelow(dev.zone(zone).capacity_pages);
+      auto r = dev.Read(lba, 1, issue);
+      if (r.ok()) {
+        read_latency.Record(r.value() - issue);
+      }
+    } else {
+      ZoneDescriptor d = dev.zone(open_zone);
+      if (d.write_pointer >= d.capacity_pages) {
+        full_zones.push_back(open_zone);
+        const std::uint32_t victim = full_zones.front();
+        full_zones.pop_front();
+        (void)dev.ResetZone(victim, issue);
+        open_zone = victim;
+        d = dev.zone(open_zone);
+      }
+      (void)dev.Write(open_zone, d.write_pointer, 1, issue);
+    }
+  }
+  return read_latency;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A3 (ablation): Read latency vs offered load (open-loop Poisson arrivals) ===\n");
+  std::printf("70/30 R/W 4K mix; the knee of each curve is the sustainable throughput.\n\n");
+
+  TablePrinter table({"offered kIOPS", "conv p50 (us)", "conv p99 (us)", "ZNS p50 (us)",
+                      "ZNS p99 (us)"});
+  for (const double kiops : {5.0, 10.0, 20.0, 30.0, 45.0, 60.0}) {
+    const Histogram conv = RunConventional(kiops * 1000);
+    const Histogram zns = RunZns(kiops * 1000);
+    table.AddRow(
+        {TablePrinter::Fmt(kiops, 0),
+         TablePrinter::Fmt(static_cast<double>(conv.Percentile(0.5)) / kMicrosecond, 0),
+         TablePrinter::Fmt(static_cast<double>(conv.Percentile(0.99)) / kMicrosecond, 0),
+         TablePrinter::Fmt(static_cast<double>(zns.Percentile(0.5)) / kMicrosecond, 0),
+         TablePrinter::Fmt(static_cast<double>(zns.Percentile(0.99)) / kMicrosecond, 0)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Shape check: the conventional curve's knee (p99 explosion) arrives at a much\n"
+              "lower offered load than the ZNS curve's — the \"Nx higher throughput\" claims\n"
+              "are the horizontal distance between the knees.\n");
+  return 0;
+}

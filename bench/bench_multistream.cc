@@ -1,0 +1,121 @@
+// E15 — §2.3: "The multi-stream writes NVMe directive is conceptually similar to ZNS. Hosts
+// label related writes with the same stream ID, and the device writes each stream to its own
+// set of erasure blocks. Multi-streams are a workaround to hosts' limited control over data
+// placement in conventional SSDs; the high hardware costs of conventional devices remains."
+//
+// Setup: a journal+checkpoint workload (fast random hot overwrites continuously interleaved
+// with a slow sequential cold rewrite cycle) on (a) a plain conventional SSD, (b) the same
+// device with per-lifetime streams, and (c) app-managed zones on ZNS. Reported: device WA —
+// and the per-device hardware cost that streams do NOT remove.
+
+#include <cstdio>
+
+#include "src/core/matched_pair.h"
+#include "src/cost/cost_model.h"
+#include "src/util/rng.h"
+
+using namespace blockhead;
+
+namespace {
+
+double RunConventional(std::uint32_t streams) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.timing = FlashTiming::FastForTests();
+  FtlConfig ftl = cfg.ftl;
+  ftl.op_fraction = 0.10;
+  ftl.num_streams = streams;
+  ConventionalSsd ssd(cfg.flash, ftl);
+  const std::uint64_t n = ssd.num_blocks();
+  const std::uint64_t cold_space = n / 2;
+  SimTime t = 0;
+  Rng rng(3);
+  std::uint64_t cold_cursor = 0;
+  for (std::uint64_t i = 0; i < 5 * n; ++i) {
+    const bool is_cold = i % 8 == 0;
+    std::uint64_t lba;
+    if (is_cold) {
+      lba = cold_cursor;
+      cold_cursor = (cold_cursor + 1) % cold_space;
+    } else {
+      lba = cold_space + rng.NextBelow(n - cold_space);
+    }
+    auto w = ssd.WriteBlocksStream(lba, 1, is_cold ? 1 : 0, t);
+    if (!w.ok()) {
+      return -1.0;
+    }
+    t = w.value();
+  }
+  return ssd.WriteAmplification();
+}
+
+double RunZnsZonePerClass() {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.timing = FlashTiming::FastForTests();
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  // App-managed: hot class cycles through one set of zones, cold through another, whole-zone
+  // invalidation (the workload is the same volume as the conventional runs).
+  const std::uint64_t zone_pages = dev.zone_size_pages();
+  const std::uint32_t zones = dev.num_zones();
+  const std::uint32_t cold_zones = zones / 2;
+  std::uint32_t open_zone[2] = {0, cold_zones};  // [cold, hot] frontiers.
+  std::uint32_t next_reset[2] = {0, cold_zones};
+  SimTime t = 0;
+  const std::uint64_t total_writes = 5 * static_cast<std::uint64_t>(zones) * zone_pages;
+  for (std::uint64_t i = 0; i < total_writes; ++i) {
+    const int cls = i % 8 == 0 ? 0 : 1;
+    const std::uint32_t lo = cls == 0 ? 0 : cold_zones;
+    const std::uint32_t hi = cls == 0 ? cold_zones : zones;
+    ZoneDescriptor d = dev.zone(open_zone[cls]);
+    if (d.write_pointer >= d.capacity_pages) {
+      open_zone[cls] = open_zone[cls] + 1 < hi ? open_zone[cls] + 1 : lo;
+      if (open_zone[cls] == next_reset[cls]) {
+        next_reset[cls] = next_reset[cls] + 1 < hi ? next_reset[cls] + 1 : lo;
+      }
+      auto reset = dev.ResetZone(open_zone[cls], t);
+      if (reset.ok()) {
+        t = reset.value();
+      }
+      d = dev.zone(open_zone[cls]);
+    }
+    auto w = dev.Write(open_zone[cls], d.write_pointer, 1, t);
+    if (!w.ok()) {
+      return -1.0;
+    }
+    t = w.value();
+  }
+  const FlashStats& fs = dev.flash().stats();
+  return static_cast<double>(fs.total_pages_programmed()) /
+         static_cast<double>(fs.host_pages_programmed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E15: Multi-stream writes vs ZNS (§2.3) ===\n");
+  std::printf("Paper: streams fix placement on conventional SSDs, but 'the high hardware\n"
+              "costs of conventional devices remains.'\n");
+  std::printf("Workload: hot random overwrites interleaved 8:1 with a sequential cold rewrite\n"
+              "cycle (journal + checkpoint pattern), identical flash.\n\n");
+
+  const double wa_plain = RunConventional(1);
+  const double wa_streams = RunConventional(2);
+  const double wa_zns = RunZnsZonePerClass();
+
+  const CostModelConfig cost_cfg;
+  const DeviceCost conv_cost = ConventionalDeviceCost(4 * kTiB, 0.10, cost_cfg);
+  const DeviceCost zns_cost = ZnsDeviceCost(4 * kTiB, cost_cfg);
+
+  TablePrinter table({"device", "device WA", "$ per usable GiB (4 TiB class)"});
+  table.AddRow({"conventional, 1 stream", TablePrinter::Fmt(wa_plain) + "x",
+                TablePrinter::Fmt(conv_cost.usd_per_usable_gib(), 4)});
+  table.AddRow({"conventional, 2 streams", TablePrinter::Fmt(wa_streams) + "x",
+                TablePrinter::Fmt(conv_cost.usd_per_usable_gib(), 4) + "  (unchanged)"});
+  table.AddRow({"ZNS, zone per class", TablePrinter::Fmt(wa_zns) + "x",
+                TablePrinter::Fmt(zns_cost.usd_per_usable_gib(), 4)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape check: streams close most of the WA gap to ZNS (placement fixed), but the\n"
+              "device still carries the OP flash pool and page-granular mapping DRAM — the\n"
+              "$/GiB column only drops on the ZNS row.\n");
+  return 0;
+}

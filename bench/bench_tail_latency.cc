@@ -1,0 +1,172 @@
+// E5 — §2.4: "2-4x lower read tail latency and 2x higher write throughput for RocksDB over
+// ZNS" (WD), and "22x lower tail latencies and 65% higher application throughput" (IBM SALSA).
+//
+// Setup: the mini-LSM KV store runs over (a) BlockEnv on the conventional SSD and (b) the
+// ZenFS-style zoned filesystem on the ZNS SSD — identical TLC flash. After loading a working
+// set sized to put the devices under real space pressure, a mixed phase issues point reads
+// with concurrent overwrites. Read tail latency on the conventional path absorbs device-GC
+// interference; the ZNS path has none (reclamation is whole-zone resets, hint-grouped).
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/matched_pair.h"
+#include "src/kv/block_env.h"
+#include "src/kv/kv_store.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+using namespace blockhead;
+
+namespace {
+
+constexpr std::uint64_t kKeys = 185000;
+constexpr std::size_t kValueBytes = 150;
+constexpr std::uint64_t kMixedOps = 200000;
+constexpr double kReadFraction = 0.75;
+
+std::string KeyOf(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%010llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string ValueOf(std::uint64_t n) {
+  std::string v = "v" + std::to_string(n);
+  v.resize(kValueBytes, 'x');
+  return v;
+}
+
+struct KvRun {
+  Histogram read_latency;
+  std::uint64_t write_bytes = 0;
+  SimTime write_elapsed = 0;
+  double device_wa = 1.0;
+
+  double WriteMiBps() const { return ToMiBPerSec(write_bytes, write_elapsed); }
+};
+
+KvRun RunWorkload(Env* env, const FlashDevice& flash) {
+  KvConfig cfg;
+  cfg.memtable_bytes = 64 * kKiB;
+  cfg.level_base_bytes = 1 * kMiB;
+  cfg.level_multiplier = 3.0;
+  cfg.target_table_bytes = 448 * kKiB;  // ~One table per 512 KiB zone incl. index/bloom overhead.
+  cfg.max_levels = 5;
+  KvRun run;
+  auto store_or = KvStore::Open(env, cfg, 0);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store_or.status().ToString().c_str());
+    return run;
+  }
+  KvStore& store = *store_or.value();
+
+  // Load phase.
+  SimTime t = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    auto p = store.Put(KeyOf(i), ValueOf(i), t);
+    if (!p.ok()) {
+      std::fprintf(stderr, "load put failed: %s\n", p.status().ToString().c_str());
+      return run;
+    }
+    t = std::max(t, p.value());
+  }
+  t += 10 * kMillisecond;  // Let the backlog drain.
+
+  // Mixed phase.
+  Rng rng(11);
+  const SimTime mixed_start = t;
+  for (std::uint64_t n = 0; n < kMixedOps; ++n) {
+    env->Maintain(t, /*reads_pending=*/false);
+    const std::uint64_t k = rng.NextBelow(kKeys);
+    if (rng.NextBool(kReadFraction)) {
+      auto g = store.Get(KeyOf(k), t);
+      if (!g.ok()) {
+        continue;
+      }
+      run.read_latency.Record(g->completion > t ? g->completion - t : 0);
+      t = std::max(t, g->completion);
+    } else {
+      auto p = store.Put(KeyOf(k), ValueOf(k + n), t);
+      if (!p.ok()) {
+        continue;
+      }
+      run.write_bytes += KeyOf(k).size() + kValueBytes;
+      t = std::max(t, p.value());
+    }
+  }
+  run.write_elapsed = t - mixed_start;
+  const FlashStats& fs = flash.stats();
+  run.device_wa = fs.host_pages_programmed == 0
+                      ? 1.0
+                      : static_cast<double>(fs.total_pages_programmed()) /
+                            static_cast<double>(fs.host_pages_programmed);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: KV-store read tail latency & write throughput, conventional vs ZNS ===\n");
+  std::printf("Paper claims (§2.4): 2-4x lower read tail latency (up to 22x at extreme\n"
+              "percentiles, IBM), ~2x write throughput. LSM KV, %llu keys, %llu mixed ops\n"
+              "(%.0f%% reads), identical TLC flash.\n\n",
+              static_cast<unsigned long long>(kKeys), static_cast<unsigned long long>(kMixedOps),
+              kReadFraction * 100);
+
+  // 64 MiB of TLC flash: small enough that the ~20 MiB KV working set plus LSM transients put
+  // the conventional FTL under genuine space pressure.
+  MatchedConfig mcfg = MatchedConfig::Bench();
+  mcfg.flash.geometry.channels = 2;
+  mcfg.flash.geometry.planes_per_channel = 2;
+  mcfg.flash.geometry.blocks_per_plane = 128;
+  mcfg.flash.geometry.pages_per_block = 32;  // 512 KiB zones.
+  mcfg.flash.store_data = true;
+  mcfg.ftl.op_fraction = 0.07;
+
+  // Conventional path.
+  ConventionalSsd ssd(mcfg.flash, mcfg.ftl);
+  BlockEnv block_env(&ssd);
+  const KvRun conv = RunWorkload(&block_env, ssd.flash());
+
+  // ZNS path.
+  ZnsDevice zns(mcfg.flash, mcfg.zns);
+  ZoneFileConfig zf_cfg;
+  zf_cfg.finish_remainder_pages = 16;  // Seal nearly-full zones at table boundaries (ZenFS).
+  auto fs = ZoneFileSystem::Format(&zns, zf_cfg, 0);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format failed: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+  ZoneEnv zone_env(fs.value().get());
+  const KvRun zoned = RunWorkload(&zone_env, zns.flash());
+
+  TablePrinter table({"metric", "conventional", "ZNS (zonefile)", "ratio"});
+  auto row = [&](const char* name, double q) {
+    const double c = static_cast<double>(conv.read_latency.Percentile(q)) / kMicrosecond;
+    const double z = static_cast<double>(zoned.read_latency.Percentile(q)) / kMicrosecond;
+    table.AddRow({name, TablePrinter::Fmt(c), TablePrinter::Fmt(z),
+                  z > 0 ? TablePrinter::Fmt(c / z, 1) + "x lower" : "-"});
+  };
+  row("read p50 (us)", 0.50);
+  row("read p90 (us)", 0.90);
+  row("read p99 (us)", 0.99);
+  row("read p99.9 (us)", 0.999);
+  row("read p99.99 (us)", 0.9999);
+  table.AddRow({"write throughput (MiB/s)", TablePrinter::Fmt(conv.WriteMiBps()),
+                TablePrinter::Fmt(zoned.WriteMiBps()),
+                conv.WriteMiBps() > 0
+                    ? TablePrinter::Fmt(zoned.WriteMiBps() / conv.WriteMiBps(), 1) + "x higher"
+                    : "-"});
+  table.AddRow({"device write amplification", TablePrinter::Fmt(conv.device_wa) + "x",
+                TablePrinter::Fmt(zoned.device_wa) + "x", ""});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Read latency detail:\n  conventional: %s\n  ZNS:          %s\n",
+              conv.read_latency.Summary(kMicrosecond, "us").c_str(),
+              zoned.read_latency.Summary(kMicrosecond, "us").c_str());
+  std::printf("\nShape check: conventional read tails inflate with device GC (ratios grow\n"
+              "toward the extreme percentiles); ZNS write throughput is higher because flash\n"
+              "bandwidth is not consumed by GC copies.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// A1 (ablation) — §2.1 lists wear leveling among the conventional FTL's responsibilities, and
+// §2.2 builds on flash endurance limits. This ablation measures what the FTL's wear leveling
+// buys (erase-count spread, time to first dead block) under a skewed workload, and shows the
+// ZNS counterpart: zone cycling spreads wear structurally, and worn zones shrink gracefully
+// instead of silently consuming spare blocks.
+
+#include <cstdio>
+
+#include "src/core/matched_pair.h"
+#include "src/util/rng.h"
+
+using namespace blockhead;
+
+namespace {
+
+struct WearResult {
+  WearSummary wear;
+  double wa = 0.0;
+  std::uint64_t writes_done = 0;
+  std::uint64_t writes_until_first_bad = 0;
+};
+
+WearResult RunConventional(bool wear_leveling) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.geometry.channels = 2;
+  cfg.flash.geometry.planes_per_channel = 2;
+  cfg.flash.geometry.blocks_per_plane = 64;
+  cfg.flash.geometry.pages_per_block = 32;
+  cfg.flash.timing = FlashTiming::FastForTests();
+  cfg.flash.timing.endurance_cycles = 220;
+  cfg.flash.store_data = false;
+  FtlConfig ftl;
+  ftl.op_fraction = 0.15;
+  ftl.wear_leveling = wear_leveling;
+  ConventionalSsd ssd(cfg.flash, ftl);
+
+  WearResult result;
+  const std::uint64_t n = ssd.num_blocks();
+  Rng rng(11);
+  SimTime t = 0;
+  // Fill once (cold bulk), then hammer 5% of the space.
+  for (std::uint64_t lba = 0; lba < n; ++lba) {
+    auto w = ssd.WriteBlocks(lba, 1, t);
+    if (!w.ok()) {
+      return result;
+    }
+    t = w.value();
+  }
+  for (std::uint64_t i = 0; i < 60 * n; ++i) {
+    auto w = ssd.WriteBlocks(rng.NextBelow(n / 20), 1, t);
+    if (!w.ok()) {
+      break;
+    }
+    t = w.value();
+    result.writes_done = i + 1;
+    if (result.writes_until_first_bad == 0 && ssd.flash().ComputeWear().bad_blocks > 0) {
+      result.writes_until_first_bad = i + 1;
+    }
+  }
+  result.wear = ssd.flash().ComputeWear();
+  result.wa = ssd.WriteAmplification();
+  return result;
+}
+
+WearResult RunZnsCycling() {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  cfg.flash.geometry.channels = 2;
+  cfg.flash.geometry.planes_per_channel = 2;
+  cfg.flash.geometry.blocks_per_plane = 64;
+  cfg.flash.geometry.pages_per_block = 32;
+  cfg.flash.timing = FlashTiming::FastForTests();
+  cfg.flash.timing.endurance_cycles = 220;
+  cfg.flash.store_data = false;
+  ZnsDevice dev(cfg.flash, cfg.zns);
+
+  WearResult result;
+  const std::uint64_t total_pages =
+      static_cast<std::uint64_t>(dev.num_zones()) * dev.zone_size_pages();
+  SimTime t = 0;
+  std::uint32_t zone = 0;
+  std::uint32_t next_reset = 0;
+  bool wrapped = false;
+  // Same write volume; the app's natural FIFO zone cycling IS the wear leveling.
+  for (std::uint64_t i = 0; i < 61 * total_pages; ++i) {
+    ZoneDescriptor d = dev.zone(zone);
+    if (d.state == ZoneState::kOffline || d.write_pointer >= d.capacity_pages) {
+      zone = (zone + 1) % dev.num_zones();
+      if (zone == 0) {
+        wrapped = true;
+      }
+      if (wrapped) {
+        (void)dev.ResetZone(next_reset, t);
+        next_reset = (next_reset + 1) % dev.num_zones();
+      }
+      continue;
+    }
+    auto w = dev.Write(zone, d.write_pointer, 1, t);
+    if (!w.ok()) {
+      continue;
+    }
+    t = w.value();
+    result.writes_done = i + 1;
+    if (result.writes_until_first_bad == 0 && dev.flash().ComputeWear().bad_blocks > 0) {
+      result.writes_until_first_bad = i + 1;
+    }
+  }
+  result.wear = dev.flash().ComputeWear();
+  const FlashStats& fs = dev.flash().stats();
+  result.wa = static_cast<double>(fs.total_pages_programmed()) /
+              static_cast<double>(fs.host_pages_programmed);
+  return result;
+}
+
+void Report(TablePrinter& table, const char* name, const WearResult& r) {
+  table.AddRow({name, TablePrinter::Fmt(r.wear.mean_erase_count, 1),
+                TablePrinter::Fmt(r.wear.stddev_erase_count, 1),
+                std::to_string(r.wear.min_erase_count) + ".." +
+                    std::to_string(r.wear.max_erase_count),
+                std::to_string(r.wear.bad_blocks),
+                r.writes_until_first_bad == 0 ? "never"
+                                              : std::to_string(r.writes_until_first_bad),
+                TablePrinter::Fmt(r.wa) + "x"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A1 (ablation): Wear leveling — FTL policy vs ZNS structural cycling ===\n");
+  std::printf("Skewed workload (95%% of overwrites hit 5%% of the space), endurance = 220\n"
+              "cycles, identical flash, equal write volume.\n\n");
+
+  TablePrinter table({"configuration", "mean erases", "stddev", "min..max", "bad blocks",
+                      "writes to 1st bad", "WA"});
+  Report(table, "conventional, WL off", RunConventional(false));
+  Report(table, "conventional, WL on", RunConventional(true));
+  Report(table, "ZNS, FIFO zone cycling", RunZnsCycling());
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape check: without wear leveling the hot blocks burn out while the rest of\n"
+              "the device idles (wide spread, min stuck at 0); the FTL's least-worn allocation\n"
+              "plus cold migration flattens the distribution, but pays for it in write\n"
+              "amplification — extra erases that can even bring the first failure EARLIER\n"
+              "under extreme skew. The ZNS app's natural zone rotation achieves near-zero\n"
+              "spread with no copying at all, and \u00a72.1's graceful degradation (zones shrink\n"
+              "or go offline) replaces silent spare-block consumption.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E7 — §4.2: "a zone's write pointer can suffer from lock contention... for multi-writer
+// workloads where writes are concentrated in a single zone... The append command... allows the
+// device to serialize concurrent writes to the same zone."
+//
+// Setup: N concurrent writers (each queue depth 1) push a fixed total number of 4 KiB records
+// into ONE zone, first with regular write-pointer writes (each writer must observe the
+// previous completion to learn the new write pointer), then with zone append (the device
+// assigns offsets, so programs pipeline across the zone's planes). Reported: aggregate
+// throughput vs writer count for both commands.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/matched_pair.h"
+#include "src/util/event_queue.h"
+
+using namespace blockhead;
+
+namespace {
+
+// Total pages each configuration writes into the zone (one zone capacity's worth).
+double RunWriters(std::uint32_t writers, bool use_append, bool strict) {
+  MatchedConfig cfg = MatchedConfig::Bench();
+  if (strict) {
+    // Strict regime: the zone lock is held until the data is durable on flash (no device
+    // write buffer) — the worst case the spec change was written against.
+    cfg.zns.zone_write_buffer_pages = 0;
+  }
+  ZnsDevice dev(cfg.flash, cfg.zns);
+  const std::uint64_t total_pages = dev.zone(0).capacity_pages;
+
+  EventQueue<std::uint32_t> ready;  // Writer w is ready to issue at event time.
+  for (std::uint32_t w = 0; w < writers; ++w) {
+    ready.Push(0, w);
+  }
+  std::uint64_t written = 0;
+  SimTime finish = 0;
+  while (written < total_pages && !ready.empty()) {
+    const auto event = ready.Pop();
+    const SimTime now = event.time;
+    SimTime done = now;
+    if (use_append) {
+      auto r = dev.Append(0, 1, now);
+      if (!r.ok()) {
+        break;
+      }
+      done = r->completion;
+    } else {
+      // A writer must (re)read the write pointer, then issue at it; the device model charges
+      // the serialization (a write cannot be formed until the previous one completed).
+      const std::uint64_t wp = dev.zone(0).write_pointer;
+      auto r = dev.Write(0, wp, 1, now);
+      if (!r.ok()) {
+        break;
+      }
+      done = r.value();
+    }
+    ++written;
+    finish = std::max(finish, done);
+    ready.Push(done, event.payload);
+  }
+  if (written == 0 || finish == 0) {
+    return 0.0;
+  }
+  return ToMiBPerSec(written * 4096, finish);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7: Multi-writer single-zone throughput — write pointer vs zone append ===\n");
+  std::printf("Paper claim (§4.2): write-pointer writes serialize concurrent writers; zone\n"
+              "append lets the device order them, restoring parallelism.\n\n");
+
+  for (const bool strict : {true, false}) {
+    std::printf("%s\n", strict
+                            ? "Strict serialization (zone lock held until durable; no device "
+                              "write buffer):"
+                            : "Buffered devices (write acknowledged from the per-zone write "
+                              "buffer, lock held until ack):");
+    TablePrinter table({"writers", "write (MiB/s)", "append (MiB/s)", "append gain"});
+    for (const std::uint32_t writers : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const double write_mibps = RunWriters(writers, /*use_append=*/false, strict);
+      const double append_mibps = RunWriters(writers, /*use_append=*/true, strict);
+      table.AddRow(
+          {std::to_string(writers), TablePrinter::Fmt(write_mibps),
+           TablePrinter::Fmt(append_mibps),
+           write_mibps > 0 ? TablePrinter::Fmt(append_mibps / write_mibps, 1) + "x" : "-"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf("Shape check: with regular writes, throughput stays flat as writers are added\n"
+              "(fully serialized on the write pointer; worst in the strict regime). With\n"
+              "append the device orders concurrent records itself, so throughput scales with\n"
+              "writers until the zone's plane parallelism (32 planes here) saturates.\n");
+  return 0;
+}

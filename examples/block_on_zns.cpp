@@ -1,0 +1,94 @@
+// Example: a conventional block device reconstructed on a ZNS SSD by the host FTL (the
+// dm-zoned role from §2.3), with a selectable GC scheduling policy.
+//
+//   build/examples/block_on_zns [policy] [ops]
+//     policy: inline | background | read-priority | rate-limited   (default background)
+//
+// Runs a mixed random workload through the emulated block device and prints the numbers a
+// conventional SSD would never let you see: host GC activity, relocation volume, bus traffic
+// saved by simple copy, and the latency profile under YOUR chosen reclamation policy.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/matched_pair.h"
+#include "src/hostftl/host_ftl.h"
+#include "src/workload/workload.h"
+
+using namespace blockhead;
+
+int main(int argc, char** argv) {
+  GcSchedPolicy policy = GcSchedPolicy::kBackground;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "inline") == 0) {
+      policy = GcSchedPolicy::kInline;
+    } else if (std::strcmp(argv[1], "background") == 0) {
+      policy = GcSchedPolicy::kBackground;
+    } else if (std::strcmp(argv[1], "read-priority") == 0) {
+      policy = GcSchedPolicy::kReadPriority;
+    } else if (std::strcmp(argv[1], "rate-limited") == 0) {
+      policy = GcSchedPolicy::kRateLimited;
+    } else {
+      std::fprintf(stderr, "unknown policy '%s'\n", argv[1]);
+      return 1;
+    }
+  }
+  const std::uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300000;
+
+  MatchedConfig cfg = MatchedConfig::Bench();
+  ZnsDevice device(cfg.flash, cfg.zns);
+  HostFtlConfig ftl_cfg;
+  ftl_cfg.op_fraction = 0.20;
+  ftl_cfg.use_simple_copy = true;
+  ftl_cfg.sched.policy = policy;
+  HostFtlBlockDevice block(&device, ftl_cfg);
+
+  std::printf("Block device on ZNS: %llu logical 4K blocks (%s) over %u zones; policy=%s\n",
+              static_cast<unsigned long long>(block.num_blocks()),
+              TablePrinter::FmtBytes(block.capacity_bytes()).c_str(), device.num_zones(),
+              GcSchedPolicyName(policy));
+
+  auto fill = SequentialFill(block, 1.0, 0);
+  if (!fill.ok()) {
+    std::fprintf(stderr, "fill: %s\n", fill.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Preconditioned (sequential fill). Running %llu mixed ops (60%% reads)...\n\n",
+              static_cast<unsigned long long>(ops));
+
+  RandomWorkloadConfig wl;
+  wl.lba_space = block.num_blocks();
+  wl.read_fraction = 0.6;
+  wl.seed = 99;
+  RandomWorkload gen(wl);
+  DriverOptions opts;
+  opts.ops = ops;
+  opts.queue_depth = 4;
+  opts.start_time = fill.value() + 10 * kMillisecond;
+  opts.maintenance_hook = [&block](SimTime now, bool reads) { block.Pump(now, reads, 1); };
+  const RunResult run = RunClosedLoop(block, gen, opts);
+  if (!run.status.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("reads : %s\n", run.read_latency.Summary(kMicrosecond, "us").c_str());
+  std::printf("writes: %s\n", run.write_latency.Summary(kMicrosecond, "us").c_str());
+  std::printf("throughput: %.1f MiB/s\n\n", run.TotalMiBps());
+
+  const HostFtlStats& stats = block.stats();
+  std::printf("What the host can now see and control (opaque inside a conventional SSD):\n");
+  std::printf("  zones reclaimed:        %llu\n",
+              static_cast<unsigned long long>(stats.zones_reclaimed));
+  std::printf("  pages relocated:        %llu (write amplification %.2fx)\n",
+              static_cast<unsigned long long>(stats.gc_pages_copied),
+              block.EndToEndWriteAmplification());
+  std::printf("  GC bytes over PCIe:     %llu (simple copy keeps relocation on-device)\n",
+              static_cast<unsigned long long>(stats.gc_host_bus_bytes));
+  std::printf("  forced (emergency) GCs: %llu\n",
+              static_cast<unsigned long long>(stats.forced_gc_stalls));
+  std::printf("  host mapping tables:    %s of host DRAM\n",
+              TablePrinter::FmtBytes(block.HostMappingBytes()).c_str());
+  return 0;
+}

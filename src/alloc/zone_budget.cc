@@ -1,0 +1,242 @@
+#include "src/alloc/zone_budget.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "src/util/event_queue.h"
+#include "src/util/rng.h"
+
+namespace blockhead {
+
+StaticPartitionBudget::StaticPartitionBudget(std::uint32_t total_slots, std::uint32_t tenants)
+    : per_tenant_(total_slots / tenants), held_(tenants, 0) {
+  assert(per_tenant_ > 0);
+}
+
+Status StaticPartitionBudget::Acquire(std::uint32_t tenant) {
+  if (held_[tenant] >= per_tenant_) {
+    return Status(ErrorCode::kBusy);
+  }
+  held_[tenant]++;
+  return Status::Ok();
+}
+
+void StaticPartitionBudget::Release(std::uint32_t tenant) {
+  assert(held_[tenant] > 0);
+  held_[tenant]--;
+}
+
+DemandBudget::DemandBudget(std::uint32_t total_slots, std::uint32_t tenants,
+                           std::uint32_t guaranteed_min)
+    : total_(total_slots), guaranteed_(guaranteed_min), held_(tenants, 0) {
+  assert(guaranteed_min * tenants <= total_slots);
+}
+
+Status DemandBudget::Acquire(std::uint32_t tenant) {
+  if (granted_ >= total_) {
+    return Status(ErrorCode::kBusy);
+  }
+  // Keep enough headroom that every tenant below its guarantee can still reach it.
+  if (held_[tenant] >= guaranteed_) {
+    std::uint32_t reserved_for_others = 0;
+    for (std::uint32_t t = 0; t < held_.size(); ++t) {
+      if (t != tenant && held_[t] < guaranteed_) {
+        reserved_for_others += guaranteed_ - held_[t];
+      }
+    }
+    if (granted_ + 1 + reserved_for_others > total_) {
+      return Status(ErrorCode::kBusy);
+    }
+  }
+  held_[tenant]++;
+  granted_++;
+  return Status::Ok();
+}
+
+void DemandBudget::Release(std::uint32_t tenant) {
+  assert(held_[tenant] > 0);
+  held_[tenant]--;
+  granted_--;
+}
+
+namespace {
+
+constexpr std::uint32_t kChunkPages = 4;
+constexpr SimTime kRetryInterval = 50 * kMicrosecond;
+constexpr std::uint32_t kNoZone = ~0U;
+
+struct TenantState {
+  TenantConfig config;
+  std::vector<std::uint32_t> zones;  // Zones currently held (open on the device).
+  SimTime phase_start = 0;
+  TenantResult result;
+};
+
+// Event payload: a per-zone write stream (zone != kNoZone) or a tenant top-up tick.
+struct SimEvent {
+  std::uint32_t tenant = 0;
+  std::uint32_t zone = kNoZone;
+};
+
+}  // namespace
+
+MultiTenantResult RunMultiTenantSim(ZnsDevice& device, ZoneBudgetManager& budget,
+                                    const std::vector<TenantConfig>& tenant_configs,
+                                    SimTime duration) {
+  const std::uint32_t num_tenants = static_cast<std::uint32_t>(tenant_configs.size());
+  std::vector<TenantState> tenants(num_tenants);
+  for (std::uint32_t t = 0; t < num_tenants; ++t) {
+    tenants[t].config = tenant_configs[t];
+    // Stagger phase starts so bursts overlap only partially (the interesting regime).
+    tenants[t].phase_start =
+        (tenant_configs[t].on_duration + tenant_configs[t].off_duration) * t / num_tenants;
+  }
+  auto tenant_on = [&](const TenantState& tenant, SimTime now) {
+    if (now < tenant.phase_start) {
+      return false;
+    }
+    const TenantConfig& cfg = tenant.config;
+    const SimTime cycle = cfg.on_duration + cfg.off_duration;
+    return (now - tenant.phase_start) % cycle < cfg.on_duration;
+  };
+  auto next_on_start = [&](const TenantState& tenant, SimTime now) {
+    if (now < tenant.phase_start) {
+      return tenant.phase_start;
+    }
+    const TenantConfig& cfg = tenant.config;
+    const SimTime cycle = cfg.on_duration + cfg.off_duration;
+    const SimTime in_cycle = (now - tenant.phase_start) % cycle;
+    return in_cycle < cfg.on_duration ? now : now + (cycle - in_cycle);
+  };
+
+  // Zone supply: hand out fresh zones first, then recycle finished ones.
+  std::uint32_t next_fresh_zone = 0;
+  std::deque<std::uint32_t> recyclable;
+  auto take_zone = [&](SimTime now) -> Result<std::uint32_t> {
+    if (next_fresh_zone < device.num_zones()) {
+      return next_fresh_zone++;
+    }
+    while (!recyclable.empty()) {
+      const std::uint32_t z = recyclable.front();
+      recyclable.pop_front();
+      Result<SimTime> reset = device.ResetZone(z, now);
+      if (!reset.ok()) {
+        continue;  // Worn out; drop it.
+      }
+      return z;
+    }
+    return ErrorCode::kNoFreeBlocks;
+  };
+
+  // Slot-utilization integral.
+  std::uint32_t held_total = 0;
+  std::uint64_t util_integral = 0;  // slot-ns
+  SimTime last_event = 0;
+  const std::uint32_t budget_slots = device.config().max_active_zones;
+  auto advance_clock = [&](SimTime now) {
+    util_integral += static_cast<std::uint64_t>(held_total) * (now - last_event);
+    last_event = now;
+  };
+  auto release_zone = [&](TenantState& tenant, std::uint32_t tenant_id, std::uint32_t zone,
+                          SimTime now) {
+    (void)device.FinishZone(zone, now);
+    budget.Release(tenant_id);
+    held_total--;
+    recyclable.push_back(zone);
+    std::erase(tenant.zones, zone);
+  };
+
+  EventQueue<SimEvent> queue;
+  for (std::uint32_t t = 0; t < num_tenants; ++t) {
+    queue.Push(tenants[t].phase_start, SimEvent{t, kNoZone});
+  }
+
+  while (!queue.empty()) {
+    const auto event = queue.Pop();
+    const SimTime now = event.time;
+    if (now >= duration) {
+      break;
+    }
+    advance_clock(now);
+    const std::uint32_t tenant_id = event.payload.tenant;
+    TenantState& tenant = tenants[tenant_id];
+    const bool on = tenant_on(tenant, now);
+
+    if (event.payload.zone == kNoZone) {
+      // Top-up tick: acquire zones up to the desired burst parallelism and start a write
+      // stream on each newly granted zone.
+      if (!on) {
+        // Relinquish everything (a well-behaved tenant) and sleep until the next burst.
+        for (const std::uint32_t z : std::vector<std::uint32_t>(tenant.zones)) {
+          release_zone(tenant, tenant_id, z, now);
+        }
+        queue.Push(next_on_start(tenant, now), SimEvent{tenant_id, kNoZone});
+        continue;
+      }
+      bool rejected = false;
+      while (tenant.zones.size() < tenant.config.desired_zones) {
+        if (!budget.Acquire(tenant_id).ok()) {
+          tenant.result.acquire_failures++;
+          rejected = true;
+          break;
+        }
+        Result<std::uint32_t> zone = take_zone(now);
+        if (!zone.ok()) {
+          budget.Release(tenant_id);
+          break;
+        }
+        tenant.zones.push_back(zone.value());
+        held_total++;
+        queue.Push(now, SimEvent{tenant_id, zone.value()});
+      }
+      if (rejected && tenant.zones.empty()) {
+        tenant.result.stalled_time += kRetryInterval;
+      }
+      // Keep topping up during the burst (slots may free elsewhere).
+      queue.Push(now + kRetryInterval, SimEvent{tenant_id, kNoZone});
+      continue;
+    }
+
+    // Per-zone write stream.
+    const std::uint32_t zone = event.payload.zone;
+    if (std::find(tenant.zones.begin(), tenant.zones.end(), zone) == tenant.zones.end()) {
+      continue;  // Zone was released by an OFF transition.
+    }
+    if (!on) {
+      release_zone(tenant, tenant_id, zone, now);
+      continue;
+    }
+    const ZoneDescriptor d = device.zone(zone);
+    const std::uint32_t room = static_cast<std::uint32_t>(d.capacity_pages - d.write_pointer);
+    if (room == 0) {
+      release_zone(tenant, tenant_id, zone, now);
+      continue;
+    }
+    const std::uint32_t pages = std::min(kChunkPages, room);
+    Result<SimTime> written = device.Write(zone, d.write_pointer, pages, now);
+    if (!written.ok()) {
+      release_zone(tenant, tenant_id, zone, now);
+      continue;
+    }
+    tenant.result.pages_written += pages;
+    queue.Push(std::max(written.value(), now + 1), SimEvent{tenant_id, zone});
+  }
+
+  MultiTenantResult result;
+  result.duration = duration;
+  result.tenants.reserve(num_tenants);
+  for (TenantState& tenant : tenants) {
+    result.total_pages += tenant.result.pages_written;
+    result.tenants.push_back(tenant.result);
+  }
+  util_integral += static_cast<std::uint64_t>(held_total) * (duration - last_event);
+  result.slot_utilization = budget_slots == 0
+                                ? 0.0
+                                : static_cast<double>(util_integral) /
+                                      (static_cast<double>(budget_slots) *
+                                       static_cast<double>(duration));
+  return result;
+}
+
+}  // namespace blockhead

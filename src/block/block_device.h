@@ -1,0 +1,47 @@
+// The conventional block interface: a flat logical address space of fixed-size blocks that can
+// be read, written, and trimmed in any order. The conventional SSD (src/ftl) implements this
+// natively; the host-side block-on-ZNS layer (src/hostftl) reconstructs it over zones, which is
+// the dm-zoned-style emulation the paper describes in §2.3/§2.5.
+
+#ifndef BLOCKHEAD_SRC_BLOCK_BLOCK_DEVICE_H_
+#define BLOCKHEAD_SRC_BLOCK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Reads `count` logical blocks starting at `lba`. If `out` is nonempty it must hold
+  // count * block_size() bytes. Returns the completion time.
+  virtual Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+                                     std::span<std::uint8_t> out = {}) = 0;
+
+  // Writes `count` logical blocks starting at `lba`. If `data` is nonempty it must hold
+  // count * block_size() bytes. Returns the completion (host acknowledgement) time.
+  virtual Result<SimTime> WriteBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+                                      std::span<const std::uint8_t> data = {}) = 0;
+
+  // Invalidates `count` logical blocks starting at `lba` (TRIM/deallocate).
+  virtual Result<SimTime> TrimBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue) = 0;
+
+  // Logical capacity in blocks.
+  virtual std::uint64_t num_blocks() const = 0;
+
+  // Logical block size in bytes.
+  virtual std::uint32_t block_size() const = 0;
+
+  std::uint64_t capacity_bytes() const {
+    return num_blocks() * static_cast<std::uint64_t>(block_size());
+  }
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_BLOCK_BLOCK_DEVICE_H_

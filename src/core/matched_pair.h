@@ -1,0 +1,73 @@
+// The comparison façade: builds a conventional SSD and a ZNS SSD over *identical* flash
+// (geometry, timing, endurance, seed), so that every experiment isolates the interface — which
+// is the paper's whole argument. Also provides the small table printer the benchmark binaries
+// share.
+
+#ifndef BLOCKHEAD_SRC_CORE_MATCHED_PAIR_H_
+#define BLOCKHEAD_SRC_CORE_MATCHED_PAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ftl/conventional_ssd.h"
+#include "src/zns/zns_device.h"
+
+namespace blockhead {
+
+struct MatchedConfig {
+  FlashConfig flash;  // Shared by both devices.
+  FtlConfig ftl;      // Conventional-side FTL parameters.
+  ZnsConfig zns;      // ZNS-side parameters.
+
+  // A benchmark-scale default: 2 GiB TLC flash, 7% OP conventional, 14 active zones.
+  static MatchedConfig Bench() {
+    MatchedConfig cfg;
+    cfg.flash.geometry = FlashGeometry::Bench();
+    cfg.flash.timing = FlashTiming::Tlc();
+    cfg.flash.store_data = false;
+    return cfg;
+  }
+
+  // A small fast default for tests/examples that store real data.
+  static MatchedConfig Small() {
+    MatchedConfig cfg;
+    cfg.flash.geometry = FlashGeometry::Small();
+    cfg.flash.timing = FlashTiming::FastForTests();
+    return cfg;
+  }
+};
+
+struct MatchedPair {
+  std::unique_ptr<ConventionalSsd> conventional;
+  std::unique_ptr<ZnsDevice> zns;
+};
+
+inline MatchedPair MakeMatchedPair(const MatchedConfig& config) {
+  MatchedPair pair;
+  pair.conventional = std::make_unique<ConventionalSsd>(config.flash, config.ftl);
+  pair.zns = std::make_unique<ZnsDevice>(config.flash, config.zns);
+  return pair;
+}
+
+// Minimal fixed-width table printer for benchmark output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; cells are pre-formatted strings. Must match the header count.
+  void AddRow(std::vector<std::string> cells);
+  // Renders with aligned columns.
+  std::string Render() const;
+
+  static std::string Fmt(double value, int precision = 2);
+  static std::string FmtBytes(std::uint64_t bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_CORE_MATCHED_PAIR_H_

@@ -1,0 +1,85 @@
+#include "src/cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blockhead {
+
+namespace {
+
+double GiB(std::uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(kGiB); }
+
+}  // namespace
+
+DramEstimate ConventionalMappingDram(std::uint64_t usable_bytes, const CostModelConfig& config) {
+  DramEstimate e;
+  const std::uint64_t pages = usable_bytes / config.page_bytes;
+  e.bytes = pages * config.mapping_bytes_per_entry;
+  e.bytes_per_tib = usable_bytes == 0 ? 0.0
+                                      : static_cast<double>(e.bytes) /
+                                            (static_cast<double>(usable_bytes) /
+                                             static_cast<double>(kTiB));
+  return e;
+}
+
+DramEstimate ZnsMappingDram(std::uint64_t usable_bytes, const CostModelConfig& config) {
+  DramEstimate e;
+  const std::uint64_t blocks = usable_bytes / config.erasure_block_bytes;
+  e.bytes = blocks * config.mapping_bytes_per_entry;
+  e.bytes_per_tib = usable_bytes == 0 ? 0.0
+                                      : static_cast<double>(e.bytes) /
+                                            (static_cast<double>(usable_bytes) /
+                                             static_cast<double>(kTiB));
+  return e;
+}
+
+DeviceCost ConventionalDeviceCost(std::uint64_t usable_bytes, double op_fraction,
+                                  const CostModelConfig& config) {
+  DeviceCost cost;
+  cost.usable_bytes = usable_bytes;
+  cost.raw_flash_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(usable_bytes) * (1.0 + op_fraction));
+  cost.flash_usd = GiB(cost.raw_flash_bytes) * config.flash_usd_per_gib;
+  cost.dram_usd = GiB(ConventionalMappingDram(usable_bytes, config).bytes) *
+                  config.device_dram_usd_per_gib;
+  cost.controller_usd = config.controller_usd;
+  return cost;
+}
+
+DeviceCost ZnsDeviceCost(std::uint64_t usable_bytes, const CostModelConfig& config,
+                         double bad_block_reserve_fraction) {
+  DeviceCost cost;
+  cost.usable_bytes = usable_bytes;
+  cost.raw_flash_bytes = static_cast<std::uint64_t>(static_cast<double>(usable_bytes) *
+                                                    (1.0 + bad_block_reserve_fraction));
+  cost.flash_usd = GiB(cost.raw_flash_bytes) * config.flash_usd_per_gib;
+  cost.dram_usd = GiB(ZnsMappingDram(usable_bytes, config).bytes) *
+                  config.device_dram_usd_per_gib;
+  cost.controller_usd = config.controller_usd;
+  return cost;
+}
+
+double ZnsHostDramUsd(std::uint64_t usable_bytes, const CostModelConfig& config) {
+  return GiB(ConventionalMappingDram(usable_bytes, config).bytes) * config.host_dram_usd_per_gib;
+}
+
+LifetimeEstimate EstimateLifetime(std::uint64_t usable_bytes, std::uint32_t endurance_cycles,
+                                  double write_amplification, double host_gb_per_day,
+                                  double target_years) {
+  LifetimeEstimate e;
+  e.total_writable_bytes =
+      static_cast<double>(endurance_cycles) * static_cast<double>(usable_bytes);
+  const double flash_bytes_per_day =
+      host_gb_per_day * 1e9 * std::max(1.0, write_amplification);
+  if (flash_bytes_per_day > 0.0) {
+    e.years = e.total_writable_bytes / flash_bytes_per_day / 365.0;
+  }
+  // DWPD the device supports for `target_years`: host bytes/day such that
+  // host * WA * 365 * years == writable budget, expressed in drive capacities.
+  const double host_budget_per_day =
+      e.total_writable_bytes / (std::max(1.0, write_amplification) * 365.0 * target_years);
+  e.dwpd_supported = host_budget_per_day / static_cast<double>(usable_bytes);
+  return e;
+}
+
+}  // namespace blockhead

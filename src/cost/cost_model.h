@@ -1,0 +1,91 @@
+// Parametric device-cost and DRAM-overhead model for the paper's §2.2 economics claims:
+//
+//   * conventional SSDs need ~4 B of on-board DRAM per 4 KiB page (~1 GB per TB of flash),
+//     ZNS SSDs ~4 B per erasure block (~256 KB per TB with 16 MiB blocks);
+//   * conventional SSDs reserve 7-28% of usable capacity as overprovisioned spare flash;
+//   * flash is the dominant device cost, so OP inflates $/usable-GB;
+//   * footnote 2: small DIMMs cost >2x per GB vs 16-32 GB DIMMs — relevant because ZNS moves
+//     DRAM needs from many small embedded chips to one large host DIMM.
+//
+// Absolute prices are parameters with representative defaults; every reproduced claim is a
+// ratio.
+
+#ifndef BLOCKHEAD_SRC_COST_COST_MODEL_H_
+#define BLOCKHEAD_SRC_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/types.h"
+
+namespace blockhead {
+
+struct CostModelConfig {
+  double flash_usd_per_gib = 0.08;
+  // Embedded device DRAM (many small chips) vs bulk host DIMMs: >2x per GB (paper fn. 2).
+  double device_dram_usd_per_gib = 6.0;
+  double host_dram_usd_per_gib = 2.5;
+  // Fixed controller/PCB cost per device.
+  double controller_usd = 8.0;
+
+  // Mapping-table models (paper §2.2).
+  std::uint32_t mapping_bytes_per_entry = 4;
+  std::uint64_t page_bytes = 4 * kKiB;
+  std::uint64_t erasure_block_bytes = 16 * kMiB;
+};
+
+struct DramEstimate {
+  std::uint64_t bytes = 0;
+  double bytes_per_tib = 0.0;
+};
+
+// On-board DRAM needed for the mapping table of a conventional (page-mapped) SSD.
+DramEstimate ConventionalMappingDram(std::uint64_t usable_bytes, const CostModelConfig& config);
+// On-board DRAM needed for the zone map of a ZNS SSD.
+DramEstimate ZnsMappingDram(std::uint64_t usable_bytes, const CostModelConfig& config);
+
+struct DeviceCost {
+  double flash_usd = 0.0;
+  double dram_usd = 0.0;
+  double controller_usd = 0.0;
+  std::uint64_t usable_bytes = 0;
+  std::uint64_t raw_flash_bytes = 0;
+
+  double total_usd() const { return flash_usd + dram_usd + controller_usd; }
+  double usd_per_usable_gib() const {
+    return usable_bytes == 0
+               ? 0.0
+               : total_usd() / (static_cast<double>(usable_bytes) / static_cast<double>(kGiB));
+  }
+};
+
+// Cost of a conventional SSD exporting `usable_bytes`, with `op_fraction` spare flash (as a
+// fraction of usable capacity) and a page-granular mapping table in on-board DRAM.
+DeviceCost ConventionalDeviceCost(std::uint64_t usable_bytes, double op_fraction,
+                                  const CostModelConfig& config);
+
+// Cost of a ZNS SSD exporting `usable_bytes`: no OP pool beyond a small bad-block reserve, and
+// a zone-granular mapping table.
+DeviceCost ZnsDeviceCost(std::uint64_t usable_bytes, const CostModelConfig& config,
+                         double bad_block_reserve_fraction = 0.02);
+
+// Host DRAM cost a ZNS deployment pays when it rebuilds page-granular state in host memory
+// (e.g. block-interface emulation). Zero when applications use zones natively.
+double ZnsHostDramUsd(std::uint64_t usable_bytes, const CostModelConfig& config);
+
+// --- Endurance / lifetime (§2.1-§2.2: "Write amplification reduces device lifetime by using
+// excess write-and-erase cycles.") ---
+
+struct LifetimeEstimate {
+  double total_writable_bytes = 0.0;  // endurance_cycles * raw capacity.
+  double years = 0.0;                 // At the given host write rate and WA.
+  double dwpd_supported = 0.0;        // Drive-writes-per-day sustainable over `target_years`.
+};
+
+// Lifetime under a host write load of `host_gb_per_day` with the given write amplification.
+LifetimeEstimate EstimateLifetime(std::uint64_t usable_bytes, std::uint32_t endurance_cycles,
+                                  double write_amplification, double host_gb_per_day,
+                                  double target_years = 5.0);
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_COST_COST_MODEL_H_

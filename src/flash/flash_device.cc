@@ -1,0 +1,207 @@
+#include "src/flash/flash_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace blockhead {
+
+FlashDevice::FlashDevice(const FlashConfig& config) : config_(config), rng_(config.seed) {
+  assert(config_.geometry.Validate().ok());
+  blocks_.resize(config_.geometry.total_blocks());
+  plane_busy_.assign(config_.geometry.total_planes(), 0);
+  channel_busy_.assign(config_.geometry.channels, 0);
+}
+
+Status FlashDevice::CheckAddr(const PhysAddr& addr) const {
+  const FlashGeometry& g = config_.geometry;
+  if (addr.channel >= g.channels || addr.plane >= g.planes_per_channel ||
+      addr.block >= g.blocks_per_plane || addr.page >= g.pages_per_block) {
+    return Status(ErrorCode::kOutOfRange, "physical address outside geometry");
+  }
+  return Status::Ok();
+}
+
+FlashDevice::BlockState& FlashDevice::BlockAt(const PhysAddr& addr) {
+  return blocks_[FlatBlockIndex(config_.geometry, addr)];
+}
+
+const FlashDevice::BlockState& FlashDevice::BlockAt(const PhysAddr& addr) const {
+  return blocks_[FlatBlockIndex(config_.geometry, addr)];
+}
+
+Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
+                                      std::span<std::uint8_t> out, OpClass op_class) {
+  BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
+  const BlockState& block = BlockAt(addr);
+  if (block.bad) {
+    return ErrorCode::kBlockBad;
+  }
+
+  const FlashGeometry& g = config_.geometry;
+  SimTime& plane = plane_busy_[PlaneIndex(g, addr.channel, addr.plane)];
+  // Cell array read on the plane.
+  const SimTime read_start = std::max(issue, plane);
+  const SimTime read_done = read_start + config_.timing.page_read;
+  plane = read_done;
+
+  SimTime done = read_done;
+  if (op_class == OpClass::kHost) {
+    // Transfer out over the channel bus.
+    SimTime& chan = channel_busy_[addr.channel];
+    const SimTime xfer_start = std::max(read_done, chan);
+    done = xfer_start + config_.timing.channel_xfer;
+    chan = done;
+    stats_.host_pages_read++;
+    stats_.host_bus_bytes += g.page_size;
+  } else {
+    stats_.internal_pages_read++;
+  }
+
+  if (!out.empty()) {
+    assert(out.size() == g.page_size);
+    if (config_.store_data && !block.data.empty() && addr.page < block.next_page) {
+      const std::uint8_t* src = block.data.data() + static_cast<std::size_t>(addr.page) *
+                                                        g.page_size;
+      std::memcpy(out.data(), src, g.page_size);
+    } else {
+      std::memset(out.data(), 0, g.page_size);
+    }
+  }
+  return done;
+}
+
+Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
+                                         std::span<const std::uint8_t> data, OpClass op_class) {
+  BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
+  BlockState& block = BlockAt(addr);
+  if (block.bad) {
+    return ErrorCode::kBlockBad;
+  }
+  if (addr.page != block.next_page) {
+    if (addr.page < block.next_page) {
+      // Page already programmed since last erase.
+      return ErrorCode::kEraseBeforeProgram;
+    }
+    return ErrorCode::kProgramOrderViolation;
+  }
+
+  const FlashGeometry& g = config_.geometry;
+  SimTime program_can_start = issue;
+  if (op_class == OpClass::kHost) {
+    // Data in over the channel bus, then the plane programs the cells.
+    SimTime& chan = channel_busy_[addr.channel];
+    const SimTime xfer_start = std::max(issue, chan);
+    program_can_start = xfer_start + config_.timing.channel_xfer;
+    chan = program_can_start;
+    stats_.host_pages_programmed++;
+    stats_.host_bus_bytes += g.page_size;
+  } else {
+    stats_.internal_pages_programmed++;
+  }
+
+  SimTime& plane = plane_busy_[PlaneIndex(g, addr.channel, addr.plane)];
+  const SimTime program_start = std::max(program_can_start, plane);
+  const SimTime done = program_start + config_.timing.page_program;
+  plane = done;
+
+  if (config_.store_data) {
+    if (block.data.empty()) {
+      block.data.assign(static_cast<std::size_t>(g.pages_per_block) * g.page_size, 0);
+    }
+    std::uint8_t* dst = block.data.data() + static_cast<std::size_t>(addr.page) * g.page_size;
+    if (!data.empty()) {
+      assert(data.size() <= g.page_size);
+      std::memcpy(dst, data.data(), data.size());
+      if (data.size() < g.page_size) {
+        std::memset(dst + data.size(), 0, g.page_size - data.size());
+      }
+    } else {
+      std::memset(dst, 0, g.page_size);
+    }
+  }
+
+  block.next_page++;
+  return done;
+}
+
+Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t plane,
+                                        std::uint32_t block, SimTime issue) {
+  PhysAddr addr{channel, plane, block, 0};
+  BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
+  BlockState& state = BlockAt(addr);
+  if (state.bad) {
+    return ErrorCode::kBlockBad;
+  }
+
+  SimTime& plane_busy = plane_busy_[PlaneIndex(config_.geometry, channel, plane)];
+  const SimTime start = std::max(issue, plane_busy);
+  const SimTime done = start + config_.timing.block_erase;
+  plane_busy = done;
+
+  state.next_page = 0;
+  state.erase_count++;
+  stats_.blocks_erased++;
+  if (!state.data.empty()) {
+    std::fill(state.data.begin(), state.data.end(), 0);
+  }
+  if (state.erase_count >= config_.timing.endurance_cycles ||
+      (config_.early_failure_prob > 0.0 && rng_.NextBool(config_.early_failure_prob))) {
+    state.bad = true;
+  }
+  return done;
+}
+
+Result<SimTime> FlashDevice::CopyPage(const PhysAddr& src, const PhysAddr& dst, SimTime issue) {
+  // Internal read...
+  std::vector<std::uint8_t> buf;
+  std::span<std::uint8_t> out;
+  if (config_.store_data) {
+    buf.resize(config_.geometry.page_size);
+    out = std::span<std::uint8_t>(buf);
+  }
+  Result<SimTime> read_done = ReadPage(src, issue, out, OpClass::kInternal);
+  if (!read_done.ok()) {
+    return read_done;
+  }
+  // ...then internal program once the data is available.
+  return ProgramPage(dst, read_done.value(), buf, OpClass::kInternal);
+}
+
+SimTime FlashDevice::PlaneBusyUntil(std::uint32_t channel, std::uint32_t plane) const {
+  return plane_busy_[PlaneIndex(config_.geometry, channel, plane)];
+}
+
+BlockStatus FlashDevice::block_status(std::uint32_t channel, std::uint32_t plane,
+                                      std::uint32_t block) const {
+  const PhysAddr addr{channel, plane, block, 0};
+  const BlockState& state = BlockAt(addr);
+  return BlockStatus{state.next_page, state.erase_count, state.bad};
+}
+
+WearSummary FlashDevice::ComputeWear() const {
+  WearSummary w;
+  if (blocks_.empty()) {
+    return w;
+  }
+  w.min_erase_count = ~0U;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const BlockState& b : blocks_) {
+    w.min_erase_count = std::min(w.min_erase_count, b.erase_count);
+    w.max_erase_count = std::max(w.max_erase_count, b.erase_count);
+    sum += b.erase_count;
+    sum_sq += static_cast<double>(b.erase_count) * b.erase_count;
+    if (b.bad) {
+      w.bad_blocks++;
+    }
+  }
+  const double n = static_cast<double>(blocks_.size());
+  w.mean_erase_count = sum / n;
+  const double var = std::max(0.0, sum_sq / n - w.mean_erase_count * w.mean_erase_count);
+  w.stddev_erase_count = std::sqrt(var);
+  return w;
+}
+
+}  // namespace blockhead

@@ -1,0 +1,134 @@
+// Emulated NAND flash device: the common substrate under both the conventional SSD and the ZNS
+// SSD. It enforces the physical constraints the paper's argument rests on:
+//
+//   * pages within an erasure block must be programmed strictly in order;
+//   * a block must be erased before any page in it can be reprogrammed;
+//   * each erase consumes endurance; worn-out blocks go bad;
+//   * planes and channel buses are independently busy resources, so operation latency depends
+//     on contention (this is how garbage collection interferes with foreground I/O).
+//
+// All operations are timestamped: the caller supplies an issue time and receives a completion
+// time. The device never blocks; "waiting" is expressed through returned times.
+
+#ifndef BLOCKHEAD_SRC_FLASH_FLASH_DEVICE_H_
+#define BLOCKHEAD_SRC_FLASH_FLASH_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/flash/geometry.h"
+#include "src/flash/timing.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+
+// Who initiated an operation. Internal ops (device GC, copyback, simple copy) do not cross the
+// host bus; the split lets benchmarks measure host-interface traffic separately (E10).
+enum class OpClass { kHost, kInternal };
+
+struct FlashConfig {
+  FlashGeometry geometry;
+  FlashTiming timing;
+  // If true, page payloads are stored (needed by the filesystem/KV correctness paths). If
+  // false, reads return zeroes; timing and wear are still modeled (cheaper for big benches).
+  bool store_data = true;
+  // Probability that an erase causes early (pre-endurance-limit) block failure.
+  double early_failure_prob = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct FlashStats {
+  std::uint64_t host_pages_read = 0;
+  std::uint64_t host_pages_programmed = 0;
+  std::uint64_t internal_pages_read = 0;
+  std::uint64_t internal_pages_programmed = 0;
+  std::uint64_t blocks_erased = 0;
+  // Bytes that crossed the host interface (host-class reads + programs).
+  std::uint64_t host_bus_bytes = 0;
+
+  std::uint64_t total_pages_programmed() const {
+    return host_pages_programmed + internal_pages_programmed;
+  }
+  std::uint64_t total_pages_read() const { return host_pages_read + internal_pages_read; }
+};
+
+struct WearSummary {
+  std::uint32_t min_erase_count = 0;
+  std::uint32_t max_erase_count = 0;
+  double mean_erase_count = 0.0;
+  double stddev_erase_count = 0.0;
+  std::uint64_t bad_blocks = 0;
+};
+
+// Per-block externally visible state.
+struct BlockStatus {
+  std::uint32_t next_page = 0;  // Program write pointer within the block.
+  std::uint32_t erase_count = 0;
+  bool bad = false;
+};
+
+class FlashDevice {
+ public:
+  explicit FlashDevice(const FlashConfig& config);
+
+  FlashDevice(const FlashDevice&) = delete;
+  FlashDevice& operator=(const FlashDevice&) = delete;
+
+  const FlashGeometry& geometry() const { return config_.geometry; }
+  const FlashTiming& timing() const { return config_.timing; }
+  const FlashStats& stats() const { return stats_; }
+
+  // Reads one page. If `out` is nonempty it must be page_size bytes and receives the payload
+  // (zeroes when store_data is off or the page was never programmed).
+  Result<SimTime> ReadPage(const PhysAddr& addr, SimTime issue, std::span<std::uint8_t> out = {},
+                           OpClass op_class = OpClass::kHost);
+
+  // Programs the next page of a block. addr.page must equal the block's write pointer.
+  Result<SimTime> ProgramPage(const PhysAddr& addr, SimTime issue,
+                              std::span<const std::uint8_t> data = {},
+                              OpClass op_class = OpClass::kHost);
+
+  // Erases a block, recycling it for programming. Consumes one endurance cycle; at the
+  // endurance limit (or on early failure) the block is marked bad and kBlockBad is returned by
+  // subsequent programs.
+  Result<SimTime> EraseBlock(std::uint32_t channel, std::uint32_t plane, std::uint32_t block,
+                             SimTime issue);
+
+  // Device-internal page move (used by conventional-FTL GC and by the ZNS simple-copy
+  // command): reads src and programs dst without touching the host bus.
+  Result<SimTime> CopyPage(const PhysAddr& src, const PhysAddr& dst, SimTime issue);
+
+  // Earliest time at which a new operation on this plane could start.
+  SimTime PlaneBusyUntil(std::uint32_t channel, std::uint32_t plane) const;
+
+  BlockStatus block_status(std::uint32_t channel, std::uint32_t plane,
+                           std::uint32_t block) const;
+
+  WearSummary ComputeWear() const;
+
+ private:
+  struct BlockState {
+    std::uint32_t next_page = 0;
+    std::uint32_t erase_count = 0;
+    bool bad = false;
+    std::vector<std::uint8_t> data;  // Lazily allocated when store_data is on.
+  };
+
+  Status CheckAddr(const PhysAddr& addr) const;
+  BlockState& BlockAt(const PhysAddr& addr);
+  const BlockState& BlockAt(const PhysAddr& addr) const;
+
+  FlashConfig config_;
+  std::vector<BlockState> blocks_;       // Indexed by FlatBlockIndex.
+  std::vector<SimTime> plane_busy_;      // Indexed by PlaneIndex.
+  std::vector<SimTime> channel_busy_;    // Indexed by channel.
+  FlashStats stats_;
+  Rng rng_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLASH_FLASH_DEVICE_H_

@@ -1,0 +1,111 @@
+// NAND flash geometry: the channel / plane / erasure-block / page hierarchy described in the
+// paper's flash primer (§2.1).
+//
+// Planes subsume dies in this model: each plane is an independently schedulable unit of cell
+// array parallelism, and each channel is an independently schedulable transfer bus.
+
+#ifndef BLOCKHEAD_SRC_FLASH_GEOMETRY_H_
+#define BLOCKHEAD_SRC_FLASH_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+
+struct FlashGeometry {
+  std::uint32_t channels = 8;
+  std::uint32_t planes_per_channel = 4;
+  std::uint32_t blocks_per_plane = 256;
+  std::uint32_t pages_per_block = 512;
+  std::uint32_t page_size = 4096;
+
+  std::uint32_t total_planes() const { return channels * planes_per_channel; }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(total_planes()) * blocks_per_plane;
+  }
+  std::uint64_t pages_per_plane() const {
+    return static_cast<std::uint64_t>(blocks_per_plane) * pages_per_block;
+  }
+  std::uint64_t total_pages() const { return total_blocks() * pages_per_block; }
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(pages_per_block) * page_size;
+  }
+  std::uint64_t capacity_bytes() const { return total_pages() * page_size; }
+
+  Status Validate() const {
+    if (channels == 0 || planes_per_channel == 0 || blocks_per_plane == 0 ||
+        pages_per_block == 0 || page_size == 0) {
+      return Status(ErrorCode::kInvalidArgument, "all geometry dimensions must be nonzero");
+    }
+    return Status::Ok();
+  }
+
+  // A small geometry for unit tests: 2 ch x 2 planes x 64 blocks x 32 pages x 4 KiB = 32 MiB.
+  static FlashGeometry Small() {
+    FlashGeometry g;
+    g.channels = 2;
+    g.planes_per_channel = 2;
+    g.blocks_per_plane = 64;
+    g.pages_per_block = 32;
+    g.page_size = 4096;
+    return g;
+  }
+
+  // A mid-size geometry for benchmarks: 8 ch x 4 planes x 128 blocks x 128 pages x 4 KiB = 2 GiB.
+  static FlashGeometry Bench() {
+    FlashGeometry g;
+    g.channels = 8;
+    g.planes_per_channel = 4;
+    g.blocks_per_plane = 128;
+    g.pages_per_block = 128;
+    g.page_size = 4096;
+    return g;
+  }
+};
+
+// Physical page address within the hierarchy.
+struct PhysAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t plane = 0;
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+
+  friend bool operator==(const PhysAddr& a, const PhysAddr& b) {
+    return a.channel == b.channel && a.plane == b.plane && a.block == b.block && a.page == b.page;
+  }
+};
+
+// Flat indices used by the FTLs for dense tables.
+inline std::uint32_t PlaneIndex(const FlashGeometry& g, std::uint32_t channel,
+                                std::uint32_t plane) {
+  return channel * g.planes_per_channel + plane;
+}
+
+// Flat block index across the whole device: plane-major, then block.
+inline std::uint64_t FlatBlockIndex(const FlashGeometry& g, const PhysAddr& a) {
+  return static_cast<std::uint64_t>(PlaneIndex(g, a.channel, a.plane)) * g.blocks_per_plane +
+         a.block;
+}
+
+// Flat physical page index across the whole device.
+inline std::uint64_t FlatPageIndex(const FlashGeometry& g, const PhysAddr& a) {
+  return FlatBlockIndex(g, a) * g.pages_per_block + a.page;
+}
+
+// Inverse of FlatPageIndex.
+inline PhysAddr AddrFromFlatPage(const FlashGeometry& g, std::uint64_t flat) {
+  PhysAddr a;
+  a.page = static_cast<std::uint32_t>(flat % g.pages_per_block);
+  const std::uint64_t block_flat = flat / g.pages_per_block;
+  a.block = static_cast<std::uint32_t>(block_flat % g.blocks_per_plane);
+  const std::uint64_t plane_flat = block_flat / g.blocks_per_plane;
+  a.plane = static_cast<std::uint32_t>(plane_flat % g.planes_per_channel);
+  a.channel = static_cast<std::uint32_t>(plane_flat / g.planes_per_channel);
+  return a;
+}
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLASH_GEOMETRY_H_

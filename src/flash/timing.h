@@ -1,0 +1,86 @@
+// Flash operation timing and endurance models.
+//
+// The paper's primer (§2.1) notes that erasing takes several times longer than programming
+// (~6x for TLC) and that endurance shrinks as more bits are stored per cell; the presets here
+// encode those relationships. Absolute values are representative datasheet-order numbers — the
+// reproduction targets ratios and shapes, not silicon-exact latencies.
+
+#ifndef BLOCKHEAD_SRC_FLASH_TIMING_H_
+#define BLOCKHEAD_SRC_FLASH_TIMING_H_
+
+#include <cstdint>
+
+#include "src/util/types.h"
+
+namespace blockhead {
+
+enum class CellType { kSlc, kMlc, kTlc, kQlc };
+
+struct FlashTiming {
+  SimTime page_read = 60 * kMicrosecond;
+  SimTime page_program = 660 * kMicrosecond;
+  SimTime block_erase = 4000 * kMicrosecond;  // ~6x program (TLC).
+  // Time to move one page across the channel bus (ONFI-class ~1.2 GB/s -> ~3.4 us per 4 KiB).
+  SimTime channel_xfer = 3400 * kNanosecond;
+  // Program/erase cycles before a block wears out.
+  std::uint32_t endurance_cycles = 3000;
+
+  static FlashTiming Slc() {
+    FlashTiming t;
+    t.page_read = 25 * kMicrosecond;
+    t.page_program = 200 * kMicrosecond;
+    t.block_erase = 1500 * kMicrosecond;
+    t.endurance_cycles = 100000;
+    return t;
+  }
+
+  static FlashTiming Mlc() {
+    FlashTiming t;
+    t.page_read = 50 * kMicrosecond;
+    t.page_program = 450 * kMicrosecond;
+    t.block_erase = 3000 * kMicrosecond;
+    t.endurance_cycles = 10000;
+    return t;
+  }
+
+  static FlashTiming Tlc() { return FlashTiming{}; }
+
+  static FlashTiming Qlc() {
+    FlashTiming t;
+    t.page_read = 90 * kMicrosecond;
+    t.page_program = 2000 * kMicrosecond;
+    t.block_erase = 14000 * kMicrosecond;
+    t.endurance_cycles = 1000;
+    return t;
+  }
+
+  static FlashTiming ForCell(CellType cell) {
+    switch (cell) {
+      case CellType::kSlc:
+        return Slc();
+      case CellType::kMlc:
+        return Mlc();
+      case CellType::kTlc:
+        return Tlc();
+      case CellType::kQlc:
+        return Qlc();
+    }
+    return Tlc();
+  }
+
+  // A fast preset for unit tests where absolute latencies are irrelevant: keeps the erase ~6x
+  // program ratio but shrinks everything so multi-fill tests stay cheap.
+  static FlashTiming FastForTests() {
+    FlashTiming t;
+    t.page_read = 10;
+    t.page_program = 100;
+    t.block_erase = 600;
+    t.channel_xfer = 1;
+    t.endurance_cycles = 1000000;  // Endurance exhaustion is opt-in in tests.
+    return t;
+  }
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLASH_TIMING_H_

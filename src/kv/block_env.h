@@ -1,0 +1,95 @@
+// A minimal extent-allocating filesystem over the block interface, used as the conventional-
+// SSD backend for the KV store.
+//
+// Files are lists of extents carved from a page-granular free bitmap with first-fit
+// allocation. As files of different sizes are created and deleted, the free space fragments,
+// so large SSTable writes scatter across the LBA space — and the conventional SSD's FTL, which
+// cannot know which pages will die together, pays for it in garbage-collection write
+// amplification. Deletions issue TRIM so the device learns about dead pages (being generous to
+// the conventional baseline).
+//
+// Metadata is kept in memory only: the block path exists to measure data-path behaviour, and
+// the paper's claims under reproduction here concern write amplification and latency, not
+// block-filesystem crash consistency (zonefile demonstrates that part of the stack).
+
+#ifndef BLOCKHEAD_SRC_KV_BLOCK_ENV_H_
+#define BLOCKHEAD_SRC_KV_BLOCK_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/block/block_device.h"
+#include "src/kv/env.h"
+#include "src/util/bitmap.h"
+
+namespace blockhead {
+
+struct BlockEnvConfig {
+  // Largest contiguous run requested per allocation. Smaller values fragment files more
+  // aggressively (stress knob for the FTL).
+  std::uint32_t max_extent_pages = 64;
+  // Filesystem metadata model: block filesystems overwrite inode tables, allocation bitmaps,
+  // and journal blocks in place. These hot, small overwrites share erasure blocks with cold
+  // file data inside the device — the FTL cannot separate them (the paper's §4.1 information
+  // barrier) — and they are a primary source of conventional-SSD write amplification.
+  // LBAs [0, metadata_region_pages) are reserved for this traffic; 0 disables the model.
+  std::uint32_t metadata_region_pages = 1024;
+  // Metadata pages overwritten per namespace operation (create/delete/sync).
+  std::uint32_t metadata_writes_per_op = 2;
+  // One allocation-bitmap update per this many data pages written.
+  std::uint32_t data_pages_per_metadata_update = 16;
+};
+
+class BlockEnv final : public Env {
+ public:
+  // `device` must outlive the env.
+  explicit BlockEnv(BlockDevice* device, const BlockEnvConfig& config = {});
+
+  Result<SimTime> CreateFile(std::string_view name, Lifetime hint, SimTime now) override;
+  Result<SimTime> Append(std::string_view name, std::span<const std::uint8_t> data,
+                         SimTime now) override;
+  Result<SimTime> Read(std::string_view name, std::uint64_t offset,
+                       std::span<std::uint8_t> out, SimTime now) override;
+  Result<SimTime> Sync(std::string_view name, SimTime now) override;
+  Result<SimTime> DeleteFile(std::string_view name, SimTime now) override;
+  Result<std::uint64_t> FileSize(std::string_view name) const override;
+  bool Exists(std::string_view name) const override;
+  std::vector<std::string> ListFiles() const override;
+
+  std::uint64_t FreePages() const { return free_map_.size() - free_map_.set_count(); }
+
+ private:
+  struct Extent {
+    std::uint64_t lba = 0;
+    std::uint32_t pages = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct FileMeta {
+    Lifetime hint = Lifetime::kNone;  // Recorded but unused: the block interface drops it.
+    std::uint64_t size = 0;
+    std::vector<Extent> extents;
+    std::vector<std::uint8_t> tail;
+  };
+
+  FileMeta* Find(std::string_view name);
+  const FileMeta* Find(std::string_view name) const;
+  // Allocates up to `want` contiguous pages (first fit); returns the run or kDeviceFull.
+  Result<Extent> AllocateRun(std::uint32_t want);
+  Result<SimTime> FlushTailPage(FileMeta& file, SimTime now, bool pad);
+  // In-place metadata overwrites (inode/bitmap/journal model).
+  Result<SimTime> MetadataUpdate(std::uint32_t pages, SimTime now);
+
+  BlockDevice* device_;
+  BlockEnvConfig config_;
+  std::uint32_t page_size_;
+  Bitmap free_map_;  // Set bit = page in use.
+  std::size_t alloc_cursor_ = 0;
+  std::uint64_t metadata_cursor_ = 0;  // Pseudo-random walk over the metadata region.
+  std::uint32_t data_pages_since_metadata_ = 0;
+  std::map<std::string, FileMeta, std::less<>> files_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_KV_BLOCK_ENV_H_

@@ -1,0 +1,395 @@
+#include "src/kv/sstable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace blockhead {
+
+namespace {
+
+constexpr std::uint64_t kTableMagic = 0x31424154534E5A42ULL;  // "BZNSTAB1"
+constexpr std::size_t kFooterBytes = 48;
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+// FNV-1a 64-bit.
+std::uint64_t HashKey(std::string_view key, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// --- BloomFilter ---
+
+BloomFilter BloomFilter::Build(const std::vector<std::string>& keys,
+                               std::uint32_t bits_per_key) {
+  BloomFilter f;
+  if (keys.empty() || bits_per_key == 0) {
+    return f;
+  }
+  f.bit_count_ = static_cast<std::uint32_t>(std::max<std::size_t>(64, keys.size() * bits_per_key));
+  // k = bits_per_key * ln2, clamped.
+  f.k_ = std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(static_cast<double>(bits_per_key) * 0.69), 1, 16);
+  f.bits_.assign((f.bit_count_ + 7) / 8, 0);
+  for (const std::string& key : keys) {
+    const std::uint64_t h1 = HashKey(key, 0);
+    const std::uint64_t h2 = HashKey(key, 0x9E3779B97F4A7C15ULL) | 1;
+    for (std::uint32_t i = 0; i < f.k_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % f.bit_count_;
+      f.bits_[bit / 8] |= static_cast<std::uint8_t>(1U << (bit % 8));
+    }
+  }
+  return f;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (bit_count_ == 0) {
+    return true;  // No filter -> cannot exclude.
+  }
+  const std::uint64_t h1 = HashKey(key, 0);
+  const std::uint64_t h2 = HashKey(key, 0x9E3779B97F4A7C15ULL) | 1;
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if (!(bits_[bit / 8] & (1U << (bit % 8)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> BloomFilter::Serialize() const {
+  std::vector<std::uint8_t> out;
+  PutU32(out, bit_count_);
+  PutU32(out, k_);
+  out.insert(out.end(), bits_.begin(), bits_.end());
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    return Status(ErrorCode::kCorruption, "bloom too short");
+  }
+  BloomFilter f;
+  f.bit_count_ = GetU32(bytes.data());
+  f.k_ = GetU32(bytes.data() + 4);
+  const std::size_t expect = (f.bit_count_ + 7) / 8;
+  if (bytes.size() != 8 + expect) {
+    return Status(ErrorCode::kCorruption, "bloom size mismatch");
+  }
+  f.bits_.assign(bytes.begin() + 8, bytes.end());
+  return f;
+}
+
+// --- SSTableBuilder ---
+
+SSTableBuilder::SSTableBuilder(Env* env, std::string name, const SSTableBuilderOptions& options)
+    : env_(env), name_(std::move(name)), options_(options) {}
+
+Status SSTableBuilder::Start(SimTime now) {
+  Result<SimTime> created = env_->CreateFile(name_, options_.hint, now);
+  if (!created.ok()) {
+    return created.status();
+  }
+  last_write_ = created.value();
+  started_ = true;
+  return Status::Ok();
+}
+
+Status SSTableBuilder::FlushBlock(SimTime now) {
+  if (block_.empty()) {
+    return Status::Ok();
+  }
+  // Self-chain on the previous block's completion: table writes are a single QD-1 stream
+  // (like a rate-limited compaction), not a burst booked at one instant — so foreground reads
+  // can interleave on the device.
+  Result<SimTime> appended = env_->Append(name_, block_, std::max(now, last_write_));
+  if (!appended.ok()) {
+    return appended.status();
+  }
+  last_write_ = std::max(last_write_, appended.value());
+  index_.push_back(IndexEntry{offset_, static_cast<std::uint32_t>(block_.size()),
+                              block_last_key_});
+  offset_ += block_.size();
+  block_.clear();
+  return Status::Ok();
+}
+
+Status SSTableBuilder::Add(std::string_view key, KvEntryType type, std::string_view value,
+                           SimTime now) {
+  assert(started_);
+  assert(entry_count_ == 0 || key > largest_);
+  if (entry_count_ == 0) {
+    smallest_ = std::string(key);
+  }
+  largest_ = std::string(key);
+  PutU16(block_, static_cast<std::uint16_t>(key.size()));
+  block_.insert(block_.end(), key.begin(), key.end());
+  block_.push_back(static_cast<std::uint8_t>(type));
+  PutU32(block_, static_cast<std::uint32_t>(value.size()));
+  block_.insert(block_.end(), value.begin(), value.end());
+  block_last_key_ = std::string(key);
+  keys_.emplace_back(key);
+  entry_count_++;
+  if (block_.size() >= options_.block_bytes) {
+    return FlushBlock(now);
+  }
+  return Status::Ok();
+}
+
+Result<SimTime> SSTableBuilder::Finish(SimTime now) {
+  assert(started_);
+  BLOCKHEAD_RETURN_IF_ERROR(FlushBlock(now));
+
+  std::vector<std::uint8_t> tail;
+  const std::uint64_t index_off = offset_;
+  for (const IndexEntry& e : index_) {
+    PutU64(tail, e.offset);
+    PutU32(tail, e.size);
+    PutU16(tail, static_cast<std::uint16_t>(e.last_key.size()));
+    tail.insert(tail.end(), e.last_key.begin(), e.last_key.end());
+  }
+  const std::uint64_t index_len = tail.size();
+
+  const BloomFilter bloom = BloomFilter::Build(keys_, options_.bloom_bits_per_key);
+  const std::vector<std::uint8_t> bloom_bytes = bloom.Serialize();
+  const std::uint64_t bloom_off = index_off + index_len;
+  tail.insert(tail.end(), bloom_bytes.begin(), bloom_bytes.end());
+
+  PutU64(tail, index_off);
+  PutU64(tail, index_len);
+  PutU64(tail, bloom_off);
+  PutU64(tail, bloom_bytes.size());
+  PutU64(tail, entry_count_);
+  PutU64(tail, kTableMagic);
+
+  Result<SimTime> appended = env_->Append(name_, tail, std::max(now, last_write_));
+  if (!appended.ok()) {
+    return appended;
+  }
+  offset_ += tail.size();
+  Result<SimTime> synced = env_->Sync(name_, appended.value());
+  if (!synced.ok()) {
+    return synced;
+  }
+  last_write_ = std::max(last_write_, synced.value());
+  return last_write_;
+}
+
+// --- SSTableReader ---
+
+Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(Env* env, std::string name,
+                                                           SimTime now) {
+  Result<std::uint64_t> size = env->FileSize(name);
+  if (!size.ok()) {
+    return size.status();
+  }
+  if (size.value() < kFooterBytes) {
+    return Status(ErrorCode::kCorruption, "table smaller than footer");
+  }
+  std::vector<std::uint8_t> footer(kFooterBytes);
+  Result<SimTime> r = env->Read(name, size.value() - kFooterBytes, footer, now);
+  if (!r.ok()) {
+    return r.status();
+  }
+  const std::uint64_t index_off = GetU64(footer.data());
+  const std::uint64_t index_len = GetU64(footer.data() + 8);
+  const std::uint64_t bloom_off = GetU64(footer.data() + 16);
+  const std::uint64_t bloom_len = GetU64(footer.data() + 24);
+  const std::uint64_t entry_count = GetU64(footer.data() + 32);
+  const std::uint64_t magic = GetU64(footer.data() + 40);
+  if (magic != kTableMagic || index_off + index_len > size.value()) {
+    return Status(ErrorCode::kCorruption, "bad table footer");
+  }
+
+  auto reader = std::unique_ptr<SSTableReader>(new SSTableReader(env, std::move(name)));
+  reader->entry_count_ = entry_count;
+
+  std::vector<std::uint8_t> index_bytes(index_len);
+  if (index_len > 0) {
+    r = env->Read(reader->name_, index_off, index_bytes, now);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  std::size_t pos = 0;
+  while (pos + 14 <= index_bytes.size()) {
+    IndexEntry e;
+    e.offset = GetU64(index_bytes.data() + pos);
+    e.size = GetU32(index_bytes.data() + pos + 8);
+    const std::uint16_t klen = GetU16(index_bytes.data() + pos + 12);
+    pos += 14;
+    if (pos + klen > index_bytes.size()) {
+      return Status(ErrorCode::kCorruption, "truncated index entry");
+    }
+    e.last_key.assign(reinterpret_cast<const char*>(index_bytes.data() + pos), klen);
+    pos += klen;
+    reader->index_.push_back(std::move(e));
+  }
+
+  std::vector<std::uint8_t> bloom_bytes(bloom_len);
+  if (bloom_len > 0) {
+    r = env->Read(reader->name_, bloom_off, bloom_bytes, now);
+    if (!r.ok()) {
+      return r.status();
+    }
+    Result<BloomFilter> bloom = BloomFilter::Deserialize(bloom_bytes);
+    if (!bloom.ok()) {
+      return bloom.status();
+    }
+    reader->bloom_ = std::move(bloom).value();
+  }
+  return reader;
+}
+
+Status SSTableReader::ParseBlock(std::span<const std::uint8_t> block,
+                                 std::vector<KvEntry>* entries) {
+  std::size_t pos = 0;
+  while (pos + 7 <= block.size()) {
+    const std::uint16_t klen = GetU16(block.data() + pos);
+    pos += 2;
+    if (pos + klen + 5 > block.size()) {
+      return Status(ErrorCode::kCorruption, "truncated entry key");
+    }
+    KvEntry entry;
+    entry.key.assign(reinterpret_cast<const char*>(block.data() + pos), klen);
+    pos += klen;
+    entry.type = static_cast<KvEntryType>(block[pos]);
+    pos += 1;
+    const std::uint32_t vlen = GetU32(block.data() + pos);
+    pos += 4;
+    if (pos + vlen > block.size()) {
+      return Status(ErrorCode::kCorruption, "truncated entry value");
+    }
+    entry.value.assign(reinterpret_cast<const char*>(block.data() + pos), vlen);
+    pos += vlen;
+    entries->push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+Result<SSTableReader::GetResult> SSTableReader::Get(std::string_view key, SimTime now) const {
+  GetResult result;
+  result.completion = now;
+  if (!bloom_.MayContain(key)) {
+    result.bloom_skipped = true;
+    return result;
+  }
+  // First block whose last_key >= key.
+  auto it = std::lower_bound(index_.begin(), index_.end(), key,
+                             [](const IndexEntry& e, std::string_view k) {
+                               return std::string_view(e.last_key) < k;
+                             });
+  if (it == index_.end()) {
+    return result;
+  }
+  std::vector<std::uint8_t> block(it->size);
+  Result<SimTime> r = env_->Read(name_, it->offset, block, now);
+  if (!r.ok()) {
+    return r.status();
+  }
+  result.completion = r.value();
+  std::vector<KvEntry> entries;
+  BLOCKHEAD_RETURN_IF_ERROR(ParseBlock(block, &entries));
+  for (const KvEntry& e : entries) {
+    if (e.key == key) {
+      result.found = true;
+      result.type = e.type;
+      result.value = e.value;
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<std::vector<KvEntry>> SSTableReader::ScanFrom(std::string_view start_key,
+                                                     std::size_t limit, SimTime now,
+                                                     SimTime* completion) const {
+  std::vector<KvEntry> out;
+  SimTime done = now;
+  // First block whose last_key >= start_key; every later block may also contain matches.
+  auto it = std::lower_bound(index_.begin(), index_.end(), start_key,
+                             [](const IndexEntry& e, std::string_view k) {
+                               return std::string_view(e.last_key) < k;
+                             });
+  for (; it != index_.end() && out.size() < limit; ++it) {
+    std::vector<std::uint8_t> block(it->size);
+    Result<SimTime> r = env_->Read(name_, it->offset, block, now);
+    if (!r.ok()) {
+      return r.status();
+    }
+    done = std::max(done, r.value());
+    std::vector<KvEntry> entries;
+    BLOCKHEAD_RETURN_IF_ERROR(ParseBlock(block, &entries));
+    for (KvEntry& entry : entries) {
+      if (entry.key >= start_key) {
+        out.push_back(std::move(entry));
+        if (out.size() >= limit) {
+          break;
+        }
+      }
+    }
+  }
+  if (completion != nullptr) {
+    *completion = done;
+  }
+  return out;
+}
+
+Result<std::vector<KvEntry>> SSTableReader::ReadAll(SimTime now, SimTime* completion) const {
+  std::vector<KvEntry> all;
+  all.reserve(entry_count_);
+  SimTime done = now;
+  for (const IndexEntry& e : index_) {
+    std::vector<std::uint8_t> block(e.size);
+    Result<SimTime> r = env_->Read(name_, e.offset, block, now);
+    if (!r.ok()) {
+      return r.status();
+    }
+    done = std::max(done, r.value());
+    BLOCKHEAD_RETURN_IF_ERROR(ParseBlock(block, &all));
+  }
+  if (completion != nullptr) {
+    *completion = done;
+  }
+  return all;
+}
+
+}  // namespace blockhead

@@ -1,0 +1,79 @@
+// A persistent FIFO queue over ZNS zones — the §4.2 workload the paper calls out as ZNS's
+// known weak spot: "multi-writer workloads where writes are concentrated in a single zone,
+// such as persistent queues and append-only data structures", fixed by the zone-append
+// command.
+//
+// Zones form a ring: producers append fixed-size records to the tail zone (via zone append,
+// or via write-pointer writes in the strict mode the paper's contention story is about); the
+// consumer reads from the head and resets fully-consumed zones back into the ring.
+
+#ifndef BLOCKHEAD_SRC_QUEUE_PERSISTENT_QUEUE_H_
+#define BLOCKHEAD_SRC_QUEUE_PERSISTENT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "src/util/status.h"
+#include "src/util/types.h"
+#include "src/zns/zns_device.h"
+
+namespace blockhead {
+
+struct QueueConfig {
+  // Enqueue with zone append (device-serialized, multi-producer friendly) or with
+  // write-pointer writes (host-serialized).
+  bool use_append = true;
+  // Record size in pages.
+  std::uint32_t record_pages = 1;
+};
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t zones_recycled = 0;
+};
+
+class PersistentQueue {
+ public:
+  // Takes over the whole device. `device` must outlive the queue.
+  PersistentQueue(ZnsDevice* device, const QueueConfig& config);
+
+  // Appends one record; `payload` (optional) must be record_pages * page_size bytes.
+  // Fails with kDeviceFull when the ring has no writable space left.
+  Result<SimTime> Enqueue(std::span<const std::uint8_t> payload, SimTime now);
+
+  struct DequeueResult {
+    SimTime completion = 0;
+    std::uint64_t record_lba = 0;  // Device LBA the record was read from.
+  };
+  // Removes and reads the oldest record; fails with kNotFound when empty. `out` (optional)
+  // must be record_pages * page_size bytes.
+  Result<DequeueResult> Dequeue(std::span<std::uint8_t> out, SimTime now);
+
+  std::uint64_t Depth() const { return stats_.enqueued - stats_.dequeued; }
+  const QueueStats& stats() const { return stats_; }
+  // Records that still fit before the ring is full.
+  std::uint64_t FreeRecordSlots() const;
+
+ private:
+  static constexpr std::uint32_t kNoZone = ~0U;
+
+  // Ensures tail_zone_ can absorb one record; rotates to the next free zone when full.
+  Status EnsureTailZone(SimTime now);
+
+  ZnsDevice* device_;
+  QueueConfig config_;
+  std::uint64_t records_per_zone_ = 0;
+
+  std::deque<std::uint32_t> free_zones_;  // Empty zones available for the tail.
+  std::deque<std::uint32_t> live_zones_;  // Zones holding records, oldest first (head first).
+  std::uint32_t tail_zone_ = kNoZone;
+  std::uint64_t head_record_ = 0;  // Consumed records within live_zones_.front().
+
+  QueueStats stats_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_QUEUE_PERSISTENT_QUEUE_H_

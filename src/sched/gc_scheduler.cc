@@ -1,0 +1,41 @@
+#include "src/sched/gc_scheduler.h"
+
+namespace blockhead {
+
+const char* GcSchedPolicyName(GcSchedPolicy policy) {
+  switch (policy) {
+    case GcSchedPolicy::kInline:
+      return "inline";
+    case GcSchedPolicy::kBackground:
+      return "background";
+    case GcSchedPolicy::kReadPriority:
+      return "read-priority";
+    case GcSchedPolicy::kRateLimited:
+      return "rate-limited";
+  }
+  return "unknown";
+}
+
+bool GcScheduler::ShouldRun(double free_fraction, bool reads_pending, SimTime now) const {
+  // Space-critical reclamation is mandatory under every policy: running out of free zones
+  // would halt writes entirely.
+  if (Critical(free_fraction)) {
+    return true;
+  }
+  if (free_fraction > config_.low_free_fraction) {
+    return false;  // Plenty of space: never reclaim early.
+  }
+  switch (config_.policy) {
+    case GcSchedPolicy::kInline:
+      return false;  // Only critical reclamation, handled above.
+    case GcSchedPolicy::kBackground:
+      return true;
+    case GcSchedPolicy::kReadPriority:
+      return !reads_pending;
+    case GcSchedPolicy::kRateLimited:
+      return !has_run_ || now >= last_run_ + config_.min_gc_interval;
+  }
+  return false;
+}
+
+}  // namespace blockhead

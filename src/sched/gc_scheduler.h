@@ -1,0 +1,72 @@
+// Host-side garbage-collection scheduling policies (§4.1 of the paper: "the host is in full
+// control and can precisely schedule zone erasures and maintenance operations").
+//
+// On a conventional SSD the device decides when GC runs and the host cannot influence it. On a
+// ZNS SSD space reclamation is host software, so *policy* becomes a tunable: run GC inline with
+// writes, only in background/idle gaps, deferred whenever reads are pending, or rate-limited.
+// bench_sched_policies (E11) sweeps these policies and measures read tail latency.
+
+#ifndef BLOCKHEAD_SRC_SCHED_GC_SCHEDULER_H_
+#define BLOCKHEAD_SRC_SCHED_GC_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "src/util/types.h"
+
+namespace blockhead {
+
+enum class GcSchedPolicy {
+  // Reclaim only when space is critically low, synchronously with the triggering write.
+  kInline,
+  // Opportunistically reclaim during idle ticks once below the high watermark.
+  kBackground,
+  // Like kBackground, but never run maintenance while foreground reads are pending (unless
+  // space is critical). Trades write headroom for read tail latency.
+  kReadPriority,
+  // Like kBackground, but at most one GC cycle per min_gc_interval (smooths erase bursts).
+  kRateLimited,
+};
+
+const char* GcSchedPolicyName(GcSchedPolicy policy);
+
+struct GcSchedulerConfig {
+  GcSchedPolicy policy = GcSchedPolicy::kBackground;
+  // Free-space fraction below which reclamation is mandatory (runs regardless of policy).
+  double critical_free_fraction = 0.04;
+  // Free-space fraction below which opportunistic reclamation starts.
+  double low_free_fraction = 0.20;
+  // Minimum spacing between GC cycles for kRateLimited.
+  SimTime min_gc_interval = 2 * kMillisecond;
+};
+
+// Pure decision logic: the storage layer reports its free fraction and whether foreground I/O
+// is pending; the scheduler says whether a GC cycle may run now.
+class GcScheduler {
+ public:
+  explicit GcScheduler(const GcSchedulerConfig& config) : config_(config) {}
+
+  const GcSchedulerConfig& config() const { return config_; }
+
+  // True if a reclamation cycle should run at `now`.
+  bool ShouldRun(double free_fraction, bool reads_pending, SimTime now) const;
+
+  // Record that a cycle ran (feeds the rate limiter).
+  void NoteRun(SimTime now) {
+    last_run_ = now;
+    has_run_ = true;
+  }
+
+  // True when free space is below the mandatory threshold.
+  bool Critical(double free_fraction) const {
+    return free_fraction <= config_.critical_free_fraction;
+  }
+
+ private:
+  GcSchedulerConfig config_;
+  SimTime last_run_ = 0;
+  bool has_run_ = false;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_SCHED_GC_SCHEDULER_H_

@@ -1,0 +1,111 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace blockhead {
+
+Histogram::Histogram() = default;
+
+int Histogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  // value >= kSubBuckets: exponent e >= kSubBucketBits.
+  const int e = 63 - std::countl_zero(value);
+  const int shift = e - kSubBucketBits;
+  const int sub = static_cast<int>((value >> shift) - kSubBuckets);  // in [0, kSubBuckets)
+  return kSubBuckets + shift * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const int rest = index - kSubBuckets;
+  const int shift = rest / kSubBuckets;
+  const int sub = rest % kSubBuckets;
+  return ((static_cast<std::uint64_t>(kSubBuckets + sub + 1)) << shift) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const int index = BucketIndex(value);
+  if (static_cast<std::size_t>(index) >= buckets_.size()) {
+    buckets_.resize(static_cast<std::size_t>(index) + 1, 0);
+  }
+  buckets_[static_cast<std::size_t>(index)] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(double unit, const std::string& unit_name) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%s p50=%.1f%s p90=%.1f%s p99=%.1f%s p99.9=%.1f%s max=%.1f%s",
+                static_cast<unsigned long long>(count_), Mean() / unit, unit_name.c_str(),
+                static_cast<double>(Percentile(0.50)) / unit, unit_name.c_str(),
+                static_cast<double>(Percentile(0.90)) / unit, unit_name.c_str(),
+                static_cast<double>(Percentile(0.99)) / unit, unit_name.c_str(),
+                static_cast<double>(Percentile(0.999)) / unit, unit_name.c_str(),
+                static_cast<double>(max()) / unit, unit_name.c_str());
+  return std::string(buf);
+}
+
+}  // namespace blockhead

@@ -1,0 +1,59 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Buckets grow geometrically (HdrHistogram-style: linear sub-buckets within power-of-two
+// ranges), giving ~3% relative error across nanoseconds-to-seconds with a small fixed
+// footprint. Used by every benchmark to report p50/p90/p99/p99.9/p99.99 latencies.
+
+#ifndef BLOCKHEAD_SRC_UTIL_HISTOGRAM_H_
+#define BLOCKHEAD_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blockhead {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Records one sample (e.g. a latency in nanoseconds).
+  void Record(std::uint64_t value);
+  // Records `count` identical samples.
+  void RecordMany(std::uint64_t value, std::uint64_t count);
+
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Value at quantile q in [0, 1]. Returns 0 for an empty histogram. The returned value is the
+  // representative (upper bound) of the bucket containing the q-th sample.
+  std::uint64_t Percentile(double q) const;
+
+  // One-line summary: count, mean, p50, p90, p99, p99.9, max — values rendered with `unit`
+  // divisor (e.g. 1000 for microseconds) and `unit_name`.
+  std::string Summary(double unit, const std::string& unit_name) const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+// Core scalar types shared by every blockhead module.
+//
+// All simulation timing in blockhead is *model time*: a deterministic, monotonically
+// nondecreasing nanosecond counter advanced by the device models. Nothing in the library reads
+// the wall clock, which keeps every benchmark and test bit-reproducible.
+
+#ifndef BLOCKHEAD_SRC_UTIL_TYPES_H_
+#define BLOCKHEAD_SRC_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace blockhead {
+
+// Simulated time in nanoseconds since device power-on.
+using SimTime = std::uint64_t;
+
+// Convenience duration constants (also SimTime, i.e. nanoseconds).
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Byte-size constants.
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+inline constexpr std::uint64_t kTiB = 1024 * kGiB;
+
+// Converts a byte count and a duration into MiB/s. Returns 0 for a zero duration.
+inline double ToMiBPerSec(std::uint64_t bytes, SimTime elapsed) {
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(bytes) / static_cast<double>(kMiB)) /
+         (static_cast<double>(elapsed) / static_cast<double>(kSecond));
+}
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_UTIL_TYPES_H_

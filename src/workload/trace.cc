@@ -1,0 +1,111 @@
+#include "src/workload/trace.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+namespace blockhead {
+
+namespace {
+
+// Parses one "<R|W|T>,<lba>,<pages>" line.
+Result<IoRequest> ParseLine(std::string_view line, std::size_t line_number) {
+  auto fail = [line_number](const char* what) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "trace line " + std::to_string(line_number) + ": " + what);
+  };
+  if (line.size() < 5 || line[1] != ',') {
+    return fail("expected '<R|W|T>,<lba>,<pages>'");
+  }
+  IoRequest req;
+  switch (line[0]) {
+    case 'R':
+    case 'r':
+      req.type = IoType::kRead;
+      break;
+    case 'W':
+    case 'w':
+      req.type = IoType::kWrite;
+      break;
+    case 'T':
+    case 't':
+      req.type = IoType::kTrim;
+      break;
+    default:
+      return fail("unknown op (want R, W, or T)");
+  }
+  const std::size_t comma = line.find(',', 2);
+  if (comma == std::string_view::npos) {
+    return fail("missing pages field");
+  }
+  const std::string_view lba_str = line.substr(2, comma - 2);
+  const std::string_view pages_str = line.substr(comma + 1);
+  auto lba_result =
+      std::from_chars(lba_str.data(), lba_str.data() + lba_str.size(), req.lba);
+  if (lba_result.ec != std::errc() || lba_result.ptr != lba_str.data() + lba_str.size()) {
+    return fail("bad lba");
+  }
+  auto pages_result =
+      std::from_chars(pages_str.data(), pages_str.data() + pages_str.size(), req.pages);
+  if (pages_result.ec != std::errc() ||
+      pages_result.ptr != pages_str.data() + pages_str.size() || req.pages == 0) {
+    return fail("bad pages");
+  }
+  return req;
+}
+
+}  // namespace
+
+Result<std::vector<IoRequest>> ParseTrace(std::string_view text) {
+  std::vector<IoRequest> requests;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') {
+      line.remove_prefix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    Result<IoRequest> req = ParseLine(line, line_number);
+    if (!req.ok()) {
+      return req.status();
+    }
+    requests.push_back(req.value());
+  }
+  return requests;
+}
+
+std::string FormatTrace(const std::vector<IoRequest>& requests) {
+  std::string out;
+  char buf[64];
+  for (const IoRequest& req : requests) {
+    const char op = req.type == IoType::kRead ? 'R' : (req.type == IoType::kWrite ? 'W' : 'T');
+    std::snprintf(buf, sizeof(buf), "%c,%llu,%u\n", op,
+                  static_cast<unsigned long long>(req.lba), req.pages);
+    out += buf;
+  }
+  return out;
+}
+
+TraceWorkload::TraceWorkload(std::vector<IoRequest> requests)
+    : requests_(std::move(requests)) {
+  assert(!requests_.empty());
+}
+
+IoRequest TraceWorkload::Next() {
+  const IoRequest req = requests_[next_];
+  next_ = (next_ + 1) % requests_.size();
+  return req;
+}
+
+}  // namespace blockhead

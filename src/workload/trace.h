@@ -1,0 +1,60 @@
+// I/O trace capture and replay: lets experiments run recorded request streams (or hand-written
+// ones) instead of synthetic generators — the "representative workloads" half of the paper's
+// §4.2 systematic-testing question.
+//
+// Text format, one request per line:  <R|W|T>,<lba>,<pages>
+// Blank lines and lines starting with '#' are ignored.
+
+#ifndef BLOCKHEAD_SRC_WORKLOAD_TRACE_H_
+#define BLOCKHEAD_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/workload/workload.h"
+
+namespace blockhead {
+
+// Parses the text format above. Fails with kInvalidArgument on the first malformed line.
+Result<std::vector<IoRequest>> ParseTrace(std::string_view text);
+
+// Renders requests back into the text format (round-trips with ParseTrace).
+std::string FormatTrace(const std::vector<IoRequest>& requests);
+
+// Replays a fixed request vector (wrapping around when exhausted).
+class TraceWorkload final : public WorkloadGenerator {
+ public:
+  explicit TraceWorkload(std::vector<IoRequest> requests);
+
+  IoRequest Next() override;
+
+  std::size_t size() const { return requests_.size(); }
+
+ private:
+  std::vector<IoRequest> requests_;
+  std::size_t next_ = 0;
+};
+
+// Wraps another generator and records everything it produces (capture-while-running).
+class RecordingWorkload final : public WorkloadGenerator {
+ public:
+  explicit RecordingWorkload(WorkloadGenerator* inner) : inner_(inner) {}
+
+  IoRequest Next() override {
+    const IoRequest req = inner_->Next();
+    recorded_.push_back(req);
+    return req;
+  }
+
+  const std::vector<IoRequest>& recorded() const { return recorded_; }
+
+ private:
+  WorkloadGenerator* inner_;
+  std::vector<IoRequest> recorded_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,177 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace blockhead {
+
+RandomWorkload::RandomWorkload(const RandomWorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.distribution == AddressDistribution::kZipfian && config_.lba_space > 1) {
+    zipf_ = std::make_unique<ZipfGenerator>(config_.lba_space, config_.zipf_theta,
+                                            config_.seed + 1);
+  }
+}
+
+IoRequest RandomWorkload::Next() {
+  IoRequest req;
+  req.type = rng_.NextBool(config_.read_fraction) ? IoType::kRead : IoType::kWrite;
+  req.pages = config_.io_pages;
+  const std::uint64_t lba =
+      zipf_ != nullptr ? zipf_->Next() : rng_.NextBelow(config_.lba_space);
+  const std::uint64_t max_start =
+      config_.lba_space >= config_.io_pages ? config_.lba_space - config_.io_pages : 0;
+  req.lba = std::min(lba, max_start);
+  return req;
+}
+
+SequentialWorkload::SequentialWorkload(std::uint64_t lba_space, std::uint32_t io_pages,
+                                       IoType type)
+    : lba_space_(lba_space), io_pages_(io_pages), type_(type) {}
+
+IoRequest SequentialWorkload::Next() {
+  if (next_ + io_pages_ > lba_space_) {
+    next_ = 0;
+  }
+  IoRequest req{type_, next_, io_pages_};
+  next_ += io_pages_;
+  return req;
+}
+
+RunResult RunClosedLoop(BlockDevice& device, WorkloadGenerator& gen,
+                        const DriverOptions& options) {
+  RunResult result;
+  result.start = options.start_time;
+  result.end = options.start_time;
+  // Completion times of the outstanding window, oldest first. With queue depth Q, request n
+  // issues at the completion of request n-Q (or at start_time while the queue is filling).
+  std::deque<SimTime> outstanding;
+
+  for (std::uint64_t n = 0; n < options.ops; ++n) {
+    const IoRequest req = gen.Next();
+    SimTime issue = options.start_time;
+    if (outstanding.size() >= options.queue_depth) {
+      issue = std::max(issue, outstanding.front());
+      outstanding.pop_front();
+    }
+
+    if (options.maintenance_hook && options.maintenance_interval != 0 &&
+        n % options.maintenance_interval == 0) {
+      options.maintenance_hook(issue, req.type == IoType::kRead);
+    }
+
+    Result<SimTime> done = 0;
+    switch (req.type) {
+      case IoType::kRead:
+        done = device.ReadBlocks(req.lba, req.pages, issue);
+        break;
+      case IoType::kWrite:
+        done = device.WriteBlocks(req.lba, req.pages, issue);
+        break;
+      case IoType::kTrim:
+        done = device.TrimBlocks(req.lba, req.pages, issue);
+        break;
+    }
+    if (!done.ok()) {
+      result.status = done.status();
+      break;
+    }
+    const SimTime completion = done.value();
+    outstanding.push_back(completion);
+    result.end = std::max(result.end, completion);
+    const SimTime latency = completion > issue ? completion - issue : 0;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(req.pages) * device.block_size();
+    switch (req.type) {
+      case IoType::kRead:
+        result.read_latency.Record(latency);
+        result.reads++;
+        result.bytes_read += bytes;
+        break;
+      case IoType::kWrite:
+        result.write_latency.Record(latency);
+        result.writes++;
+        result.bytes_written += bytes;
+        break;
+      case IoType::kTrim:
+        result.trims++;
+        break;
+    }
+  }
+  return result;
+}
+
+RunResult RunOpenLoop(BlockDevice& device, WorkloadGenerator& gen, const DriverOptions& options,
+                      double ops_per_second, std::uint64_t seed) {
+  RunResult result;
+  result.start = options.start_time;
+  result.end = options.start_time;
+  Rng arrivals(seed);
+  const double mean_gap_ns = static_cast<double>(kSecond) / ops_per_second;
+  double clock = static_cast<double>(options.start_time);
+
+  for (std::uint64_t n = 0; n < options.ops; ++n) {
+    clock += arrivals.NextExponential(mean_gap_ns);
+    const SimTime issue = static_cast<SimTime>(clock);
+    const IoRequest req = gen.Next();
+
+    if (options.maintenance_hook && options.maintenance_interval != 0 &&
+        n % options.maintenance_interval == 0) {
+      options.maintenance_hook(issue, req.type == IoType::kRead);
+    }
+
+    Result<SimTime> done = 0;
+    switch (req.type) {
+      case IoType::kRead:
+        done = device.ReadBlocks(req.lba, req.pages, issue);
+        break;
+      case IoType::kWrite:
+        done = device.WriteBlocks(req.lba, req.pages, issue);
+        break;
+      case IoType::kTrim:
+        done = device.TrimBlocks(req.lba, req.pages, issue);
+        break;
+    }
+    if (!done.ok()) {
+      result.status = done.status();
+      break;
+    }
+    const SimTime completion = done.value();
+    result.end = std::max(result.end, completion);
+    const SimTime latency = completion > issue ? completion - issue : 0;
+    const std::uint64_t bytes = static_cast<std::uint64_t>(req.pages) * device.block_size();
+    switch (req.type) {
+      case IoType::kRead:
+        result.read_latency.Record(latency);
+        result.reads++;
+        result.bytes_read += bytes;
+        break;
+      case IoType::kWrite:
+        result.write_latency.Record(latency);
+        result.writes++;
+        result.bytes_written += bytes;
+        break;
+      case IoType::kTrim:
+        result.trims++;
+        break;
+    }
+  }
+  return result;
+}
+
+Result<SimTime> SequentialFill(BlockDevice& device, double fraction, SimTime start,
+                               std::uint32_t io_pages) {
+  const std::uint64_t pages =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(device.num_blocks()));
+  SimTime t = start;
+  for (std::uint64_t lba = 0; lba + io_pages <= pages; lba += io_pages) {
+    Result<SimTime> done = device.WriteBlocks(lba, io_pages, t);
+    if (!done.ok()) {
+      return done;
+    }
+    t = done.value();
+  }
+  return t;
+}
+
+}  // namespace blockhead

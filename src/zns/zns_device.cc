@@ -1,0 +1,477 @@
+#include "src/zns/zns_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace blockhead {
+
+const char* ZoneStateName(ZoneState state) {
+  switch (state) {
+    case ZoneState::kEmpty:
+      return "EMPTY";
+    case ZoneState::kImplicitOpen:
+      return "IMPLICIT_OPEN";
+    case ZoneState::kExplicitOpen:
+      return "EXPLICIT_OPEN";
+    case ZoneState::kClosed:
+      return "CLOSED";
+    case ZoneState::kFull:
+      return "FULL";
+    case ZoneState::kReadOnly:
+      return "READ_ONLY";
+    case ZoneState::kOffline:
+      return "OFFLINE";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+bool IsOpen(ZoneState s) {
+  return s == ZoneState::kImplicitOpen || s == ZoneState::kExplicitOpen;
+}
+
+bool IsActive(ZoneState s) { return IsOpen(s) || s == ZoneState::kClosed; }
+
+}  // namespace
+
+ZnsDevice::ZnsDevice(const FlashConfig& flash_config, const ZnsConfig& zns_config)
+    : flash_(flash_config), config_(zns_config) {
+  const FlashGeometry& g = flash_.geometry();
+  assert(config_.blocks_per_zone_per_plane > 0);
+  const std::uint32_t width =
+      config_.planes_per_zone == 0 ? g.total_planes() : config_.planes_per_zone;
+  assert(g.total_planes() % width == 0);
+  const std::uint32_t num_groups = g.total_planes() / width;
+  const std::uint32_t rows = g.blocks_per_plane / config_.blocks_per_zone_per_plane;
+  const std::uint32_t num_zones = num_groups * rows;
+  const std::uint32_t stripe_units = width * config_.blocks_per_zone_per_plane;
+  zone_size_pages_ = static_cast<std::uint64_t>(stripe_units) * g.pages_per_block;
+
+  zones_.resize(num_zones);
+  for (std::uint32_t z = 0; z < num_zones; ++z) {
+    Zone& zone = zones_[z];
+    const std::uint32_t group = z % num_groups;
+    const std::uint32_t row = z / num_groups;
+    zone.units.reserve(stripe_units);
+    // Interleave units across the group's planes so consecutive pages program on different
+    // planes.
+    for (std::uint32_t i = 0; i < stripe_units; ++i) {
+      const std::uint32_t plane_index = group * width + i % width;
+      const std::uint32_t slot = i / width;
+      StripeUnit unit;
+      unit.channel = plane_index / g.planes_per_channel;
+      unit.plane = plane_index % g.planes_per_channel;
+      unit.block = row * config_.blocks_per_zone_per_plane + slot;
+      zone.units.push_back(unit);
+    }
+    zone.capacity_pages = zone_size_pages_;
+  }
+}
+
+std::uint64_t ZnsDevice::capacity_bytes() const {
+  return static_cast<std::uint64_t>(zones_.size()) * zone_size_pages_ *
+         flash_.geometry().page_size;
+}
+
+ZoneDescriptor ZnsDevice::zone(std::uint32_t zone_id) const {
+  assert(zone_id < zones_.size());
+  const Zone& z = zones_[zone_id];
+  ZoneDescriptor d;
+  d.zone_id = zone_id;
+  d.state = z.state;
+  d.start_lba = static_cast<std::uint64_t>(zone_id) * zone_size_pages_;
+  d.capacity_pages = z.capacity_pages;
+  d.write_pointer = z.write_pointer;
+  return d;
+}
+
+Result<std::uint32_t> ZnsDevice::ZoneOfLba(std::uint64_t lba) const {
+  const std::uint64_t zone_id = lba / zone_size_pages_;
+  if (zone_id >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  return static_cast<std::uint32_t>(zone_id);
+}
+
+PhysAddr ZnsDevice::AddrOf(const Zone& z, std::uint64_t offset) const {
+  const std::size_t unit_index = static_cast<std::size_t>(offset % z.units.size());
+  const StripeUnit& unit = z.units[unit_index];
+  PhysAddr a;
+  a.channel = unit.channel;
+  a.plane = unit.plane;
+  a.block = unit.block;
+  a.page = static_cast<std::uint32_t>(offset / z.units.size());
+  return a;
+}
+
+Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open) {
+  switch (z.state) {
+    case ZoneState::kImplicitOpen:
+    case ZoneState::kExplicitOpen:
+      return Status::Ok();
+    case ZoneState::kEmpty:
+      if (active_count_ >= config_.max_active_zones) {
+        stats_.active_limit_rejections++;
+        return Status(ErrorCode::kTooManyActiveZones);
+      }
+      if (open_count_ >= config_.max_open_zones) {
+        stats_.active_limit_rejections++;
+        return Status(ErrorCode::kTooManyOpenZones);
+      }
+      z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+      active_count_++;
+      open_count_++;
+      return Status::Ok();
+    case ZoneState::kClosed:
+      if (open_count_ >= config_.max_open_zones) {
+        stats_.active_limit_rejections++;
+        return Status(ErrorCode::kTooManyOpenZones);
+      }
+      z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+      open_count_++;
+      return Status::Ok();
+    case ZoneState::kFull:
+      return Status(ErrorCode::kZoneFull);
+    case ZoneState::kReadOnly:
+      return Status(ErrorCode::kZoneReadOnly);
+    case ZoneState::kOffline:
+      return Status(ErrorCode::kZoneOffline);
+  }
+  return Status(ErrorCode::kInternal);
+}
+
+void ZnsDevice::ReleaseActive(Zone& z) {
+  if (IsOpen(z.state)) {
+    assert(open_count_ > 0);
+    open_count_--;
+  }
+  if (IsActive(z.state)) {
+    assert(active_count_ > 0);
+    active_count_--;
+  }
+}
+
+SimTime ZnsDevice::BufferAck(Zone& z, std::uint32_t pages, SimTime data_in,
+                             SimTime program_done) {
+  if (config_.zone_write_buffer_pages == 0) {
+    return program_done;  // Unbuffered: the command completes with the cell program.
+  }
+  SimTime ack = data_in;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    z.inflight.push_back(program_done);
+    if (z.inflight.size() > config_.zone_write_buffer_pages) {
+      ack = std::max(ack, z.inflight.front());
+      z.inflight.pop_front();
+    }
+  }
+  return ack;
+}
+
+Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime issue,
+                                       std::span<const std::uint8_t> data, OpClass op_class) {
+  const std::uint32_t page_size = flash_.geometry().page_size;
+  SimTime done_all = issue;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const PhysAddr addr = AddrOf(z, z.write_pointer);
+    std::span<const std::uint8_t> page_data;
+    if (!data.empty()) {
+      page_data = data.subspan(static_cast<std::size_t>(i) * page_size, page_size);
+    }
+    Result<SimTime> done = flash_.ProgramPage(addr, issue, page_data, op_class);
+    if (!done.ok()) {
+      return done;
+    }
+    done_all = std::max(done_all, done.value());
+    z.write_pointer++;
+    z.programmed_pages = z.write_pointer;
+  }
+  if (z.write_pointer >= z.capacity_pages) {
+    ReleaseActive(z);
+    z.state = ZoneState::kFull;
+  }
+  return done_all;
+}
+
+Result<SimTime> ZnsDevice::Write(std::uint32_t zone_id, std::uint64_t offset, std::uint32_t pages,
+                                 SimTime issue, std::span<const std::uint8_t> data) {
+  if (zone_id >= zones_.size() || pages == 0) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  const std::uint32_t page_size = flash_.geometry().page_size;
+  if (!data.empty() && data.size() != static_cast<std::size_t>(pages) * page_size) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (z.state == ZoneState::kOffline) {
+    return ErrorCode::kZoneOffline;
+  }
+  if (z.state == ZoneState::kReadOnly) {
+    return ErrorCode::kZoneReadOnly;
+  }
+  // Host-side write-pointer serialization: a regular write can only be formed once the
+  // previous write's outcome (the new write pointer) is known.
+  const SimTime effective_issue = std::max(issue, z.write_serial_point);
+  if (offset != z.write_pointer) {
+    stats_.wp_mismatch_errors++;
+    return ErrorCode::kWritePointerMismatch;
+  }
+  if (z.write_pointer + pages > z.capacity_pages) {
+    return ErrorCode::kZoneFull;
+  }
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false));
+  Result<SimTime> done = ProgramAtWp(z, pages, effective_issue, data, OpClass::kHost);
+  if (!done.ok()) {
+    return done;
+  }
+  stats_.pages_written += pages;
+  const SimTime data_in =
+      effective_issue + static_cast<SimTime>(pages) * flash_.timing().channel_xfer;
+  const SimTime ack = BufferAck(z, pages, data_in, done.value());
+  // The next writer may form its command once this ack (the new write pointer) has been
+  // observed and the zone lock handed over.
+  z.write_serial_point = ack + config_.wp_sync_overhead;
+  return ack;
+}
+
+Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t pages, SimTime issue,
+                                       std::span<const std::uint8_t> data) {
+  if (zone_id >= zones_.size() || pages == 0) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  const std::uint32_t page_size = flash_.geometry().page_size;
+  if (!data.empty() && data.size() != static_cast<std::size_t>(pages) * page_size) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (z.state == ZoneState::kOffline) {
+    return ErrorCode::kZoneOffline;
+  }
+  if (z.state == ZoneState::kReadOnly) {
+    return ErrorCode::kZoneReadOnly;
+  }
+  if (z.write_pointer + pages > z.capacity_pages) {
+    return ErrorCode::kZoneFull;
+  }
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false));
+  const std::uint64_t assigned =
+      static_cast<std::uint64_t>(zone_id) * zone_size_pages_ + z.write_pointer;
+  // No host-side serialization: the device orders concurrent appends itself.
+  Result<SimTime> done = ProgramAtWp(z, pages, issue, data, OpClass::kHost);
+  if (!done.ok()) {
+    return done.status();
+  }
+  stats_.pages_appended += pages;
+  const SimTime data_in = issue + static_cast<SimTime>(pages) * flash_.timing().channel_xfer;
+  return AppendResult{BufferAck(z, pages, data_in, done.value()), assigned};
+}
+
+Result<SimTime> ZnsDevice::Read(std::uint64_t lba, std::uint32_t pages, SimTime issue,
+                                std::span<std::uint8_t> out) {
+  const std::uint32_t page_size = flash_.geometry().page_size;
+  if (!out.empty() && out.size() != static_cast<std::size_t>(pages) * page_size) {
+    return ErrorCode::kInvalidArgument;
+  }
+  SimTime done_all = issue;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    Result<std::uint32_t> zone_id = ZoneOfLba(lba + i);
+    if (!zone_id.ok()) {
+      return zone_id.status();
+    }
+    Zone& z = zones_[zone_id.value()];
+    if (z.state == ZoneState::kOffline) {
+      return ErrorCode::kZoneOffline;
+    }
+    const std::uint64_t offset = (lba + i) % zone_size_pages_;
+    std::span<std::uint8_t> page_out;
+    if (!out.empty()) {
+      page_out = out.subspan(static_cast<std::size_t>(i) * page_size, page_size);
+    }
+    stats_.pages_read++;
+    if (offset >= z.programmed_pages || offset >= z.capacity_pages) {
+      // Unwritten LBAs read as zeros without touching flash.
+      if (!page_out.empty()) {
+        std::memset(page_out.data(), 0, page_out.size());
+      }
+      done_all = std::max(done_all, issue + flash_.timing().channel_xfer);
+      continue;
+    }
+    Result<SimTime> done = flash_.ReadPage(AddrOf(z, offset), issue, page_out, OpClass::kHost);
+    if (!done.ok()) {
+      return done;
+    }
+    done_all = std::max(done_all, done.value());
+  }
+  return done_all;
+}
+
+Result<SimTime> ZnsDevice::OpenZone(std::uint32_t zone_id, SimTime issue) {
+  if (zone_id >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/true));
+  z.state = ZoneState::kExplicitOpen;
+  return issue + flash_.timing().channel_xfer;
+}
+
+Result<SimTime> ZnsDevice::CloseZone(std::uint32_t zone_id, SimTime issue) {
+  if (zone_id >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  if (!IsOpen(z.state)) {
+    return ErrorCode::kZoneNotOpen;
+  }
+  z.state = ZoneState::kClosed;
+  assert(open_count_ > 0);
+  open_count_--;
+  return issue + flash_.timing().channel_xfer;
+}
+
+Result<SimTime> ZnsDevice::FinishZone(std::uint32_t zone_id, SimTime issue) {
+  if (zone_id >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  switch (z.state) {
+    case ZoneState::kFull:
+      return issue;  // Idempotent.
+    case ZoneState::kReadOnly:
+      return ErrorCode::kZoneReadOnly;
+    case ZoneState::kOffline:
+      return ErrorCode::kZoneOffline;
+    default:
+      break;
+  }
+  ReleaseActive(z);
+  z.state = ZoneState::kFull;
+  z.write_pointer = z.capacity_pages;  // programmed_pages keeps the truly-written prefix.
+  stats_.zone_finishes++;
+  return issue + flash_.timing().channel_xfer;
+}
+
+Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
+  if (zone_id >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& z = zones_[zone_id];
+  if (z.state == ZoneState::kOffline) {
+    return ErrorCode::kZoneOffline;
+  }
+  if (z.state == ZoneState::kReadOnly) {
+    return ErrorCode::kZoneReadOnly;
+  }
+  ReleaseActive(z);
+
+  // Erase every block that has been programmed since the last reset. Issued in parallel;
+  // per-plane serialization is handled by the flash model.
+  SimTime done_all = issue + flash_.timing().channel_xfer;
+  for (const StripeUnit& unit : z.units) {
+    if (flash_.block_status(unit.channel, unit.plane, unit.block).next_page == 0) {
+      continue;
+    }
+    Result<SimTime> done = flash_.EraseBlock(unit.channel, unit.plane, unit.block, issue);
+    if (!done.ok() && done.code() != ErrorCode::kBlockBad) {
+      return done;
+    }
+    if (done.ok()) {
+      done_all = std::max(done_all, done.value());
+    }
+  }
+
+  // Drop blocks that wore out: the zone shrinks (paper §2.1: "handled transparently by
+  // decreasing the length of a zone after a reset, or by marking a zone as offline").
+  std::erase_if(z.units, [this](const StripeUnit& u) {
+    return flash_.block_status(u.channel, u.plane, u.block).bad;
+  });
+  z.capacity_pages =
+      static_cast<std::uint64_t>(z.units.size()) * flash_.geometry().pages_per_block;
+  z.write_pointer = 0;
+  z.programmed_pages = 0;
+  z.write_serial_point = 0;
+  z.inflight.clear();
+  z.state = z.units.empty() ? ZoneState::kOffline : ZoneState::kEmpty;
+  stats_.zone_resets++;
+  return done_all;
+}
+
+Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, std::uint32_t dst_zone,
+                                      SimTime issue) {
+  if (dst_zone >= zones_.size()) {
+    return ErrorCode::kOutOfRange;
+  }
+  Zone& dst = zones_[dst_zone];
+
+  std::uint64_t total_pages = 0;
+  for (const CopyRange& r : sources) {
+    total_pages += r.pages;
+  }
+  if (total_pages == 0) {
+    return issue;
+  }
+  if (dst.write_pointer + total_pages > dst.capacity_pages) {
+    return ErrorCode::kZoneFull;
+  }
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(dst, /*explicit_open=*/false));
+
+  // Pages are copied as a stripe-wide pipelined window (not booked all at once): the
+  // controller uses the destination stripe's full plane parallelism, and the batch boundaries
+  // still leave gaps for host reads to interleave. The command acknowledges like a write —
+  // once the source data is staged in the zone's write buffer — while cell programs drain
+  // behind it.
+  const std::uint32_t kCopyWindow = static_cast<std::uint32_t>(dst.units.size());
+  SimTime done_all = issue;
+  SimTime ack_all = issue;
+  SimTime batch_issue = issue;
+  std::uint32_t in_batch = 0;
+  for (const CopyRange& r : sources) {
+    for (std::uint32_t i = 0; i < r.pages; ++i) {
+      Result<std::uint32_t> src_zone_id = ZoneOfLba(r.lba + i);
+      if (!src_zone_id.ok()) {
+        return src_zone_id.status();
+      }
+      Zone& src = zones_[src_zone_id.value()];
+      const std::uint64_t src_offset = (r.lba + i) % zone_size_pages_;
+      if (src_offset >= src.programmed_pages) {
+        return Status(ErrorCode::kOutOfRange, "simple-copy source beyond write pointer");
+      }
+      const PhysAddr src_addr = AddrOf(src, src_offset);
+      const PhysAddr dst_addr = AddrOf(dst, dst.write_pointer);
+      Result<SimTime> done = flash_.CopyPage(src_addr, dst_addr, batch_issue);
+      if (!done.ok()) {
+        return done;
+      }
+      done_all = std::max(done_all, done.value());
+      ack_all = std::max(
+          ack_all, BufferAck(dst, 1, batch_issue + flash_.timing().page_read, done.value()));
+      if (++in_batch >= kCopyWindow) {
+        // Next batch issues once this batch's source reads vacate the planes; its programs
+        // pipeline behind via per-plane queueing (a copyback pipeline, like firmware GC).
+        batch_issue += flash_.timing().page_read;
+        in_batch = 0;
+      }
+      dst.write_pointer++;
+      dst.programmed_pages = dst.write_pointer;
+      stats_.pages_copied++;
+    }
+  }
+  if (dst.write_pointer >= dst.capacity_pages) {
+    ReleaseActive(dst);
+    dst.state = ZoneState::kFull;
+  }
+  return ack_all;
+}
+
+DramUsage ZnsDevice::ComputeDramUsage() const {
+  DramUsage u;
+  // Zone map: 4 bytes per erasure block (paper §2.2's ZNS model).
+  u.mapping_bytes = flash_.geometry().total_blocks() * 4;
+  u.gc_metadata_bytes = 0;  // No device GC.
+  u.write_buffer_bytes = static_cast<std::uint64_t>(config_.max_active_zones) *
+                         config_.zone_write_buffer_pages * flash_.geometry().page_size;
+  return u;
+}
+
+}  // namespace blockhead

@@ -1,0 +1,61 @@
+#include "src/zonefs/zone_fs.h"
+
+namespace blockhead {
+
+ZoneFs::ZoneFs(ZnsDevice* device) : device_(device) {}
+
+Result<SimTime> ZoneFs::Append(std::uint32_t file, std::span<const std::uint8_t> data,
+                               SimTime now) {
+  if (file >= device_->num_zones()) {
+    return ErrorCode::kNotFound;
+  }
+  const std::uint32_t page_size = device_->page_size();
+  if (data.empty() || data.size() % page_size != 0) {
+    return Status(ErrorCode::kInvalidArgument, "zonefs writes must be whole pages");
+  }
+  const std::uint32_t pages = static_cast<std::uint32_t>(data.size() / page_size);
+  const ZoneDescriptor d = device_->zone(file);
+  // The device enforces the rest (sequential-only, capacity, zone state); errors surface
+  // unchanged, exactly as zonefs surfaces zone errors to applications.
+  return device_->Write(file, d.write_pointer, pages, now, data);
+}
+
+Result<SimTime> ZoneFs::Read(std::uint32_t file, std::uint64_t offset,
+                             std::span<std::uint8_t> out, SimTime now) {
+  if (file >= device_->num_zones()) {
+    return ErrorCode::kNotFound;
+  }
+  const std::uint32_t page_size = device_->page_size();
+  const ZoneDescriptor d = device_->zone(file);
+  if (offset + out.size() > d.write_pointer * page_size) {
+    return ErrorCode::kOutOfRange;
+  }
+  if (offset % page_size != 0 || out.size() % page_size != 0) {
+    return Status(ErrorCode::kInvalidArgument, "zonefs reads must be page-aligned");
+  }
+  return device_->Read(d.start_lba + offset / page_size,
+                       static_cast<std::uint32_t>(out.size() / page_size), now, out);
+}
+
+Result<SimTime> ZoneFs::Truncate(std::uint32_t file, SimTime now) {
+  if (file >= device_->num_zones()) {
+    return ErrorCode::kNotFound;
+  }
+  return device_->ResetZone(file, now);
+}
+
+Result<std::uint64_t> ZoneFs::Size(std::uint32_t file) const {
+  if (file >= device_->num_zones()) {
+    return ErrorCode::kNotFound;
+  }
+  return device_->zone(file).write_pointer * static_cast<std::uint64_t>(device_->page_size());
+}
+
+Result<std::uint64_t> ZoneFs::MaxSize(std::uint32_t file) const {
+  if (file >= device_->num_zones()) {
+    return ErrorCode::kNotFound;
+  }
+  return device_->zone(file).capacity_pages * static_cast<std::uint64_t>(device_->page_size());
+}
+
+}  // namespace blockhead

@@ -1,0 +1,53 @@
+// ZoneFS-style interface: every zone is exposed as one file that carries the zone's own
+// restrictions (append-only, truncate-only-to-zero). The paper contrasts this with
+// fully-featured filesystems in §4.1: "F2FS is a fully-featured, POSIX-compliant filesystem,
+// while ZoneFS treats zones as files with the same restrictions as zones themselves."
+//
+// Compared to zonefile (the ZenFS-style backend), this layer has: fixed naming (one file per
+// zone), no metadata journal (the device IS the metadata: file size == write pointer), no
+// compaction, no lifetime hints — maximal control and minimal convenience.
+
+#ifndef BLOCKHEAD_SRC_ZONEFS_ZONE_FS_H_
+#define BLOCKHEAD_SRC_ZONEFS_ZONE_FS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/types.h"
+#include "src/zns/zns_device.h"
+
+namespace blockhead {
+
+class ZoneFs {
+ public:
+  // `device` must outlive the filesystem. File i <-> zone i; sizes are recovered from the
+  // device's write pointers (page-granular, as real zonefs is block-granular).
+  explicit ZoneFs(ZnsDevice* device);
+
+  std::uint32_t FileCount() const { return device_->num_zones(); }
+
+  // Appends whole pages at the file's end. `data` must be a multiple of the page size
+  // (zonefs requires direct, aligned, sequential writes — no byte-granular buffering).
+  Result<SimTime> Append(std::uint32_t file, std::span<const std::uint8_t> data, SimTime now);
+
+  // Reads out.size() bytes at `offset`; the readable size is exactly the written prefix.
+  Result<SimTime> Read(std::uint32_t file, std::uint64_t offset, std::span<std::uint8_t> out,
+                       SimTime now);
+
+  // The only truncation zonefs supports: to zero (a zone reset).
+  Result<SimTime> Truncate(std::uint32_t file, SimTime now);
+
+  // Written bytes (page-granular): write_pointer * page_size.
+  Result<std::uint64_t> Size(std::uint32_t file) const;
+  // Maximum bytes the file can ever hold (shrinks as the zone wears).
+  Result<std::uint64_t> MaxSize(std::uint32_t file) const;
+
+ private:
+  ZnsDevice* device_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_ZONEFS_ZONE_FS_H_

@@ -1,0 +1,108 @@
+// Tests for zone budget managers and the multi-tenant burst simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/zone_budget.h"
+
+namespace blockhead {
+namespace {
+
+FlashConfig SimFlash() {
+  FlashConfig c;
+  c.geometry = FlashGeometry::Small();
+  c.timing = FlashTiming::FastForTests();
+  c.store_data = false;
+  return c;
+}
+
+TEST(StaticPartitionTest, EnforcesPerTenantCap) {
+  StaticPartitionBudget budget(8, 4);  // 2 slots each.
+  EXPECT_TRUE(budget.Acquire(0).ok());
+  EXPECT_TRUE(budget.Acquire(0).ok());
+  EXPECT_EQ(budget.Acquire(0).code(), ErrorCode::kBusy);
+  EXPECT_EQ(budget.Held(0), 2u);
+  // Another tenant's idle slots are NOT lendable.
+  EXPECT_EQ(budget.Held(1), 0u);
+  EXPECT_EQ(budget.Acquire(0).code(), ErrorCode::kBusy);
+  budget.Release(0);
+  EXPECT_TRUE(budget.Acquire(0).ok());
+}
+
+TEST(DemandBudgetTest, SharesIdleSlots) {
+  DemandBudget budget(8, 4, /*guaranteed_min=*/1);
+  // One tenant can burst past its fair share while others are idle...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(budget.Acquire(0).ok()) << i;
+  }
+  // ...but must leave each other tenant its guaranteed slot (3 tenants x 1).
+  EXPECT_EQ(budget.Acquire(0).code(), ErrorCode::kBusy);
+  EXPECT_EQ(budget.Held(0), 5u);
+  // Guaranteed slots remain reachable for everyone else.
+  EXPECT_TRUE(budget.Acquire(1).ok());
+  EXPECT_TRUE(budget.Acquire(2).ok());
+  EXPECT_TRUE(budget.Acquire(3).ok());
+  // Pool now exhausted.
+  EXPECT_EQ(budget.Acquire(1).code(), ErrorCode::kBusy);
+  budget.Release(0);
+  EXPECT_TRUE(budget.Acquire(1).ok());
+}
+
+TEST(DemandBudgetTest, GuaranteeAlwaysReachable) {
+  DemandBudget budget(4, 4, 1);
+  EXPECT_TRUE(budget.Acquire(0).ok());
+  // Tenant 0 cannot take a second slot: it would strand another tenant below its guarantee.
+  EXPECT_EQ(budget.Acquire(0).code(), ErrorCode::kBusy);
+  EXPECT_TRUE(budget.Acquire(1).ok());
+  EXPECT_TRUE(budget.Acquire(2).ok());
+  EXPECT_TRUE(budget.Acquire(3).ok());
+}
+
+TEST(MultiTenantSimTest, RunsAndWrites) {
+  ZnsConfig zcfg;
+  zcfg.max_active_zones = 8;
+  zcfg.max_open_zones = 8;
+  ZnsDevice dev(SimFlash(), zcfg);
+  DemandBudget budget(8, 4, 1);
+  std::vector<TenantConfig> tenants(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    tenants[t].seed = t + 1;
+    tenants[t].desired_zones = 4;
+  }
+  const MultiTenantResult result = RunMultiTenantSim(dev, budget, tenants, 100 * kMillisecond);
+  EXPECT_GT(result.total_pages, 0u);
+  EXPECT_EQ(result.tenants.size(), 4u);
+  EXPECT_GT(result.slot_utilization, 0.0);
+  EXPECT_LE(result.slot_utilization, 1.0 + 1e-9);
+}
+
+TEST(MultiTenantSimTest, DemandBeatsStaticForBurstyTenants) {
+  // Four tenants bursting mostly at different times: demand-based budgets should move idle
+  // slots to the burster and finish more work.
+  ZnsConfig zcfg;
+  zcfg.max_active_zones = 8;
+  zcfg.max_open_zones = 8;
+
+  std::vector<TenantConfig> tenants(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    tenants[t].seed = t + 1;
+    tenants[t].on_duration = 2 * kMillisecond;
+    tenants[t].off_duration = 14 * kMillisecond;
+    tenants[t].desired_zones = 6;  // Bursts want more than a static share (2).
+  }
+
+  ZnsDevice dev_static(SimFlash(), zcfg);
+  StaticPartitionBudget static_budget(8, 4);
+  const MultiTenantResult static_result =
+      RunMultiTenantSim(dev_static, static_budget, tenants, 200 * kMillisecond);
+
+  ZnsDevice dev_demand(SimFlash(), zcfg);
+  DemandBudget demand_budget(8, 4, 1);
+  const MultiTenantResult demand_result =
+      RunMultiTenantSim(dev_demand, demand_budget, tenants, 200 * kMillisecond);
+
+  EXPECT_GT(demand_result.total_pages, static_result.total_pages)
+      << "demand-based budgeting should multiplex the scarce active-zone resource";
+}
+
+}  // namespace
+}  // namespace blockhead

@@ -1,0 +1,254 @@
+// Differential (model-based) property tests: randomized operation streams run simultaneously
+// against the real stacks and trivially-correct in-memory reference models; any divergence is
+// a bug. Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ftl/conventional_ssd.h"
+#include "src/hostftl/host_ftl.h"
+#include "src/kv/ycsb.h"
+#include "src/util/rng.h"
+#include "src/zonefile/zone_file_system.h"
+
+namespace blockhead {
+namespace {
+
+FlashConfig SmallFlash() {
+  FlashConfig c;
+  c.geometry = FlashGeometry::Small();
+  c.timing = FlashTiming::FastForTests();
+  return c;
+}
+
+ZnsConfig DeviceConfig() {
+  ZnsConfig z;
+  z.max_active_zones = 10;
+  z.max_open_zones = 10;
+  return z;
+}
+
+std::vector<std::uint8_t> Page(std::uint64_t tag) {
+  std::vector<std::uint8_t> v(4096);
+  for (std::size_t i = 0; i < 8; ++i) {
+    v[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  v[100] = static_cast<std::uint8_t>(tag * 7);
+  return v;
+}
+
+// --- Conventional SSD vs reference map ---
+
+class SsdDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsdDifferentialTest, RandomOpsMatchReferenceModel) {
+  ConventionalSsd ssd(SmallFlash(), FtlConfig{});
+  std::map<std::uint64_t, std::uint64_t> reference;  // lba -> tag (absent = zeros).
+  Rng rng(GetParam());
+  SimTime t = 0;
+  const std::uint64_t n = ssd.num_blocks();
+  std::uint64_t tag = 1;
+
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t lba = rng.NextBelow(n);
+    const std::uint64_t roll = rng.NextBelow(10);
+    if (roll < 5) {  // Write.
+      auto w = ssd.WriteBlocks(lba, 1, t, Page(tag));
+      ASSERT_TRUE(w.ok());
+      t = w.value();
+      reference[lba] = tag++;
+    } else if (roll < 7) {  // Trim.
+      ASSERT_TRUE(ssd.TrimBlocks(lba, 1, t).ok());
+      reference.erase(lba);
+    } else {  // Read + verify.
+      std::vector<std::uint8_t> out(4096);
+      auto r = ssd.ReadBlocks(lba, 1, t, out);
+      ASSERT_TRUE(r.ok());
+      auto it = reference.find(lba);
+      const std::vector<std::uint8_t> expect =
+          it == reference.end() ? std::vector<std::uint8_t>(4096, 0) : Page(it->second);
+      ASSERT_EQ(out, expect) << "lba " << lba << " op " << op;
+    }
+  }
+  EXPECT_TRUE(ssd.CheckConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsdDifferentialTest, ::testing::Values(11, 22, 33, 44));
+
+// --- Host-FTL block device vs reference map ---
+
+class HostFtlDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostFtlDifferentialTest, RandomOpsMatchReferenceModel) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  HostFtlConfig cfg;
+  cfg.use_append = GetParam() % 2 == 0;  // Alternate write paths across seeds.
+  HostFtlBlockDevice ftl(&dev, cfg);
+  std::map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(GetParam());
+  SimTime t = 0;
+  const std::uint64_t n = ftl.num_blocks();
+  std::uint64_t tag = 1;
+
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t lba = rng.NextBelow(n);
+    const std::uint64_t roll = rng.NextBelow(10);
+    if (roll < 5) {
+      auto w = ftl.WriteBlocks(lba, 1, t, Page(tag));
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      t = w.value();
+      reference[lba] = tag++;
+    } else if (roll < 7) {
+      ASSERT_TRUE(ftl.TrimBlocks(lba, 1, t).ok());
+      reference.erase(lba);
+    } else {
+      std::vector<std::uint8_t> out(4096);
+      auto r = ftl.ReadBlocks(lba, 1, t, out);
+      ASSERT_TRUE(r.ok());
+      auto it = reference.find(lba);
+      const std::vector<std::uint8_t> expect =
+          it == reference.end() ? std::vector<std::uint8_t>(4096, 0) : Page(it->second);
+      ASSERT_EQ(out, expect) << "lba " << lba << " op " << op;
+    }
+    if (op % 64 == 0) {
+      ftl.Pump(t, false, 1);
+    }
+  }
+  EXPECT_TRUE(ftl.CheckConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostFtlDifferentialTest, ::testing::Values(10, 21, 32, 43));
+
+// --- Zonefile vs reference filesystem, with remounts mid-stream ---
+
+class ZonefileDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZonefileDifferentialTest, RandomOpsWithRemountsMatchReference) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  auto fs_or = ZoneFileSystem::Format(&dev, ZoneFileConfig{}, 0);
+  ASSERT_TRUE(fs_or.ok());
+  std::unique_ptr<ZoneFileSystem> fs = std::move(fs_or).value();
+
+  struct RefFile {
+    Lifetime hint;
+    std::vector<std::uint8_t> synced;    // Durable content.
+    std::vector<std::uint8_t> unsynced;  // Tail appended since the last sync.
+  };
+  std::map<std::string, RefFile> reference;
+  Rng rng(GetParam());
+  SimTime t = 0;
+  std::uint64_t serial = 0;
+
+  for (int op = 0; op < 2500; ++op) {
+    const std::uint64_t roll = rng.NextBelow(100);
+    if (roll < 20) {  // Create.
+      const std::string name = "f" + std::to_string(serial++);
+      const Lifetime hint = static_cast<Lifetime>(rng.NextBelow(kLifetimeClasses));
+      ASSERT_TRUE(fs->Create(name, hint, t).ok());
+      reference[name] = RefFile{hint, {}, {}};
+    } else if (roll < 55 && !reference.empty()) {  // Append.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(reference.size())));
+      std::vector<std::uint8_t> data(1 + rng.NextBelow(9000));
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(rng.Next());
+      }
+      auto a = fs->Append(it->first, data, t);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      t = a.value();
+      it->second.unsynced.insert(it->second.unsynced.end(), data.begin(), data.end());
+    } else if (roll < 70 && !reference.empty()) {  // Sync.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(reference.size())));
+      ASSERT_TRUE(fs->Sync(it->first, t).ok());
+      it->second.synced.insert(it->second.synced.end(), it->second.unsynced.begin(),
+                               it->second.unsynced.end());
+      it->second.unsynced.clear();
+    } else if (roll < 80 && !reference.empty()) {  // Delete.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(reference.size())));
+      ASSERT_TRUE(fs->Delete(it->first, t).ok());
+      reference.erase(it);
+    } else if (roll < 95 && !reference.empty()) {  // Read + verify full content.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(reference.size())));
+      std::vector<std::uint8_t> expect = it->second.synced;
+      expect.insert(expect.end(), it->second.unsynced.begin(), it->second.unsynced.end());
+      ASSERT_EQ(fs->FileSize(it->first).value(), expect.size());
+      std::vector<std::uint8_t> out(expect.size());
+      if (!expect.empty()) {
+        auto r = fs->Read(it->first, 0, out, t);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(out, expect) << it->first;
+      }
+    } else {  // Crash + remount: unsynced bytes roll back in BOTH models.
+      fs.reset();
+      auto remounted = ZoneFileSystem::Mount(&dev, ZoneFileConfig{}, t);
+      ASSERT_TRUE(remounted.ok()) << remounted.status().ToString();
+      fs = std::move(remounted).value();
+      for (auto& [name, ref] : reference) {
+        ref.unsynced.clear();
+      }
+      // Files created but never synced survive (creates are journaled immediately).
+      ASSERT_TRUE(fs->CheckConsistency().ok());
+    }
+    if (op % 32 == 0) {
+      fs->Pump(t, false, 1);
+    }
+  }
+
+  // Final full verification.
+  for (const auto& [name, ref] : reference) {
+    ASSERT_TRUE(fs->Exists(name)) << name;
+    std::vector<std::uint8_t> expect = ref.synced;
+    expect.insert(expect.end(), ref.unsynced.begin(), ref.unsynced.end());
+    ASSERT_EQ(fs->FileSize(name).value(), expect.size()) << name;
+    if (!expect.empty()) {
+      std::vector<std::uint8_t> out(expect.size());
+      ASSERT_TRUE(fs->Read(name, 0, out, t).ok());
+      ASSERT_EQ(out, expect) << name;
+    }
+  }
+  EXPECT_TRUE(fs->CheckConsistency().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZonefileDifferentialTest, ::testing::Values(5, 15, 25));
+
+// --- YCSB smoke on both backends ---
+
+TEST(YcsbTest, AllWorkloadsRunCleanOnZns) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  auto fs = ZoneFileSystem::Format(&dev, ZoneFileConfig{}, 0);
+  ASSERT_TRUE(fs.ok());
+  ZoneEnv env(fs.value().get());
+  KvConfig kv;
+  kv.memtable_bytes = 16 * kKiB;
+  kv.level_base_bytes = 256 * kKiB;
+  kv.max_levels = 4;
+  auto store = KvStore::Open(&env, kv, 0);
+  ASSERT_TRUE(store.ok());
+  YcsbConfig cfg;
+  cfg.record_count = 3000;
+  cfg.operation_count = 1500;
+  auto loaded = YcsbLoad(*store.value(), cfg, 0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const YcsbWorkload w : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+                               YcsbWorkload::kD, YcsbWorkload::kE, YcsbWorkload::kF}) {
+    const YcsbResult r = YcsbRun(*store.value(), w, cfg, loaded.value());
+    ASSERT_TRUE(r.status.ok()) << YcsbName(w) << ": " << r.status.ToString();
+    // RMW ops count both their read and their update, so the total can exceed op_count.
+    EXPECT_GE(r.reads + r.updates + r.inserts + r.scans, cfg.operation_count) << YcsbName(w);
+    EXPECT_EQ(r.not_found, 0u) << YcsbName(w) << " lost keys";
+    if (w == YcsbWorkload::kE) {
+      EXPECT_GT(r.scans, 0u);
+      EXPECT_GT(r.scanned_entries, r.scans) << "scans should return multiple entries";
+    }
+    EXPECT_GT(r.OpsPerSecond(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace blockhead

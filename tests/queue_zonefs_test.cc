@@ -1,0 +1,311 @@
+// Tests for the persistent queue (§4.2 append-only workload) and the ZoneFS-style interface.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/queue/persistent_queue.h"
+#include "src/util/rng.h"
+#include "src/zonefs/zone_fs.h"
+
+namespace blockhead {
+namespace {
+
+FlashConfig SmallFlash() {
+  FlashConfig c;
+  c.geometry = FlashGeometry::Small();
+  c.timing = FlashTiming::FastForTests();
+  return c;
+}
+
+ZnsConfig DeviceConfig() {
+  ZnsConfig z;
+  z.max_active_zones = 6;
+  z.max_open_zones = 6;
+  return z;
+}
+
+std::vector<std::uint8_t> Record(std::uint64_t n) {
+  std::vector<std::uint8_t> v(4096);
+  for (std::size_t i = 0; i < 8; ++i) {
+    v[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  }
+  return v;
+}
+
+std::uint64_t RecordValue(std::span<const std::uint8_t> v) {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    n |= static_cast<std::uint64_t>(v[i]) << (8 * i);
+  }
+  return n;
+}
+
+// --- PersistentQueue ---
+
+TEST(PersistentQueueTest, FifoOrder) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  PersistentQueue q(&dev, QueueConfig{});
+  SimTime t = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto e = q.Enqueue(Record(i), t);
+    ASSERT_TRUE(e.ok());
+    t = e.value();
+  }
+  EXPECT_EQ(q.Depth(), 50u);
+  std::vector<std::uint8_t> out(4096);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto d = q.Dequeue(out, t);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(RecordValue(out), i);
+  }
+  EXPECT_EQ(q.Depth(), 0u);
+  EXPECT_EQ(q.Dequeue(out, t).code(), ErrorCode::kNotFound);
+}
+
+TEST(PersistentQueueTest, WrapAroundRecyclesZones) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  PersistentQueue q(&dev, QueueConfig{});
+  SimTime t = 0;
+  std::vector<std::uint8_t> out(4096);
+  // Push/pop far more records than the device holds (64 zones x 128 pages = 8192 slots).
+  std::uint64_t next_out = 0;
+  for (std::uint64_t i = 0; i < 30000; ++i) {
+    auto e = q.Enqueue(Record(i), t);
+    ASSERT_TRUE(e.ok()) << e.status().ToString() << " at " << i;
+    t = e.value();
+    if (q.Depth() > 200) {
+      auto d = q.Dequeue(out, t);
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(RecordValue(out), next_out++);
+    }
+  }
+  EXPECT_GT(q.stats().zones_recycled, 100u);
+  // Structural WA = 1: consumption recycles whole zones, no copies.
+  EXPECT_EQ(dev.flash().stats().internal_pages_programmed, 0u);
+}
+
+TEST(PersistentQueueTest, FillsToCapacityThenRejects) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  PersistentQueue q(&dev, QueueConfig{});
+  SimTime t = 0;
+  const std::uint64_t slots = q.FreeRecordSlots();
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    auto e = q.Enqueue({}, t);
+    ASSERT_TRUE(e.ok()) << "slot " << i << ": " << e.status().ToString();
+    t = e.value();
+  }
+  EXPECT_EQ(q.Enqueue({}, t).code(), ErrorCode::kDeviceFull);
+  // Draining some makes room again.
+  std::vector<std::uint8_t> out(4096);
+  const std::uint64_t drain = q.Depth();  // Full drain releases all zones.
+  for (std::uint64_t i = 0; i < drain; ++i) {
+    ASSERT_TRUE(q.Dequeue(out, t).ok());
+  }
+  EXPECT_TRUE(q.Enqueue({}, t).ok());
+}
+
+TEST(PersistentQueueTest, WriteModeMatchesAppendModeSemantics) {
+  for (const bool use_append : {true, false}) {
+    ZnsDevice dev(SmallFlash(), DeviceConfig());
+    QueueConfig cfg;
+    cfg.use_append = use_append;
+    cfg.record_pages = 2;
+    PersistentQueue q(&dev, cfg);
+    SimTime t = 0;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      auto e = q.Enqueue(std::vector<std::uint8_t>(8192, static_cast<std::uint8_t>(i)), t);
+      ASSERT_TRUE(e.ok());
+      t = e.value();
+    }
+    std::vector<std::uint8_t> out(8192);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      auto d = q.Dequeue(out, t);
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(out[0], static_cast<std::uint8_t>(i)) << "append=" << use_append;
+    }
+  }
+}
+
+TEST(PersistentQueueTest, AppendModePipelinesConcurrentProducers) {
+  // The §4.2 claim through a real data structure: N producers, QD1 each, one shared queue.
+  FlashConfig fc = SmallFlash();
+  fc.timing = FlashTiming::Tlc();
+  ZnsConfig zc = DeviceConfig();
+  zc.zone_write_buffer_pages = 0;  // Strict regime to expose serialization.
+
+  auto producer_finish = [&](bool use_append) {
+    ZnsDevice dev(fc, zc);
+    QueueConfig cfg;
+    cfg.use_append = use_append;
+    PersistentQueue q(&dev, cfg);
+    // 8 producers, each enqueues when its previous record completed; 64 records total.
+    std::vector<SimTime> ready(8, 0);
+    SimTime finish = 0;
+    for (int r = 0; r < 64; ++r) {
+      const int p = r % 8;
+      auto e = q.Enqueue({}, ready[p]);
+      EXPECT_TRUE(e.ok());
+      ready[p] = e.value();
+      finish = std::max(finish, e.value());
+    }
+    return finish;
+  };
+
+  EXPECT_GT(producer_finish(false), 3 * producer_finish(true))
+      << "append-based enqueues should pipeline across the zone's planes";
+}
+
+
+TEST(PersistentQueueTest, SurvivesWornZones) {
+  // With tiny endurance, ring zones die as the queue cycles; the queue must route around
+  // them (dropping worn zones) and keep FIFO order intact.
+  FlashConfig fc = SmallFlash();
+  fc.timing.endurance_cycles = 4;
+  ZnsDevice dev(fc, DeviceConfig());
+  PersistentQueue q(&dev, QueueConfig{});
+  SimTime t = 0;
+  std::vector<std::uint8_t> out(4096);
+  std::uint64_t next_out = 0;
+  std::uint64_t enq = 0;
+  bool device_dead = false;
+  for (std::uint64_t i = 0; i < 120000 && !device_dead; ++i) {
+    auto e = q.Enqueue(Record(enq), t);
+    if (!e.ok()) {
+      device_dead = true;  // Ring fully worn out: acceptable terminal state.
+      break;
+    }
+    ++enq;
+    t = e.value();
+    if (q.Depth() > 64) {
+      auto d = q.Dequeue(out, t);
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(RecordValue(out), next_out++) << "FIFO order must survive zone wear";
+    }
+  }
+  EXPECT_GT(dev.flash().ComputeWear().bad_blocks, 0u) << "test must actually wear the flash";
+  EXPECT_GT(enq, 30000u) << "the queue should survive well past the first worn zones";
+}
+
+TEST(PersistentQueueTest, RecordLargerThanZoneRejected) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  QueueConfig cfg;
+  cfg.record_pages = 4096;  // Far larger than a 128-page zone.
+  PersistentQueue q(&dev, cfg);
+  EXPECT_EQ(q.FreeRecordSlots(), 0u);
+  EXPECT_FALSE(q.Enqueue({}, 0).ok());
+}
+
+// --- ZoneFs ---
+
+TEST(ZoneFsTest, AppendReadTruncate) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  ZoneFs fs(&dev);
+  EXPECT_EQ(fs.FileCount(), 64u);
+  std::vector<std::uint8_t> data(2 * 4096);
+  Rng rng(1);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(fs.Append(3, data, 0).ok());
+  EXPECT_EQ(fs.Size(3).value(), data.size());
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_TRUE(fs.Read(3, 0, out, 0).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(fs.Truncate(3, 0).ok());
+  EXPECT_EQ(fs.Size(3).value(), 0u);
+  EXPECT_EQ(fs.Read(3, 0, out, 0).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(ZoneFsTest, EnforcesZoneRestrictions) {
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  ZoneFs fs(&dev);
+  // Unaligned writes rejected (zonefs requires direct, page-granular I/O).
+  EXPECT_EQ(fs.Append(0, std::vector<std::uint8_t>(100), 0).code(),
+            ErrorCode::kInvalidArgument);
+  // Reads beyond the written prefix rejected.
+  ASSERT_TRUE(fs.Append(0, std::vector<std::uint8_t>(4096), 0).ok());
+  std::vector<std::uint8_t> out(2 * 4096);
+  EXPECT_EQ(fs.Read(0, 0, out, 0).code(), ErrorCode::kOutOfRange);
+  // File capacity equals zone capacity and fills up exactly.
+  const std::uint64_t max = fs.MaxSize(0).value();
+  EXPECT_EQ(max, 128u * 4096);
+  std::vector<std::uint8_t> rest(max - 4096);
+  ASSERT_TRUE(fs.Append(0, rest, 0).ok());
+  EXPECT_EQ(fs.Append(0, std::vector<std::uint8_t>(4096), 0).code(), ErrorCode::kZoneFull);
+  // Bad file index.
+  EXPECT_EQ(fs.Append(999, std::vector<std::uint8_t>(4096), 0).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs.Size(999).code(), ErrorCode::kNotFound);
+}
+
+TEST(ZoneFsTest, SizeIsRecoveredFromDevice) {
+  // No metadata of its own: a second ZoneFs over the same device sees the same sizes.
+  ZnsDevice dev(SmallFlash(), DeviceConfig());
+  {
+    ZoneFs fs(&dev);
+    ASSERT_TRUE(fs.Append(7, std::vector<std::uint8_t>(3 * 4096), 0).ok());
+  }
+  ZoneFs fs2(&dev);
+  EXPECT_EQ(fs2.Size(7).value(), 3u * 4096);
+}
+
+// --- Multi-stream conventional SSD (§2.3) ---
+
+TEST(MultiStreamTest, StreamsSeparateLifetimesAndCutWa) {
+  // Hot overwrites interleaved with a slow sequential cold rewrite cycle (journal +
+  // checkpoint pattern). With one stream the two lifetimes continuously share erasure blocks,
+  // so every GC of a mixed block re-copies cold pages; per-class streams keep them apart.
+  FlashConfig fc = SmallFlash();
+  fc.store_data = false;
+
+  auto run = [&](std::uint32_t streams) {
+    FtlConfig ftl;
+    ftl.op_fraction = 0.10;
+    ftl.num_streams = streams;
+    ConventionalSsd ssd(fc, ftl);
+    const std::uint64_t n = ssd.num_blocks();
+    const std::uint64_t cold_space = n / 2;  // LBAs [0, cold_space) are the cold class.
+    SimTime t = 0;
+    Rng rng(3);
+    std::uint64_t cold_cursor = 0;
+    for (std::uint64_t i = 0; i < 6 * n; ++i) {
+      const bool is_cold = i % 8 == 0;  // Cold rewrites ~8x slower than hot overwrites.
+      std::uint64_t lba;
+      if (is_cold) {
+        lba = cold_cursor;
+        cold_cursor = (cold_cursor + 1) % cold_space;
+      } else {
+        lba = cold_space + rng.NextBelow(n - cold_space);
+      }
+      auto w = ssd.WriteBlocksStream(lba, 1, is_cold ? 1 : 0, t);
+      EXPECT_TRUE(w.ok());
+      t = w.value();
+    }
+    return ssd.WriteAmplification();
+  };
+
+  const double wa_one_stream = run(1);
+  const double wa_two_streams = run(2);
+  EXPECT_LT(wa_two_streams, wa_one_stream)
+      << "per-lifetime streams should reduce GC write amplification";
+}
+
+TEST(MultiStreamTest, StreamIdsClampAndPreserveData) {
+  FtlConfig ftl;
+  ftl.num_streams = 2;
+  ConventionalSsd ssd(SmallFlash(), ftl);
+  std::vector<std::uint8_t> a(4096, 1);
+  std::vector<std::uint8_t> b(4096, 2);
+  ASSERT_TRUE(ssd.WriteBlocksStream(0, 1, 0, 0, a).ok());
+  ASSERT_TRUE(ssd.WriteBlocksStream(1, 1, 99, 0, b).ok());  // Clamped to stream 1.
+  std::vector<std::uint8_t> out(4096);
+  ASSERT_TRUE(ssd.ReadBlocks(0, 1, 0, out).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(ssd.ReadBlocks(1, 1, 0, out).ok());
+  EXPECT_EQ(out, b);
+  EXPECT_TRUE(ssd.CheckConsistency().ok());
+}
+
+}  // namespace
+}  // namespace blockhead

@@ -1,0 +1,77 @@
+// Unit tests for the host GC scheduling policies.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/gc_scheduler.h"
+
+namespace blockhead {
+namespace {
+
+GcSchedulerConfig Config(GcSchedPolicy policy) {
+  GcSchedulerConfig c;
+  c.policy = policy;
+  c.critical_free_fraction = 0.05;
+  c.low_free_fraction = 0.25;
+  c.min_gc_interval = 100;
+  return c;
+}
+
+TEST(GcSchedulerTest, PolicyNames) {
+  EXPECT_STREQ(GcSchedPolicyName(GcSchedPolicy::kInline), "inline");
+  EXPECT_STREQ(GcSchedPolicyName(GcSchedPolicy::kBackground), "background");
+  EXPECT_STREQ(GcSchedPolicyName(GcSchedPolicy::kReadPriority), "read-priority");
+  EXPECT_STREQ(GcSchedPolicyName(GcSchedPolicy::kRateLimited), "rate-limited");
+}
+
+TEST(GcSchedulerTest, NoPolicyRunsWithAmpleSpace) {
+  for (const auto policy : {GcSchedPolicy::kInline, GcSchedPolicy::kBackground,
+                            GcSchedPolicy::kReadPriority, GcSchedPolicy::kRateLimited}) {
+    GcScheduler sched(Config(policy));
+    EXPECT_FALSE(sched.ShouldRun(0.9, false, 0)) << GcSchedPolicyName(policy);
+    EXPECT_FALSE(sched.ShouldRun(0.26, true, 0)) << GcSchedPolicyName(policy);
+  }
+}
+
+TEST(GcSchedulerTest, EveryPolicyRunsWhenCritical) {
+  for (const auto policy : {GcSchedPolicy::kInline, GcSchedPolicy::kBackground,
+                            GcSchedPolicy::kReadPriority, GcSchedPolicy::kRateLimited}) {
+    GcScheduler sched(Config(policy));
+    EXPECT_TRUE(sched.ShouldRun(0.04, true, 0)) << GcSchedPolicyName(policy);
+    EXPECT_TRUE(sched.Critical(0.04));
+    EXPECT_FALSE(sched.Critical(0.06));
+  }
+}
+
+TEST(GcSchedulerTest, InlineNeverRunsEarly) {
+  GcScheduler sched(Config(GcSchedPolicy::kInline));
+  EXPECT_FALSE(sched.ShouldRun(0.10, false, 0));
+  EXPECT_FALSE(sched.ShouldRun(0.10, true, 0));
+}
+
+TEST(GcSchedulerTest, BackgroundRunsBelowLowWatermark) {
+  GcScheduler sched(Config(GcSchedPolicy::kBackground));
+  EXPECT_TRUE(sched.ShouldRun(0.20, false, 0));
+  EXPECT_TRUE(sched.ShouldRun(0.20, true, 0));
+}
+
+TEST(GcSchedulerTest, ReadPriorityDefersWhileReadsPending) {
+  GcScheduler sched(Config(GcSchedPolicy::kReadPriority));
+  EXPECT_TRUE(sched.ShouldRun(0.20, false, 0));
+  EXPECT_FALSE(sched.ShouldRun(0.20, true, 0));
+  // ...but not when space is critical.
+  EXPECT_TRUE(sched.ShouldRun(0.04, true, 0));
+}
+
+TEST(GcSchedulerTest, RateLimiterSpacesRuns) {
+  GcScheduler sched(Config(GcSchedPolicy::kRateLimited));
+  EXPECT_TRUE(sched.ShouldRun(0.20, false, 0));
+  sched.NoteRun(0);
+  EXPECT_FALSE(sched.ShouldRun(0.20, false, 50));
+  EXPECT_TRUE(sched.ShouldRun(0.20, false, 100));
+  // Criticality overrides the rate limit.
+  sched.NoteRun(100);
+  EXPECT_TRUE(sched.ShouldRun(0.01, false, 101));
+}
+
+}  // namespace
+}  // namespace blockhead

@@ -1,0 +1,318 @@
+// Unit tests for src/util: status/result, RNG + zipf, histogram, bitmap, event queue.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/util/bitmap.h"
+#include "src/util/event_queue.h"
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kZoneFull, "zone 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kZoneFull);
+  EXPECT_EQ(s.ToString(), "ZONE_FULL: zone 7");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 17;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 17);
+  EXPECT_EQ(*r, 17);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ErrorCode::kNotFound;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    trues += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextExponential(50.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 50.0, 2.5);
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator zipf(10000, 0.99, 3);
+  std::uint64_t in_top_100 = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next() < 100) {
+      ++in_top_100;
+    }
+  }
+  // With theta=0.99 the head is heavy: top 1% of keys should absorb the majority of draws.
+  EXPECT_GT(static_cast<double>(in_top_100) / draws, 0.5);
+}
+
+TEST(ZipfTest, LowThetaIsNearUniform) {
+  ZipfGenerator zipf(1000, 0.01, 3);
+  std::uint64_t in_top_100 = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next() < 100) {
+      ++in_top_100;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(in_top_100) / draws, 0.1, 0.05);
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  const auto perm = RandomPermutation(257, 9);
+  ASSERT_EQ(perm.size(), 257u);
+  std::set<std::uint64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.Mean(), 100.0);
+  // Log-bucketed: percentile within ~3.2% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 100.0, 100.0 / 31.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 31u);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBelow(1000000));
+  }
+  const auto p50 = h.Percentile(0.50);
+  const auto p90 = h.Percentile(0.90);
+  const auto p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Uniform distribution: p50 near 500k within bucket error.
+  EXPECT_NEAR(static_cast<double>(p50), 500000.0, 500000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(p90), 900000.0, 900000.0 * 0.05);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, RecordManyAndReset) {
+  Histogram h;
+  h.RecordMany(50, 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.Mean(), 50.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SummaryIsNonEmpty) {
+  Histogram h;
+  h.Record(1234);
+  const std::string s = h.Summary(1000.0, "us");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  EXPECT_EQ(bm.set_count(), 0u);
+  EXPECT_TRUE(bm.Set(0));
+  EXPECT_TRUE(bm.Set(129));
+  EXPECT_FALSE(bm.Set(129));  // Already set.
+  EXPECT_EQ(bm.set_count(), 2u);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_TRUE(bm.Clear(0));
+  EXPECT_FALSE(bm.Clear(0));
+  EXPECT_EQ(bm.set_count(), 1u);
+}
+
+TEST(BitmapTest, FindFirstSetAndClear) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.FindFirstSet(), 200u);
+  EXPECT_EQ(bm.FindFirstClear(), 0u);
+  bm.Set(70);
+  bm.Set(150);
+  EXPECT_EQ(bm.FindFirstSet(), 70u);
+  EXPECT_EQ(bm.FindFirstSet(71), 150u);
+  EXPECT_EQ(bm.FindFirstSet(151), 200u);
+  for (std::size_t i = 0; i < 65; ++i) {
+    bm.Set(i);
+  }
+  EXPECT_EQ(bm.FindFirstClear(), 65u);
+}
+
+TEST(BitmapTest, ClearAll) {
+  Bitmap bm(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    bm.Set(i);
+  }
+  EXPECT_EQ(bm.set_count(), 64u);
+  bm.ClearAll();
+  EXPECT_EQ(bm.set_count(), 0u);
+  EXPECT_EQ(bm.FindFirstSet(), 64u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.Push(30, 3);
+  q.Push(10, 1);
+  q.Push(20, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PeekTime(), 10u);
+  EXPECT_EQ(q.Pop().payload, 1);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.Pop().payload, i);
+  }
+}
+
+TEST(TypesTest, ThroughputConversion) {
+  EXPECT_DOUBLE_EQ(ToMiBPerSec(kMiB, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMiBPerSec(0, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(ToMiBPerSec(kMiB, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ToMiBPerSec(512 * kMiB, kSecond / 2), 1024.0);
+}
+
+}  // namespace
+}  // namespace blockhead
