@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_zones.dir/bench_active_zones.cc.o"
+  "CMakeFiles/bench_active_zones.dir/bench_active_zones.cc.o.d"
+  "bench_active_zones"
+  "bench_active_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_emulation.dir/bench_block_emulation.cc.o"
+  "CMakeFiles/bench_block_emulation.dir/bench_block_emulation.cc.o.d"
+  "bench_block_emulation"
+  "bench_block_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_buffers.dir/bench_cache_buffers.cc.o"
+  "CMakeFiles/bench_cache_buffers.dir/bench_cache_buffers.cc.o.d"
+  "bench_cache_buffers"
+  "bench_cache_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

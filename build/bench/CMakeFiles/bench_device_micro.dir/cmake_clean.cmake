@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_micro.dir/bench_device_micro.cc.o"
+  "CMakeFiles/bench_device_micro.dir/bench_device_micro.cc.o.d"
+  "bench_device_micro"
+  "bench_device_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

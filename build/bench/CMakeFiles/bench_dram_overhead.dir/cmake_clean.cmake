@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dram_overhead.dir/bench_dram_overhead.cc.o"
+  "CMakeFiles/bench_dram_overhead.dir/bench_dram_overhead.cc.o.d"
+  "bench_dram_overhead"
+  "bench_dram_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dram_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interfaces.dir/bench_interfaces.cc.o"
+  "CMakeFiles/bench_interfaces.dir/bench_interfaces.cc.o.d"
+  "bench_interfaces"
+  "bench_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kv_rocksdb.cc" "bench/CMakeFiles/bench_kv_rocksdb.dir/bench_kv_rocksdb.cc.o" "gcc" "bench/CMakeFiles/bench_kv_rocksdb.dir/bench_kv_rocksdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_zonefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kv_rocksdb.dir/bench_kv_rocksdb.cc.o"
+  "CMakeFiles/bench_kv_rocksdb.dir/bench_kv_rocksdb.cc.o.d"
+  "bench_kv_rocksdb"
+  "bench_kv_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kv_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

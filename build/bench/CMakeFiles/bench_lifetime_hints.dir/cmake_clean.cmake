@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifetime_hints.dir/bench_lifetime_hints.cc.o"
+  "CMakeFiles/bench_lifetime_hints.dir/bench_lifetime_hints.cc.o.d"
+  "bench_lifetime_hints"
+  "bench_lifetime_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifetime_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

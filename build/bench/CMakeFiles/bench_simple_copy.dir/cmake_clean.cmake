@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simple_copy.dir/bench_simple_copy.cc.o"
+  "CMakeFiles/bench_simple_copy.dir/bench_simple_copy.cc.o.d"
+  "bench_simple_copy"
+  "bench_simple_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simple_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

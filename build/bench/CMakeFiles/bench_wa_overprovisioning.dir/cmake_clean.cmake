@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wa_overprovisioning.dir/bench_wa_overprovisioning.cc.o"
+  "CMakeFiles/bench_wa_overprovisioning.dir/bench_wa_overprovisioning.cc.o.d"
+  "bench_wa_overprovisioning"
+  "bench_wa_overprovisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wa_overprovisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zone_append.dir/bench_zone_append.cc.o"
+  "CMakeFiles/bench_zone_append.dir/bench_zone_append.cc.o.d"
+  "bench_zone_append"
+  "bench_zone_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zone_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_on_zns.dir/block_on_zns.cpp.o"
+  "CMakeFiles/block_on_zns.dir/block_on_zns.cpp.o.d"
+  "block_on_zns"
+  "block_on_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_on_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

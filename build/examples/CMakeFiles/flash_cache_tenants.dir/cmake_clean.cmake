@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_cache_tenants.dir/flash_cache_tenants.cpp.o"
+  "CMakeFiles/flash_cache_tenants.dir/flash_cache_tenants.cpp.o.d"
+  "flash_cache_tenants"
+  "flash_cache_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_cache_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

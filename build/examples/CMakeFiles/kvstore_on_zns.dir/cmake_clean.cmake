@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_on_zns.dir/kvstore_on_zns.cpp.o"
+  "CMakeFiles/kvstore_on_zns.dir/kvstore_on_zns.cpp.o.d"
+  "kvstore_on_zns"
+  "kvstore_on_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_on_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

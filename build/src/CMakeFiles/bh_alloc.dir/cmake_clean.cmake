@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_alloc.dir/alloc/zone_budget.cc.o"
+  "CMakeFiles/bh_alloc.dir/alloc/zone_budget.cc.o.d"
+  "libbh_alloc.a"
+  "libbh_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_cache.dir/cache/flash_cache.cc.o"
+  "CMakeFiles/bh_cache.dir/cache/flash_cache.cc.o.d"
+  "libbh_cache.a"
+  "libbh_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_cost.dir/cost/cost_model.cc.o"
+  "CMakeFiles/bh_cost.dir/cost/cost_model.cc.o.d"
+  "libbh_cost.a"
+  "libbh_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_flash.dir/flash/flash_device.cc.o"
+  "CMakeFiles/bh_flash.dir/flash/flash_device.cc.o.d"
+  "libbh_flash.a"
+  "libbh_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_ftl.dir/ftl/conventional_ssd.cc.o"
+  "CMakeFiles/bh_ftl.dir/ftl/conventional_ssd.cc.o.d"
+  "libbh_ftl.a"
+  "libbh_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_hostftl.dir/hostftl/host_ftl.cc.o"
+  "CMakeFiles/bh_hostftl.dir/hostftl/host_ftl.cc.o.d"
+  "libbh_hostftl.a"
+  "libbh_hostftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_hostftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

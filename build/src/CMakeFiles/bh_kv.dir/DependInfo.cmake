@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block_env.cc" "src/CMakeFiles/bh_kv.dir/kv/block_env.cc.o" "gcc" "src/CMakeFiles/bh_kv.dir/kv/block_env.cc.o.d"
+  "/root/repo/src/kv/kv_store.cc" "src/CMakeFiles/bh_kv.dir/kv/kv_store.cc.o" "gcc" "src/CMakeFiles/bh_kv.dir/kv/kv_store.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/CMakeFiles/bh_kv.dir/kv/sstable.cc.o" "gcc" "src/CMakeFiles/bh_kv.dir/kv/sstable.cc.o.d"
+  "/root/repo/src/kv/ycsb.cc" "src/CMakeFiles/bh_kv.dir/kv/ycsb.cc.o" "gcc" "src/CMakeFiles/bh_kv.dir/kv/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bh_zonefile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

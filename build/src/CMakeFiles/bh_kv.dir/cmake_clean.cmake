@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_kv.dir/kv/block_env.cc.o"
+  "CMakeFiles/bh_kv.dir/kv/block_env.cc.o.d"
+  "CMakeFiles/bh_kv.dir/kv/kv_store.cc.o"
+  "CMakeFiles/bh_kv.dir/kv/kv_store.cc.o.d"
+  "CMakeFiles/bh_kv.dir/kv/sstable.cc.o"
+  "CMakeFiles/bh_kv.dir/kv/sstable.cc.o.d"
+  "CMakeFiles/bh_kv.dir/kv/ycsb.cc.o"
+  "CMakeFiles/bh_kv.dir/kv/ycsb.cc.o.d"
+  "libbh_kv.a"
+  "libbh_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

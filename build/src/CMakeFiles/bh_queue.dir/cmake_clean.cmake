@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_queue.dir/queue/persistent_queue.cc.o"
+  "CMakeFiles/bh_queue.dir/queue/persistent_queue.cc.o.d"
+  "libbh_queue.a"
+  "libbh_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

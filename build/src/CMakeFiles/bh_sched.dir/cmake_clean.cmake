@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_sched.dir/sched/gc_scheduler.cc.o"
+  "CMakeFiles/bh_sched.dir/sched/gc_scheduler.cc.o.d"
+  "libbh_sched.a"
+  "libbh_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_survey.dir/survey/survey.cc.o"
+  "CMakeFiles/bh_survey.dir/survey/survey.cc.o.d"
+  "libbh_survey.a"
+  "libbh_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_util.dir/util/histogram.cc.o"
+  "CMakeFiles/bh_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/bh_util.dir/util/rng.cc.o"
+  "CMakeFiles/bh_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/bh_util.dir/util/status.cc.o"
+  "CMakeFiles/bh_util.dir/util/status.cc.o.d"
+  "libbh_util.a"
+  "libbh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

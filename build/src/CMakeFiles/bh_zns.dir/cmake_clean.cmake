@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_zns.dir/zns/zns_device.cc.o"
+  "CMakeFiles/bh_zns.dir/zns/zns_device.cc.o.d"
+  "libbh_zns.a"
+  "libbh_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

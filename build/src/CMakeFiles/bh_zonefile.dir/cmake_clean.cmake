@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_zonefile.dir/zonefile/zone_file_system.cc.o"
+  "CMakeFiles/bh_zonefile.dir/zonefile/zone_file_system.cc.o.d"
+  "libbh_zonefile.a"
+  "libbh_zonefile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_zonefile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

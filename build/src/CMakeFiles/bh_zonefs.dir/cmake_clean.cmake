@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_zonefs.dir/zonefs/zone_fs.cc.o"
+  "CMakeFiles/bh_zonefs.dir/zonefs/zone_fs.cc.o.d"
+  "libbh_zonefs.a"
+  "libbh_zonefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_zonefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

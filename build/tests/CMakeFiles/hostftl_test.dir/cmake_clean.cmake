@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostftl_test.dir/hostftl_test.cc.o"
+  "CMakeFiles/hostftl_test.dir/hostftl_test.cc.o.d"
+  "hostftl_test"
+  "hostftl_test.pdb"
+  "hostftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_zonefs_test.dir/queue_zonefs_test.cc.o"
+  "CMakeFiles/queue_zonefs_test.dir/queue_zonefs_test.cc.o.d"
+  "queue_zonefs_test"
+  "queue_zonefs_test.pdb"
+  "queue_zonefs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_zonefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_cost_core_test.dir/survey_cost_core_test.cc.o"
+  "CMakeFiles/survey_cost_core_test.dir/survey_cost_core_test.cc.o.d"
+  "survey_cost_core_test"
+  "survey_cost_core_test.pdb"
+  "survey_cost_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_cost_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
