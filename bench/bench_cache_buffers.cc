@@ -10,8 +10,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_main.h"
 #include "src/cache/flash_cache.h"
 #include "src/core/matched_pair.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 
@@ -70,7 +72,10 @@ CacheRunResult Drive(FlashCache& cache, const FlashDevice& flash) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_cache_buffers");
+  Telemetry tel;
+
   std::printf("=== E14: Flash-cache write staging — DRAM buffers vs zones (§4.1) ===\n");
   std::printf("Paper claim: conventional-SSD caches need DRAM coalescing buffers to control\n"
               "WA; on ZNS the zone does the coalescing, and the DRAM can be reclaimed.\n\n");
@@ -85,9 +90,11 @@ int main() {
 
   {
     ConventionalSsd ssd(cfg.flash, cfg.ftl);
+    ssd.AttachTelemetry(&tel, "naive");
     BlockCacheConfig ccfg;
     ccfg.coalesce_writes = false;
     BlockFlashCache cache(&ssd, ccfg);
+    cache.AttachTelemetry(&tel, "naive.cache");
     const CacheRunResult r = Drive(cache, ssd.flash());
     table.AddRow({"block, per-object (naive)", TablePrinter::Fmt(r.hit_ratio, 3),
                   TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
@@ -95,10 +102,12 @@ int main() {
   }
   {
     ConventionalSsd ssd(cfg.flash, cfg.ftl);
+    ssd.AttachTelemetry(&tel, "coalesced");
     BlockCacheConfig ccfg;
     ccfg.coalesce_writes = true;
     ccfg.segment_pages = 1024;  // 4 MiB DRAM staging buffer.
     BlockFlashCache cache(&ssd, ccfg);
+    cache.AttachTelemetry(&tel, "coalesced.cache");
     const CacheRunResult r = Drive(cache, ssd.flash());
     table.AddRow({"block, DRAM-coalesced segments", TablePrinter::Fmt(r.hit_ratio, 3),
                   TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
@@ -106,7 +115,9 @@ int main() {
   }
   {
     ZnsDevice dev(cfg.flash, cfg.zns);
+    dev.AttachTelemetry(&tel, "zns");
     ZnsFlashCache cache(&dev, ZnsCacheConfig{});
+    cache.AttachTelemetry(&tel, "zns.cache");
     const CacheRunResult r = Drive(cache, dev.flash());
     table.AddRow({"ZNS, zone-per-segment", TablePrinter::Fmt(r.hit_ratio, 3),
                   TablePrinter::Fmt(r.wa) + "x", TablePrinter::FmtBytes(r.staging_dram),
@@ -116,5 +127,5 @@ int main() {
   std::printf("Shape check: the naive block design pays FTL write amplification; the coalesced\n"
               "design buys WA~1 with a DRAM buffer per writer; the ZNS design gets WA~1 with\n"
               "ZERO staging DRAM — the buffer the paper says can be reclaimed.\n");
-  return 0;
+  return FinishBench(opts, "bench_cache_buffers", tel.registry);
 }

@@ -4,19 +4,44 @@
 
 #include <benchmark/benchmark.h>
 
+#include <initializer_list>
+#include <string_view>
+
 #include "src/core/matched_pair.h"
 #include "src/hostftl/host_ftl.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 namespace blockhead {
 namespace {
+
+// Copies the selected registry counters/gauges into google-benchmark's counter map under
+// their registry names, so micro-bench rows report the exact fields (and names) the table
+// benches dump — no hand-formatted duplicates of FlashStats/WearSummary.
+void ExportRegistryCounters(benchmark::State& state, MetricRegistry& registry,
+                            std::initializer_list<std::string_view> names) {
+  for (const MetricRegistry::Entry& e : registry.Snapshot()) {
+    for (const std::string_view name : names) {
+      if (e.name != name) {
+        continue;
+      }
+      if (e.kind == MetricKind::kCounter) {
+        state.counters[e.name] = static_cast<double>(e.counter);
+      } else if (e.kind == MetricKind::kGauge) {
+        state.counters[e.name] = e.gauge;
+      }
+    }
+  }
+}
 
 void BM_FlashProgramPage(benchmark::State& state) {
   FlashConfig cfg;
   cfg.geometry = FlashGeometry::Bench();
   cfg.timing = FlashTiming::FastForTests();
   cfg.store_data = false;
+  Telemetry tel;
   FlashDevice dev(cfg);
+  dev.AttachTelemetry(&tel, "flash");
   const FlashGeometry& g = dev.geometry();
   std::uint64_t i = 0;
   SimTime t = 0;
@@ -35,6 +60,8 @@ void BM_FlashProgramPage(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+  ExportRegistryCounters(state, tel.registry,
+                         {"flash.write_amplification", "flash.wear.max_erase_count"});
 }
 BENCHMARK(BM_FlashProgramPage);
 
@@ -45,7 +72,9 @@ void BM_ConventionalRandomWrite(benchmark::State& state) {
   cfg.store_data = false;
   FtlConfig ftl;
   ftl.op_fraction = 0.15;
+  Telemetry tel;
   ConventionalSsd ssd(cfg, ftl);
+  ssd.AttachTelemetry(&tel, "conv");
   Rng rng(1);
   SimTime t = 0;
   for (auto _ : state) {
@@ -55,7 +84,8 @@ void BM_ConventionalRandomWrite(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["WA"] = ssd.WriteAmplification();
+  ExportRegistryCounters(state, tel.registry,
+                         {"conv.ftl.write_amplification", "conv.flash.wear.max_erase_count"});
 }
 BENCHMARK(BM_ConventionalRandomWrite);
 
@@ -64,7 +94,9 @@ void BM_ZnsAppend(benchmark::State& state) {
   cfg.geometry = FlashGeometry::Bench();
   cfg.timing = FlashTiming::FastForTests();
   cfg.store_data = false;
+  Telemetry tel;
   ZnsDevice dev(cfg, ZnsConfig{});
+  dev.AttachTelemetry(&tel, "zns");
   std::uint32_t zone = 0;
   SimTime t = 0;
   for (auto _ : state) {
@@ -79,6 +111,8 @@ void BM_ZnsAppend(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
+  ExportRegistryCounters(state, tel.registry,
+                         {"zns.zone_resets", "zns.flash.write_amplification"});
 }
 BENCHMARK(BM_ZnsAppend);
 
@@ -87,8 +121,11 @@ void BM_HostFtlRandomWrite(benchmark::State& state) {
   cfg.geometry = FlashGeometry::Bench();
   cfg.timing = FlashTiming::FastForTests();
   cfg.store_data = false;
+  Telemetry tel;
   ZnsDevice dev(cfg, ZnsConfig{});
+  dev.AttachTelemetry(&tel, "zns");
   HostFtlBlockDevice ftl(&dev, HostFtlConfig{});
+  ftl.AttachTelemetry(&tel, "hostftl");
   Rng rng(2);
   SimTime t = 0;
   for (auto _ : state) {
@@ -98,7 +135,8 @@ void BM_HostFtlRandomWrite(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["WA"] = ftl.EndToEndWriteAmplification();
+  ExportRegistryCounters(state, tel.registry,
+                         {"hostftl.write_amplification", "zns.flash.write_amplification"});
 }
 BENCHMARK(BM_HostFtlRandomWrite);
 

@@ -1,0 +1,99 @@
+// Shared harness for the bench_* binaries: uniform command-line flags and machine-readable
+// registry dumps.
+//
+// Every wired bench does:
+//
+//   int main(int argc, char** argv) {
+//     const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_foo");
+//     Telemetry tel;
+//     ... attach layers, run, print the usual tables ...
+//     return FinishBench(opts, "bench_foo", tel.registry);
+//   }
+//
+// Flags:
+//   --json <path>    dump the full metric registry as JSON-lines (deterministic: same seed ->
+//                    byte-identical file; this is what BENCH_*.json trajectories consume)
+//   --csv <path>     same dump as CSV
+//   --metrics        also print the registry as a table to stdout
+//   --help           usage
+
+#ifndef BLOCKHEAD_BENCH_BENCH_MAIN_H_
+#define BLOCKHEAD_BENCH_BENCH_MAIN_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/telemetry/sink.h"
+#include "src/telemetry/telemetry.h"
+
+namespace blockhead {
+
+struct BenchOptions {
+  std::string json_path;
+  std::string csv_path;
+  bool print_metrics = false;
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a path argument\n", bench_name, flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--json") == 0) {
+      opts.json_path = need_value("--json");
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      opts.csv_path = need_value("--csv");
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      opts.print_metrics = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--json <path>] [--csv <path>] [--metrics]\n", bench_name);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", bench_name, arg);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Dumps the registry to every sink the flags requested. Returns the bench's exit code.
+inline int FinishBench(const BenchOptions& opts, const char* bench_name,
+                       MetricRegistry& registry) {
+  const auto snapshot = registry.Snapshot();
+  if (opts.print_metrics) {
+    std::string table;
+    TableSink().Render(bench_name, snapshot, &table);
+    std::printf("\n%s", table.c_str());
+  }
+  if (!opts.json_path.empty()) {
+    std::string json;
+    JsonLinesSink().Render(bench_name, snapshot, &json);
+    const Status s = WriteStringToFile(opts.json_path, json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --json: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.csv_path.empty()) {
+    std::string csv;
+    CsvSink().Render(bench_name, snapshot, &csv);
+    const Status s = WriteStringToFile(opts.csv_path, csv);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --csv: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_BENCH_BENCH_MAIN_H_

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <deque>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 #include "src/workload/workload.h"
@@ -32,10 +34,11 @@ struct MixResult {
 constexpr std::uint32_t kQueueDepth = 4;
 constexpr double kReadFraction = 0.7;
 
-MixResult RunConventional(std::uint64_t ops) {
+MixResult RunConventional(std::uint64_t ops, Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.ftl.op_fraction = 0.07;
   ConventionalSsd ssd(cfg.flash, cfg.ftl);
+  ssd.AttachTelemetry(tel, "conv");
   auto fill = SequentialFill(ssd, 1.0, 0);
   RandomWorkloadConfig wl;
   wl.lba_space = ssd.num_blocks();
@@ -55,9 +58,10 @@ MixResult RunConventional(std::uint64_t ops) {
   return result;
 }
 
-MixResult RunZnsNative(std::uint64_t ops) {
+MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   ZnsDevice dev(cfg.flash, cfg.zns);
+  dev.AttachTelemetry(tel, "zns");
   const std::uint64_t zone_pages = dev.zone_size_pages();
   Rng rng(7);
   MixResult result;
@@ -133,15 +137,18 @@ MixResult RunZnsNative(std::uint64_t ops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bench_opts = ParseBenchArgs(argc, argv, "bench_read_latency");
+  Telemetry tel;
+
   std::printf("=== E4: Mixed-load read latency & throughput, conventional vs ZNS-native ===\n");
   std::printf("Paper claim (§2.4, WD): ~60%% lower average read latency, ~3x higher throughput.\n");
   std::printf("Workload: 70/30 R/W uniform 4 KiB, QD %u, steady state, identical TLC flash.\n\n",
               kQueueDepth);
 
   const std::uint64_t ops = 400000;
-  const MixResult conv = RunConventional(ops);
-  const MixResult zns = RunZnsNative(ops);
+  const MixResult conv = RunConventional(ops, &tel);
+  const MixResult zns = RunZnsNative(ops, &tel);
 
   TablePrinter table({"metric", "conventional", "ZNS-native", "delta"});
   const double conv_avg = conv.read_latency.Mean() / kMicrosecond;
@@ -165,5 +172,5 @@ int main() {
               zns.read_latency.Summary(kMicrosecond, "us").c_str());
   std::printf("\nShape check: ZNS average read latency well below conventional (GC-free), and\n"
               "total throughput several times higher (no WA consuming flash bandwidth).\n");
-  return 0;
+  return FinishBench(bench_opts, "bench_read_latency", tel.registry);
 }

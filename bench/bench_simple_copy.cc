@@ -8,9 +8,12 @@
 // host-bus traffic, write latency, and throughput.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
 #include "src/hostftl/host_ftl.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/workload.h"
 
 using namespace blockhead;
@@ -26,12 +29,15 @@ struct CopyResult {
   double wa = 0.0;
 };
 
-CopyResult Run(bool use_simple_copy) {
+CopyResult Run(bool use_simple_copy, Telemetry* tel) {
+  const std::string prefix = use_simple_copy ? "simplecopy" : "hostcopy";
   MatchedConfig cfg = MatchedConfig::Bench();
   ZnsDevice dev(cfg.flash, cfg.zns);
+  dev.AttachTelemetry(tel, prefix + ".zns");
   HostFtlConfig hcfg;
   hcfg.use_simple_copy = use_simple_copy;
   HostFtlBlockDevice ftl(&dev, hcfg);
+  ftl.AttachTelemetry(tel, prefix);
 
   auto fill = SequentialFill(ftl, 1.0, 0);
   RandomWorkloadConfig wl;
@@ -57,12 +63,15 @@ CopyResult Run(bool use_simple_copy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_simple_copy");
+  Telemetry tel;
+
   std::printf("=== E10: Host GC via read+write vs NVMe simple copy (block-on-ZNS) ===\n");
   std::printf("Paper claim (§2.3): with simple copy, GC relocation uses no PCIe bandwidth.\n\n");
 
-  const CopyResult host_copy = Run(/*use_simple_copy=*/false);
-  const CopyResult simple_copy = Run(/*use_simple_copy=*/true);
+  const CopyResult host_copy = Run(/*use_simple_copy=*/false, &tel);
+  const CopyResult simple_copy = Run(/*use_simple_copy=*/true, &tel);
 
   TablePrinter table({"metric", "host read+write", "simple copy"});
   table.AddRow({"GC pages relocated", std::to_string(host_copy.gc_pages),
@@ -85,5 +94,5 @@ int main() {
               "bottleneck, so the throughput columns stay close — on real systems the saved\n"
               "PCIe bandwidth (22 GiB here) is concurrent host I/O that no longer competes\n"
               "with GC, which is the paper's point.\n");
-  return 0;
+  return FinishBench(opts, "bench_simple_copy", tel.registry);
 }

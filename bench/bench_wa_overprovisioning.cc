@@ -9,8 +9,11 @@
 // the paper's structural alternative.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 #include "src/workload/workload.h"
 
@@ -18,7 +21,16 @@ using namespace blockhead;
 
 namespace {
 
-double ConventionalWa(double op_fraction) {
+// Registry prefix for one OP point ("conv.op070" for 7%). All per-device stats land under it;
+// the WA the table prints is read back from `<prefix>.ftl.write_amplification`, the same gauge
+// the JSON dump carries — one formatting path, not two.
+std::string OpPrefix(double op_fraction) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "conv.op%03d", static_cast<int>(op_fraction * 1000 + 0.5));
+  return buf;
+}
+
+bool RunConventional(double op_fraction, Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.flash.timing = FlashTiming::FastForTests();
   cfg.ftl.op_fraction = op_fraction;
@@ -26,11 +38,12 @@ double ConventionalWa(double op_fraction) {
   // puts the zero-OP point in the paper's ~15x regime rather than a pathological thrash.
   cfg.ftl.min_reserve_blocks_per_plane = 5;
   ConventionalSsd ssd(cfg.flash, cfg.ftl);
+  ssd.AttachTelemetry(tel, OpPrefix(op_fraction));
 
   auto fill = SequentialFill(ssd, 1.0, 0);
   if (!fill.ok()) {
     std::fprintf(stderr, "fill failed: %s\n", fill.status().ToString().c_str());
-    return -1.0;
+    return false;
   }
   RandomWorkloadConfig wl;
   wl.lba_space = ssd.num_blocks();
@@ -44,17 +57,19 @@ double ConventionalWa(double op_fraction) {
   const RunResult result = RunClosedLoop(ssd, gen, opts);
   if (!result.status.ok()) {
     std::fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
-    return -1.0;
+    return false;
   }
-  return ssd.WriteAmplification();
+  return true;
+  // ~ConventionalSsd publishes the final gauges into `tel` on scope exit.
 }
 
 // The same churn volume issued as an app-managed zone workload: sequential appends, oldest
 // zone reset wholesale when space runs out.
-double ZnsAppManagedWa() {
+void RunZnsAppManaged(Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.flash.timing = FlashTiming::FastForTests();
   ZnsDevice dev(cfg.flash, cfg.zns);
+  dev.AttachTelemetry(tel, "zns.appmanaged");
   const std::uint64_t total_pages =
       static_cast<std::uint64_t>(dev.num_zones()) * dev.zone_size_pages();
   std::uint32_t open_zone = 0;
@@ -86,21 +101,26 @@ double ZnsAppManagedWa() {
     t = w.value();
     written += chunk;
   }
-  const FlashStats& fs = dev.flash().stats();
-  return static_cast<double>(fs.total_pages_programmed()) /
-         static_cast<double>(fs.host_pages_programmed);
+  // ~ZnsDevice publishes the final gauges (including the flash WA) on scope exit.
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_wa_overprovisioning");
+  Telemetry tel;
+
   std::printf("=== E2: Write amplification vs overprovisioning (uniform random 4K writes) ===\n");
   std::printf("Paper claim: ~15x at 0%% OP, improving to ~2.5x at ~25%% OP (§2.2).\n\n");
 
   const double ops[] = {0.0, 0.07, 0.125, 0.18, 0.25, 0.28};
   TablePrinter table({"OP fraction", "WA (conventional)", "paper shape"});
   for (const double op : ops) {
-    const double wa = ConventionalWa(op);
+    // The device is scoped inside RunConventional; its final stats land in the registry under
+    // OpPrefix(op) when it is destroyed, and the table reads them back from there.
+    const bool ok = RunConventional(op, &tel);
+    const double wa =
+        ok ? tel.registry.GetGauge(OpPrefix(op) + ".ftl.write_amplification")->value() : -1.0;
     const char* note = "";
     if (op == 0.0) {
       note = "~15x claimed";
@@ -113,10 +133,12 @@ int main() {
   }
   std::printf("%s\n", table.Render().c_str());
 
-  const double zns_wa = ZnsAppManagedWa();
+  RunZnsAppManaged(&tel);
+  const double zns_wa =
+      tel.registry.GetGauge("zns.appmanaged.flash.write_amplification")->value();
   std::printf("Same churn, app-managed zones on the ZNS device (no GC copies): WA = %.2fx\n",
               zns_wa);
   std::printf("\nShape check: WA must decrease monotonically with OP, high WA at 0%% OP,\n"
               "near 2-3x at 25%%+; the ZNS alternative stays at ~1x regardless of OP.\n");
-  return 0;
+  return FinishBench(opts, "bench_wa_overprovisioning", tel.registry);
 }

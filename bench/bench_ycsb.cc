@@ -5,14 +5,25 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
 #include "src/kv/block_env.h"
 #include "src/kv/ycsb.h"
+#include "src/telemetry/telemetry.h"
 
 using namespace blockhead;
 
 namespace {
+
+// Registry prefix for one (workload, backend) cell, e.g. "ycsb.a.zns".
+std::string CellPrefix(YcsbWorkload w, bool zns) {
+  std::string p = "ycsb.";
+  p += static_cast<char>('a' + static_cast<int>(w));
+  p += zns ? ".zns" : ".conv";
+  return p;
+}
 
 struct BackendRun {
   YcsbResult result;
@@ -42,7 +53,10 @@ MatchedConfig DeviceConfig() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_ycsb");
+  Telemetry tel;
+
   std::printf("=== E18: YCSB A-F on the LSM store, conventional vs ZNS backends ===\n");
   YcsbConfig ycsb;
   ycsb.record_count = 120000;
@@ -59,14 +73,17 @@ int main() {
     for (const bool zns : {false, true}) {
       const MatchedConfig cfg = DeviceConfig();
       BackendRun run;
+      const std::string prefix = CellPrefix(w, zns);
       if (!zns) {
         ConventionalSsd ssd(cfg.flash, cfg.ftl);
+        ssd.AttachTelemetry(&tel, prefix);
         BlockEnv env(&ssd);
         auto store = KvStore::Open(&env, StoreConfig(), 0);
         if (!store.ok()) {
           std::fprintf(stderr, "open: %s\n", store.status().ToString().c_str());
           return 1;
         }
+        store.value()->AttachTelemetry(&tel, prefix + ".kv");
         auto loaded = YcsbLoad(*store.value(), ycsb, 0);
         if (!loaded.ok()) {
           std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
@@ -76,6 +93,7 @@ int main() {
         run.device_wa = ssd.WriteAmplification();
       } else {
         ZnsDevice dev(cfg.flash, cfg.zns);
+        dev.AttachTelemetry(&tel, prefix);
         ZoneFileConfig zf;
         zf.finish_remainder_pages = 16;
         auto fs = ZoneFileSystem::Format(&dev, zf, 0);
@@ -83,12 +101,14 @@ int main() {
           std::fprintf(stderr, "format: %s\n", fs.status().ToString().c_str());
           return 1;
         }
+        fs.value()->AttachTelemetry(&tel, prefix + ".zonefile");
         ZoneEnv env(fs.value().get());
         auto store = KvStore::Open(&env, StoreConfig(), 0);
         if (!store.ok()) {
           std::fprintf(stderr, "open: %s\n", store.status().ToString().c_str());
           return 1;
         }
+        store.value()->AttachTelemetry(&tel, prefix + ".kv");
         auto loaded = YcsbLoad(*store.value(), ycsb, 0);
         if (!loaded.ok()) {
           std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
@@ -122,5 +142,5 @@ int main() {
               "backend (no device GC competing with foreground I/O, lower device WA);\n"
               "read-only C ties. This is the application-level view of the paper's §2.4\n"
               "claims.\n");
-  return 0;
+  return FinishBench(opts, "bench_ycsb", tel.registry);
 }

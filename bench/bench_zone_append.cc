@@ -9,17 +9,29 @@
 // throughput vs writer count for both commands.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/event_queue.h"
 
 using namespace blockhead;
 
 namespace {
 
+// Registry prefix for one configuration, e.g. "zns.strict.w08.append": every configuration
+// uses its own scoped device, so per-instance prefixes keep their stats separate.
+std::string ConfigPrefix(std::uint32_t writers, bool use_append, bool strict) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "zns.%s.w%02u.%s", strict ? "strict" : "buf", writers,
+                use_append ? "append" : "write");
+  return buf;
+}
+
 // Total pages each configuration writes into the zone (one zone capacity's worth).
-double RunWriters(std::uint32_t writers, bool use_append, bool strict) {
+double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   if (strict) {
     // Strict regime: the zone lock is held until the data is durable on flash (no device
@@ -27,6 +39,7 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict) {
     cfg.zns.zone_write_buffer_pages = 0;
   }
   ZnsDevice dev(cfg.flash, cfg.zns);
+  dev.AttachTelemetry(tel, ConfigPrefix(writers, use_append, strict));
   const std::uint64_t total_pages = dev.zone(0).capacity_pages;
 
   EventQueue<std::uint32_t> ready;  // Writer w is ready to issue at event time.
@@ -67,7 +80,10 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_zone_append");
+  Telemetry tel;
+
   std::printf("=== E7: Multi-writer single-zone throughput — write pointer vs zone append ===\n");
   std::printf("Paper claim (§4.2): write-pointer writes serialize concurrent writers; zone\n"
               "append lets the device order them, restoring parallelism.\n\n");
@@ -80,8 +96,8 @@ int main() {
                               "buffer, lock held until ack):");
     TablePrinter table({"writers", "write (MiB/s)", "append (MiB/s)", "append gain"});
     for (const std::uint32_t writers : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      const double write_mibps = RunWriters(writers, /*use_append=*/false, strict);
-      const double append_mibps = RunWriters(writers, /*use_append=*/true, strict);
+      const double write_mibps = RunWriters(writers, /*use_append=*/false, strict, &tel);
+      const double append_mibps = RunWriters(writers, /*use_append=*/true, strict, &tel);
       table.AddRow(
           {std::to_string(writers), TablePrinter::Fmt(write_mibps),
            TablePrinter::Fmt(append_mibps),
@@ -93,5 +109,5 @@ int main() {
               "(fully serialized on the write pointer; worst in the strict regime). With\n"
               "append the device orders concurrent records itself, so throughput scales with\n"
               "writers until the zone's plane parallelism (32 planes here) saturates.\n");
-  return 0;
+  return FinishBench(opts, "bench_zone_append", tel.registry);
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus a sanitizer pass.
+#
+#   ./ci.sh            # tier-1 (default build + full test suite), then ASan/UBSan tests
+#   ./ci.sh --tier1    # tier-1 only
+#   ./ci.sh --asan     # sanitizer pass only
+#
+# The sanitizer pass builds the whole tree (tests and benches) into build-asan/ with
+# -fsanitize=address,undefined and runs the test suite under it; any leak, UB, or
+# out-of-bounds access fails the script.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_tier1=1
+run_asan=1
+case "${1:-}" in
+  --tier1) run_asan=0 ;;
+  --asan) run_tier1=0 ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--tier1|--asan]" >&2
+    exit 2
+    ;;
+esac
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "=== tier-1: configure + build + ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== sanitizers: ASan + UBSan build + ctest ==="
+  san_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$san_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$san_flags"
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --output-on-failure -j "$jobs")
+fi
+
+echo "ci.sh: all requested checks passed"

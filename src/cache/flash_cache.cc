@@ -13,6 +13,45 @@ std::uint32_t PagesFor(std::uint32_t size_bytes, std::uint32_t page_size) {
 
 }  // namespace
 
+// --- FlashCache (shared telemetry) ---
+
+FlashCache::~FlashCache() {
+  // No final PublishMetrics here: it reads through virtuals, and the derived object is
+  // already gone by the time this base destructor runs. Just unhook the provider.
+  if (telemetry_ != nullptr) {
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+}
+
+void FlashCache::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  metric_prefix_ = std::string(prefix);
+  if (telemetry_ == nullptr) {
+    get_latency_ = nullptr;
+    return;
+  }
+  get_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".get.latency_ns");
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void FlashCache::PublishMetrics() {
+  MetricRegistry& reg = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  const CacheStats& s = stats();
+  reg.GetCounter(p + ".puts")->Set(s.puts);
+  reg.GetCounter(p + ".hits")->Set(s.hits);
+  reg.GetCounter(p + ".misses")->Set(s.misses);
+  reg.GetCounter(p + ".evicted_objects")->Set(s.evicted_objects);
+  reg.GetCounter(p + ".segments_recycled")->Set(s.segments_recycled);
+  reg.GetCounter(p + ".bytes_admitted")->Set(s.bytes_admitted);
+  reg.GetGauge(p + ".hit_ratio")->Set(s.HitRatio());
+  reg.GetGauge(p + ".staging_dram_bytes")->Set(static_cast<double>(StagingDramBytes()));
+}
+
 // --- BlockFlashCache ---
 
 BlockFlashCache::BlockFlashCache(BlockDevice* device, const BlockCacheConfig& config)
@@ -176,6 +215,7 @@ Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
   result.hit = true;
   result.size_bytes = it->second.size_bytes;
   if (it->second.in_buffer) {
+    RecordGetLatency(0);
     return result;  // Served from the DRAM staging buffer.
   }
   if (config_.coalesce_writes) {
@@ -187,6 +227,7 @@ Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
       return read.status();
     }
     result.completion = read.value();
+    RecordGetLatency(result.completion - now);
     return result;
   }
   for (const std::uint64_t page : it->second.page_list) {
@@ -196,6 +237,7 @@ Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
     }
     result.completion = std::max(result.completion, read.value());
   }
+  RecordGetLatency(result.completion - now);
   return result;
 }
 
@@ -314,6 +356,7 @@ Result<CacheGetResult> ZnsFlashCache::Get(std::uint64_t key, SimTime now) {
     return read.status();
   }
   result.completion = read.value();
+  RecordGetLatency(result.completion - now);
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -56,7 +57,7 @@ struct CacheGetResult {
 
 class FlashCache {
  public:
-  virtual ~FlashCache() = default;
+  virtual ~FlashCache();
 
   // Inserts (or refreshes) an object of `size_bytes`. Evicts as needed.
   virtual Result<SimTime> Put(std::uint64_t key, std::uint32_t size_bytes, SimTime now) = 0;
@@ -66,6 +67,26 @@ class FlashCache {
   virtual const CacheStats& stats() const = 0;
   // Host DRAM consumed by write staging (excludes the index, which all designs share).
   virtual std::uint64_t StagingDramBytes() const = 0;
+
+  // Registers CacheStats counters, hit-ratio/staging-DRAM gauges and a live
+  // `<prefix>.get.latency_ns` histogram with `telemetry`. Shared by all cache designs; the
+  // backing device is attached separately by its owner.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "cache");
+
+ protected:
+  // Derived Get implementations report hit completion latency here; no-op when detached.
+  void RecordGetLatency(SimTime latency) {
+    if (get_latency_ != nullptr) {
+      get_latency_->Record(latency);
+    }
+  }
+
+ private:
+  void PublishMetrics();
+
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
+  Histogram* get_latency_ = nullptr;
 };
 
 struct BlockCacheConfig {

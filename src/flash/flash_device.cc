@@ -12,6 +12,60 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config), rng_(conf
   blocks_.resize(config_.geometry.total_blocks());
   plane_busy_.assign(config_.geometry.total_planes(), 0);
   channel_busy_.assign(config_.geometry.channels, 0);
+  plane_maintenance_busy_.assign(config_.geometry.total_planes(), 0);
+}
+
+FlashDevice::~FlashDevice() { AttachTelemetry(nullptr); }
+
+void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    // Publish final values, then unhook: the registry may outlive this device.
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    read_latency_ = nullptr;
+    program_latency_ = nullptr;
+    return;
+  }
+  metric_prefix_ = std::string(prefix);
+  read_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".read.latency_ns");
+  program_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".program.latency_ns");
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void FlashDevice::PublishMetrics() {
+  MetricRegistry& r = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  r.GetCounter(p + ".host_pages_read")->Set(stats_.host_pages_read);
+  r.GetCounter(p + ".host_pages_programmed")->Set(stats_.host_pages_programmed);
+  r.GetCounter(p + ".internal_pages_read")->Set(stats_.internal_pages_read);
+  r.GetCounter(p + ".internal_pages_programmed")->Set(stats_.internal_pages_programmed);
+  r.GetCounter(p + ".blocks_erased")->Set(stats_.blocks_erased);
+  r.GetCounter(p + ".host_bus_bytes")->Set(stats_.host_bus_bytes);
+  r.GetGauge(p + ".write_amplification")
+      ->Set(stats_.host_pages_programmed == 0
+                ? 1.0
+                : static_cast<double>(stats_.total_pages_programmed()) /
+                      static_cast<double>(stats_.host_pages_programmed));
+  const WearSummary w = ComputeWear();
+  r.GetGauge(p + ".wear.min_erase_count")->Set(w.min_erase_count);
+  r.GetGauge(p + ".wear.max_erase_count")->Set(w.max_erase_count);
+  r.GetGauge(p + ".wear.mean_erase_count")->Set(w.mean_erase_count);
+  r.GetGauge(p + ".wear.stddev_erase_count")->Set(w.stddev_erase_count);
+  r.GetCounter(p + ".wear.bad_blocks")->Set(w.bad_blocks);
+}
+
+void FlashDevice::NoteMaintenance(std::uint32_t plane_index, SimTime done) {
+  plane_maintenance_busy_[plane_index] = std::max(plane_maintenance_busy_[plane_index], done);
+}
+
+SimTime FlashDevice::MaintenanceOverlap(std::uint32_t plane_index, SimTime issue,
+                                        SimTime start) const {
+  const SimTime maint = plane_maintenance_busy_[plane_index];
+  const SimTime capped = std::min(start, maint);
+  return capped > issue ? capped - issue : 0;
 }
 
 Status FlashDevice::CheckAddr(const PhysAddr& addr) const {
@@ -40,7 +94,8 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
   }
 
   const FlashGeometry& g = config_.geometry;
-  SimTime& plane = plane_busy_[PlaneIndex(g, addr.channel, addr.plane)];
+  const std::uint32_t plane_index = PlaneIndex(g, addr.channel, addr.plane);
+  SimTime& plane = plane_busy_[plane_index];
   // Cell array read on the plane.
   const SimTime read_start = std::max(issue, plane);
   const SimTime read_done = read_start + config_.timing.page_read;
@@ -55,8 +110,19 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
     chan = done;
     stats_.host_pages_read++;
     stats_.host_bus_bytes += g.page_size;
+    if (telemetry_ != nullptr) {
+      const SimTime gc_wait = MaintenanceOverlap(plane_index, issue, read_start);
+      SpanComponents c;
+      c.gc_ns = gc_wait;
+      c.queue_ns = (read_start - issue) - gc_wait + (xfer_start - read_done);
+      c.flash_ns = config_.timing.page_read + config_.timing.channel_xfer;
+      c.flash_ops = 1;
+      telemetry_->tracer.Charge(c);
+      read_latency_->Record(done - issue);
+    }
   } else {
     stats_.internal_pages_read++;
+    NoteMaintenance(plane_index, read_done);
   }
 
   if (!out.empty()) {
@@ -89,10 +155,12 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
 
   const FlashGeometry& g = config_.geometry;
   SimTime program_can_start = issue;
+  SimTime bus_wait = 0;
   if (op_class == OpClass::kHost) {
     // Data in over the channel bus, then the plane programs the cells.
     SimTime& chan = channel_busy_[addr.channel];
     const SimTime xfer_start = std::max(issue, chan);
+    bus_wait = xfer_start - issue;
     program_can_start = xfer_start + config_.timing.channel_xfer;
     chan = program_can_start;
     stats_.host_pages_programmed++;
@@ -101,10 +169,25 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
     stats_.internal_pages_programmed++;
   }
 
-  SimTime& plane = plane_busy_[PlaneIndex(g, addr.channel, addr.plane)];
+  const std::uint32_t plane_index = PlaneIndex(g, addr.channel, addr.plane);
+  SimTime& plane = plane_busy_[plane_index];
   const SimTime program_start = std::max(program_can_start, plane);
   const SimTime done = program_start + config_.timing.page_program;
   plane = done;
+  if (op_class == OpClass::kHost) {
+    if (telemetry_ != nullptr) {
+      const SimTime gc_wait = MaintenanceOverlap(plane_index, program_can_start, program_start);
+      SpanComponents c;
+      c.gc_ns = gc_wait;
+      c.queue_ns = bus_wait + (program_start - program_can_start) - gc_wait;
+      c.flash_ns = config_.timing.channel_xfer + config_.timing.page_program;
+      c.flash_ops = 1;
+      telemetry_->tracer.Charge(c);
+      program_latency_->Record(done - issue);
+    }
+  } else {
+    NoteMaintenance(plane_index, done);
+  }
 
   if (config_.store_data) {
     if (block.data.empty()) {
@@ -135,10 +218,14 @@ Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t pla
     return ErrorCode::kBlockBad;
   }
 
-  SimTime& plane_busy = plane_busy_[PlaneIndex(config_.geometry, channel, plane)];
+  const std::uint32_t plane_index = PlaneIndex(config_.geometry, channel, plane);
+  SimTime& plane_busy = plane_busy_[plane_index];
   const SimTime start = std::max(issue, plane_busy);
   const SimTime done = start + config_.timing.block_erase;
   plane_busy = done;
+  // Erases are reclamation work in both stacks (device GC or host-driven resets): host ops
+  // queued behind them count as GC interference.
+  NoteMaintenance(plane_index, done);
 
   state.next_page = 0;
   state.erase_count++;

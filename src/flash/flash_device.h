@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/flash/geometry.h"
 #include "src/flash/timing.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
@@ -73,6 +75,7 @@ struct BlockStatus {
 class FlashDevice {
  public:
   explicit FlashDevice(const FlashConfig& config);
+  ~FlashDevice();  // Publishes final metrics and unhooks from the registry if attached.
 
   FlashDevice(const FlashDevice&) = delete;
   FlashDevice& operator=(const FlashDevice&) = delete;
@@ -80,6 +83,13 @@ class FlashDevice {
   const FlashGeometry& geometry() const { return config_.geometry; }
   const FlashTiming& timing() const { return config_.timing; }
   const FlashStats& stats() const { return stats_; }
+
+  // Registers this device with `telemetry` under `<prefix>.*`: a pull-provider exporting
+  // FlashStats, the WearSummary, and a write_amplification gauge, plus live host-op latency
+  // histograms (`<prefix>.read.latency_ns`, `<prefix>.program.latency_ns`). While attached,
+  // host operations also charge queue/GC-interference/service components to any open tracing
+  // span (see src/telemetry/trace.h). Passing nullptr detaches.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "flash");
 
   // Reads one page. If `out` is nonempty it must be page_size bytes and receives the payload
   // (zeroes when store_data is off or the page was never programmed).
@@ -121,12 +131,26 @@ class FlashDevice {
   BlockState& BlockAt(const PhysAddr& addr);
   const BlockState& BlockAt(const PhysAddr& addr) const;
 
+  // Marks [.., done] on a plane as maintenance work (internal copies, erases); host-op waits
+  // that overlap it are attributed to GC interference.
+  void NoteMaintenance(std::uint32_t plane_index, SimTime done);
+  // Portion of a host op's wait [issue, start) spent behind maintenance work on the plane.
+  SimTime MaintenanceOverlap(std::uint32_t plane_index, SimTime issue, SimTime start) const;
+  void PublishMetrics();
+
   FlashConfig config_;
   std::vector<BlockState> blocks_;       // Indexed by FlatBlockIndex.
   std::vector<SimTime> plane_busy_;      // Indexed by PlaneIndex.
   std::vector<SimTime> channel_busy_;    // Indexed by channel.
+  // Completion time of the last maintenance op per plane (GC-interference attribution).
+  std::vector<SimTime> plane_maintenance_busy_;
   FlashStats stats_;
   Rng rng_;
+
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
+  Histogram* read_latency_ = nullptr;     // Host reads, issue -> completion.
+  Histogram* program_latency_ = nullptr;  // Host programs, issue -> completion.
 };
 
 }  // namespace blockhead

@@ -372,6 +372,43 @@ Result<SimTime> ConventionalSsd::WriteBlocks(std::uint64_t lba, std::uint32_t co
   return WriteBlocksStream(lba, count, /*stream=*/0, issue, data);
 }
 
+ConventionalSsd::~ConventionalSsd() { AttachTelemetry(nullptr); }
+
+void ConventionalSsd::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_ + ".ftl");
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    flash_.AttachTelemetry(nullptr);
+    return;
+  }
+  metric_prefix_ = std::string(prefix);
+  flash_.AttachTelemetry(telemetry_, metric_prefix_ + ".flash");
+  telemetry_->registry.AddProvider(metric_prefix_ + ".ftl", [this] { PublishMetrics(); });
+}
+
+void ConventionalSsd::PublishMetrics() {
+  MetricRegistry& r = telemetry_->registry;
+  const std::string p = metric_prefix_ + ".ftl";
+  r.GetCounter(p + ".host_pages_written")->Set(stats_.host_pages_written);
+  r.GetCounter(p + ".host_pages_read")->Set(stats_.host_pages_read);
+  r.GetCounter(p + ".pages_trimmed")->Set(stats_.pages_trimmed);
+  r.GetCounter(p + ".gc.runs")->Set(stats_.gc_runs);
+  r.GetCounter(p + ".gc.pages_moved")->Set(stats_.gc_pages_copied);
+  r.GetCounter(p + ".gc.blocks_reclaimed")->Set(stats_.gc_blocks_reclaimed);
+  r.GetCounter(p + ".gc.foreground_stalls")->Set(stats_.foreground_gc_stalls);
+  r.GetCounter(p + ".wear_migrations")->Set(stats_.wear_migrations);
+  r.GetGauge(p + ".write_amplification")->Set(WriteAmplification());
+  r.GetGauge(p + ".free_blocks")->Set(static_cast<double>(FreeBlocks()));
+  const DramUsage dram = ComputeDramUsage();
+  r.GetGauge(p + ".dram.mapping_bytes")->Set(static_cast<double>(dram.mapping_bytes));
+  r.GetGauge(p + ".dram.gc_metadata_bytes")->Set(static_cast<double>(dram.gc_metadata_bytes));
+  r.GetGauge(p + ".dram.write_buffer_bytes")->Set(static_cast<double>(dram.write_buffer_bytes));
+  r.GetGauge(p + ".dram.total_bytes")->Set(static_cast<double>(dram.total()));
+}
+
 Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint32_t count,
                                                    std::uint32_t stream, SimTime issue,
                                                    std::span<const std::uint8_t> data) {
@@ -384,6 +421,10 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint3
     return ErrorCode::kInvalidArgument;
   }
 
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".ftl.write", issue);
+  }
   SimTime ack = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     MaybeForegroundGc(issue);
@@ -399,6 +440,7 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint3
     const SimTime data_in = issue + flash_.timing().channel_xfer;
     ack = std::max(ack, BufferAck(data_in, done.value()));
   }
+  span.End(ack);
   return ack;
 }
 
@@ -412,6 +454,10 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
     return ErrorCode::kInvalidArgument;
   }
 
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".ftl.read", issue);
+  }
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     std::span<std::uint8_t> page_out;
@@ -435,6 +481,7 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
     }
     done_all = std::max(done_all, done.value());
   }
+  span.End(done_all);
   return done_all;
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/block/block_device.h"
@@ -83,6 +84,7 @@ struct DramUsage {
 class ConventionalSsd final : public BlockDevice {
  public:
   ConventionalSsd(const FlashConfig& flash_config, const FtlConfig& ftl_config);
+  ~ConventionalSsd() override;  // Publishes final metrics and unhooks if attached.
 
   // BlockDevice interface. Lba unit = one flash page.
   Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
@@ -101,6 +103,11 @@ class ConventionalSsd final : public BlockDevice {
 
   const FlashDevice& flash() const { return flash_; }
   const FtlStats& ftl_stats() const { return stats_; }
+
+  // Registers this device (and its inner flash, under `<prefix>.flash.*`) with `telemetry`:
+  // FtlStats, write amplification and DRAM gauges under `<prefix>.ftl.*`, plus per-op tracing
+  // spans (`<prefix>.ftl.read` / `<prefix>.ftl.write`) around host I/O.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "conv");
 
   // Physical-flash-writes / host-writes since construction. >= 1 once anything was written.
   double WriteAmplification() const;
@@ -154,6 +161,7 @@ class ConventionalSsd final : public BlockDevice {
   bool PageValid(std::uint64_t ppn) const;
   // Host-visible ack time for a buffered write whose program completes at `program_done`.
   SimTime BufferAck(SimTime data_in, SimTime program_done);
+  void PublishMetrics();
 
   FlashDevice flash_;
   FtlConfig config_;
@@ -173,6 +181,8 @@ class ConventionalSsd final : public BlockDevice {
   std::deque<SimTime> inflight_program_completions_;  // Write-buffer occupancy model.
 
   FtlStats stats_;
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
 };
 
 }  // namespace blockhead

@@ -258,6 +258,10 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
   if (!data.empty() && data.size() != static_cast<std::size_t>(count) * page_size) {
     return ErrorCode::kInvalidArgument;
   }
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".write", issue);
+  }
   SimTime ack = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     // Mandatory reclamation when space is critical; the triggering write absorbs the delay,
@@ -284,6 +288,7 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
     stats_.host_pages_written++;
     ack = std::max(ack, done.value());
   }
+  span.End(ack);
   return ack;
 }
 
@@ -295,6 +300,10 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
   const std::uint32_t page_size = device_->page_size();
   if (!out.empty() && out.size() != static_cast<std::size_t>(count) * page_size) {
     return ErrorCode::kInvalidArgument;
+  }
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".read", issue);
   }
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -317,6 +326,7 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
     }
     done_all = std::max(done_all, done.value());
   }
+  span.End(done_all);
   return done_all;
 }
 
@@ -332,6 +342,44 @@ Result<SimTime> HostFtlBlockDevice::TrimBlocks(std::uint64_t lba, std::uint32_t 
     }
   }
   return issue;
+}
+
+HostFtlBlockDevice::~HostFtlBlockDevice() { AttachTelemetry(nullptr); }
+
+void HostFtlBlockDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  metric_prefix_ = std::string(prefix);
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void HostFtlBlockDevice::PublishMetrics() {
+  MetricRegistry& reg = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  reg.GetCounter(p + ".host_pages_written")->Set(stats_.host_pages_written);
+  reg.GetCounter(p + ".host_pages_read")->Set(stats_.host_pages_read);
+  reg.GetCounter(p + ".pages_trimmed")->Set(stats_.pages_trimmed);
+  reg.GetCounter(p + ".gc.cycles")->Set(stats_.gc_cycles);
+  reg.GetCounter(p + ".gc.pages_copied")->Set(stats_.gc_pages_copied);
+  reg.GetCounter(p + ".gc.zones_reclaimed")->Set(stats_.zones_reclaimed);
+  reg.GetCounter(p + ".gc.host_bus_bytes")->Set(stats_.gc_host_bus_bytes);
+  reg.GetCounter(p + ".gc.forced_stalls")->Set(stats_.forced_gc_stalls);
+  const GcSchedStats& sched = scheduler_.stats();
+  reg.GetCounter(p + ".sched.decisions")->Set(sched.decisions);
+  reg.GetCounter(p + ".sched.allowed")->Set(sched.allowed);
+  reg.GetCounter(p + ".sched.critical_overrides")->Set(sched.critical_overrides);
+  reg.GetCounter(p + ".sched.denied")->Set(sched.denied);
+  reg.GetCounter(p + ".sched.runs")->Set(sched.runs);
+  reg.GetGauge(p + ".free_zones")->Set(static_cast<double>(FreeZones()));
+  reg.GetGauge(p + ".free_fraction")->Set(FreeFraction());
+  reg.GetGauge(p + ".write_amplification")->Set(EndToEndWriteAmplification());
+  reg.GetGauge(p + ".host_mapping_bytes")->Set(static_cast<double>(HostMappingBytes()));
 }
 
 double HostFtlBlockDevice::EndToEndWriteAmplification() const {

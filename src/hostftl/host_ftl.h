@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/block/block_device.h"
@@ -60,6 +61,7 @@ class HostFtlBlockDevice final : public BlockDevice {
  public:
   // `device` must outlive this object. The host FTL takes over the whole device.
   HostFtlBlockDevice(ZnsDevice* device, const HostFtlConfig& config);
+  ~HostFtlBlockDevice() override;  // Publishes final metrics and unhooks if attached.
 
   Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
                              std::span<std::uint8_t> out = {}) override;
@@ -71,6 +73,12 @@ class HostFtlBlockDevice final : public BlockDevice {
 
   const HostFtlStats& stats() const { return stats_; }
   const GcScheduler& scheduler() const { return scheduler_; }
+
+  // Registers HostFtlStats, scheduler tallies (`<prefix>.sched.*`) and space/DRAM gauges with
+  // `telemetry`, plus per-op tracing spans (`<prefix>.read` / `<prefix>.write`) around host
+  // I/O. Does NOT attach the underlying ZnsDevice — callers that own it attach it themselves
+  // (with its own prefix) so shared-device setups stay unambiguous.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "hostftl");
 
   // Opportunistic maintenance hook: the I/O driver calls this between requests (e.g. on idle
   // ticks). Runs at most `max_cycles` GC cycles if the configured policy allows it. Returns
@@ -106,6 +114,7 @@ class HostFtlBlockDevice final : public BlockDevice {
   void InvalidatePage(std::uint64_t lpn);
   bool DevicePageLive(std::uint64_t dev_lba) const;
   std::uint32_t PickVictim(bool critical) const;
+  void PublishMetrics();
 
   ZnsDevice* device_;
   HostFtlConfig config_;
@@ -126,6 +135,8 @@ class HostFtlBlockDevice final : public BlockDevice {
   std::uint64_t gc_offset_ = 0;
 
   HostFtlStats stats_;
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
 };
 
 }  // namespace blockhead

@@ -366,7 +366,15 @@ Result<SimTime> KvStore::ApplyWrite(std::string_view key, KvEntryType type,
 
 Result<SimTime> KvStore::Put(std::string_view key, std::string_view value, SimTime now) {
   stats_.puts++;
-  return ApplyWrite(key, KvEntryType::kValue, value, now);
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".put", now);
+  }
+  Result<SimTime> done = ApplyWrite(key, KvEntryType::kValue, value, now);
+  if (done.ok()) {
+    span.End(done.value());
+  }
+  return done;
 }
 
 Result<SimTime> KvStore::Delete(std::string_view key, SimTime now) {
@@ -634,6 +642,10 @@ Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
 
 Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
   stats_.gets++;
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".get", now);
+  }
   GetResult result;
   result.completion = now;
 
@@ -645,6 +657,7 @@ Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
       result.value = *it->second;
       stats_.gets_found++;
     }
+    span.End(now);
     return result;
   }
 
@@ -680,6 +693,7 @@ Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
     }
     if (done.value()) {
       result.completion = t;
+      span.End(t);
       return result;
     }
   }
@@ -702,10 +716,12 @@ Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
     }
     if (done.value()) {
       result.completion = t;
+      span.End(t);
       return result;
     }
   }
   result.completion = t;
+  span.End(t);
   return result;
 }
 
@@ -800,6 +816,38 @@ std::vector<std::uint32_t> KvStore::LevelTableCounts() const {
     counts.push_back(static_cast<std::uint32_t>(level.size()));
   }
   return counts;
+}
+
+KvStore::~KvStore() { AttachTelemetry(nullptr); }
+
+void KvStore::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  metric_prefix_ = std::string(prefix);
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void KvStore::PublishMetrics() {
+  MetricRegistry& reg = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  reg.GetCounter(p + ".puts")->Set(stats_.puts);
+  reg.GetCounter(p + ".deletes")->Set(stats_.deletes);
+  reg.GetCounter(p + ".gets")->Set(stats_.gets);
+  reg.GetCounter(p + ".gets_found")->Set(stats_.gets_found);
+  reg.GetCounter(p + ".user_bytes_written")->Set(stats_.user_bytes_written);
+  reg.GetCounter(p + ".flushes")->Set(stats_.flushes);
+  reg.GetCounter(p + ".compactions")->Set(stats_.compactions);
+  reg.GetCounter(p + ".bytes_flushed")->Set(stats_.bytes_flushed);
+  reg.GetCounter(p + ".bytes_compacted")->Set(stats_.bytes_compacted);
+  reg.GetCounter(p + ".bloom_skips")->Set(stats_.bloom_skips);
+  reg.GetCounter(p + ".stall_events")->Set(stats_.stall_events);
+  reg.GetGauge(p + ".lsm_write_amplification")->Set(LsmWriteAmplification());
 }
 
 double KvStore::LsmWriteAmplification() const {

@@ -23,6 +23,7 @@
 
 #include "src/kv/env.h"
 #include "src/kv/sstable.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
 
@@ -64,6 +65,8 @@ class KvStore {
   // Opens (and recovers) a store in `env`. `env` must outlive the store.
   static Result<std::unique_ptr<KvStore>> Open(Env* env, const KvConfig& config, SimTime now);
 
+  ~KvStore();  // Publishes final metrics and unhooks from the registry if attached.
+
   Result<SimTime> Put(std::string_view key, std::string_view value, SimTime now);
   Result<SimTime> Delete(std::string_view key, SimTime now);
 
@@ -90,6 +93,11 @@ class KvStore {
   std::vector<std::uint32_t> LevelTableCounts() const;
   // LSM-level write amplification: (flush + compaction bytes) / user bytes.
   double LsmWriteAmplification() const;
+
+  // Registers KvStats and the LSM write-amplification gauge with `telemetry`, plus per-op
+  // tracing spans (`<prefix>.get` / `<prefix>.put`). A Put span covers everything the write
+  // absorbs: WAL append, stalls, memtable flush and any compaction it triggers.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "kv");
 
  private:
   struct TableMeta {
@@ -127,6 +135,7 @@ class KvStore {
   Result<SimTime> CompactLevel(std::uint32_t level, SimTime now);
   std::uint64_t LevelBytes(std::uint32_t level) const;
   std::uint64_t LevelTargetBytes(std::uint32_t level) const;
+  void PublishMetrics();
 
   Env* env_;
   KvConfig config_;
@@ -142,6 +151,8 @@ class KvStore {
   SimTime stall_until_ = 0;
 
   KvStats stats_;
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
 };
 
 }  // namespace blockhead

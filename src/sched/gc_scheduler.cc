@@ -17,25 +17,31 @@ const char* GcSchedPolicyName(GcSchedPolicy policy) {
 }
 
 bool GcScheduler::ShouldRun(double free_fraction, bool reads_pending, SimTime now) const {
+  stats_.decisions++;
+  const auto allow = [this](bool yes) {
+    (yes ? stats_.allowed : stats_.denied)++;
+    return yes;
+  };
   // Space-critical reclamation is mandatory under every policy: running out of free zones
   // would halt writes entirely.
   if (Critical(free_fraction)) {
-    return true;
+    stats_.critical_overrides++;
+    return allow(true);
   }
   if (free_fraction > config_.low_free_fraction) {
-    return false;  // Plenty of space: never reclaim early.
+    return allow(false);  // Plenty of space: never reclaim early.
   }
   switch (config_.policy) {
     case GcSchedPolicy::kInline:
-      return false;  // Only critical reclamation, handled above.
+      return allow(false);  // Only critical reclamation, handled above.
     case GcSchedPolicy::kBackground:
-      return true;
+      return allow(true);
     case GcSchedPolicy::kReadPriority:
-      return !reads_pending;
+      return allow(!reads_pending);
     case GcSchedPolicy::kRateLimited:
-      return !has_run_ || now >= last_run_ + config_.min_gc_interval;
+      return allow(!has_run_ || now >= last_run_ + config_.min_gc_interval);
   }
-  return false;
+  return allow(false);
 }
 
 }  // namespace blockhead

@@ -39,6 +39,15 @@ struct GcSchedulerConfig {
   SimTime min_gc_interval = 2 * kMillisecond;
 };
 
+// Decision tallies, exported by the owning layer under `<prefix>.sched.*`.
+struct GcSchedStats {
+  std::uint64_t decisions = 0;          // ShouldRun calls.
+  std::uint64_t allowed = 0;            // ... that returned true.
+  std::uint64_t critical_overrides = 0; // ... allowed only because space was critical.
+  std::uint64_t denied = 0;             // ... that returned false.
+  std::uint64_t runs = 0;               // NoteRun calls (cycles actually executed).
+};
+
 // Pure decision logic: the storage layer reports its free fraction and whether foreground I/O
 // is pending; the scheduler says whether a GC cycle may run now.
 class GcScheduler {
@@ -46,6 +55,7 @@ class GcScheduler {
   explicit GcScheduler(const GcSchedulerConfig& config) : config_(config) {}
 
   const GcSchedulerConfig& config() const { return config_; }
+  const GcSchedStats& stats() const { return stats_; }
 
   // True if a reclamation cycle should run at `now`.
   bool ShouldRun(double free_fraction, bool reads_pending, SimTime now) const;
@@ -54,6 +64,7 @@ class GcScheduler {
   void NoteRun(SimTime now) {
     last_run_ = now;
     has_run_ = true;
+    stats_.runs++;
   }
 
   // True when free space is below the mandatory threshold.
@@ -65,6 +76,8 @@ class GcScheduler {
   GcSchedulerConfig config_;
   SimTime last_run_ = 0;
   bool has_run_ = false;
+  // ShouldRun is logically const (a pure policy query); the tallies are observability only.
+  mutable GcSchedStats stats_;
 };
 
 }  // namespace blockhead

@@ -1,0 +1,110 @@
+#include "src/telemetry/metric_registry.h"
+
+namespace blockhead {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kCounter) {
+      collisions_++;
+      return nullptr;
+    }
+    return it->second.counter.get();
+  }
+  Metric m{MetricKind::kCounter, std::make_unique<Counter>(), nullptr, nullptr};
+  Counter* out = m.counter.get();
+  metrics_.emplace(std::string(name), std::move(m));
+  return out;
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kGauge) {
+      collisions_++;
+      return nullptr;
+    }
+    return it->second.gauge.get();
+  }
+  Metric m{MetricKind::kGauge, nullptr, std::make_unique<Gauge>(), nullptr};
+  Gauge* out = m.gauge.get();
+  metrics_.emplace(std::string(name), std::move(m));
+  return out;
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kHistogram) {
+      collisions_++;
+      return nullptr;
+    }
+    return it->second.histogram.get();
+  }
+  Metric m{MetricKind::kHistogram, nullptr, nullptr, std::make_unique<Histogram>()};
+  Histogram* out = m.histogram.get();
+  metrics_.emplace(std::string(name), std::move(m));
+  return out;
+}
+
+bool MetricRegistry::Lookup(std::string_view name, MetricKind* kind) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    return false;
+  }
+  if (kind != nullptr) {
+    *kind = it->second.kind;
+  }
+  return true;
+}
+
+void MetricRegistry::AddProvider(std::string_view id, std::function<void()> fn) {
+  providers_[std::string(id)] = std::move(fn);
+}
+
+void MetricRegistry::RemoveProvider(std::string_view id) {
+  auto it = providers_.find(id);
+  if (it != providers_.end()) {
+    providers_.erase(it);
+  }
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::Snapshot() {
+  for (const auto& [id, fn] : providers_) {
+    fn();
+  }
+  std::vector<Entry> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) {
+    Entry e;
+    e.name = name;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        e.counter = m.counter->value();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = m.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = m.histogram.get();
+        break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace blockhead

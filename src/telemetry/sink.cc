@@ -1,0 +1,152 @@
+#include "src/telemetry/sink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace blockhead {
+
+namespace {
+
+std::string FormatU64(std::uint64_t v) { return std::to_string(v); }
+
+// Minimal JSON string escaping; metric and bench names are ASCII identifiers but quotes and
+// backslashes must never corrupt the stream.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct HistFields {
+  std::uint64_t count, min, max, p50, p90, p95, p99, p999;
+  double mean;
+};
+
+HistFields Summarize(const Histogram& h) {
+  return HistFields{h.count(), h.min(),   h.max(),   h.P50(), h.P90(),
+                    h.P95(),   h.P99(),   h.P999(),  h.Mean()};
+}
+
+}  // namespace
+
+std::string FormatMetricDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void TableSink::Render(std::string_view bench_name,
+                       const std::vector<MetricRegistry::Entry>& snapshot,
+                       std::string* out) const {
+  std::size_t width = 6;  // "metric"
+  for (const auto& e : snapshot) {
+    width = std::max(width, e.name.size());
+  }
+  out->append("[" + std::string(bench_name) + "] " + std::to_string(snapshot.size()) +
+              " metrics\n");
+  for (const auto& e : snapshot) {
+    out->append("  ");
+    out->append(e.name);
+    out->append(width - e.name.size() + 2, ' ');
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out->append(FormatU64(e.counter));
+        break;
+      case MetricKind::kGauge:
+        out->append(FormatMetricDouble(e.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        const HistFields f = Summarize(*e.histogram);
+        out->append("n=" + FormatU64(f.count) + " mean=" + FormatMetricDouble(f.mean) +
+                    " p50=" + FormatU64(f.p50) + " p95=" + FormatU64(f.p95) +
+                    " p99=" + FormatU64(f.p99) + " p99.9=" + FormatU64(f.p999) +
+                    " max=" + FormatU64(f.max));
+        break;
+      }
+    }
+    out->push_back('\n');
+  }
+}
+
+void JsonLinesSink::Render(std::string_view bench_name,
+                           const std::vector<MetricRegistry::Entry>& snapshot,
+                           std::string* out) const {
+  const std::string bench = JsonEscape(bench_name);
+  for (const auto& e : snapshot) {
+    out->append("{\"bench\":\"" + bench + "\",\"metric\":\"" + JsonEscape(e.name) +
+                "\",\"kind\":\"" + MetricKindName(e.kind) + "\"");
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out->append(",\"value\":" + FormatU64(e.counter));
+        break;
+      case MetricKind::kGauge:
+        out->append(",\"value\":" + FormatMetricDouble(e.gauge));
+        break;
+      case MetricKind::kHistogram: {
+        const HistFields f = Summarize(*e.histogram);
+        out->append(",\"count\":" + FormatU64(f.count) + ",\"min\":" + FormatU64(f.min) +
+                    ",\"max\":" + FormatU64(f.max) + ",\"mean\":" + FormatMetricDouble(f.mean) +
+                    ",\"p50\":" + FormatU64(f.p50) + ",\"p90\":" + FormatU64(f.p90) +
+                    ",\"p95\":" + FormatU64(f.p95) + ",\"p99\":" + FormatU64(f.p99) +
+                    ",\"p999\":" + FormatU64(f.p999));
+        break;
+      }
+    }
+    out->append("}\n");
+  }
+}
+
+void CsvSink::Render(std::string_view bench_name,
+                     const std::vector<MetricRegistry::Entry>& snapshot,
+                     std::string* out) const {
+  if (out->empty()) {
+    out->append("bench,metric,kind,value,count,min,max,mean,p50,p90,p95,p99,p999\n");
+  }
+  for (const auto& e : snapshot) {
+    out->append(std::string(bench_name) + "," + e.name + "," + MetricKindName(e.kind) + ",");
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out->append(FormatU64(e.counter) + ",,,,,,,,,");
+        break;
+      case MetricKind::kGauge:
+        out->append(FormatMetricDouble(e.gauge) + ",,,,,,,,,");
+        break;
+      case MetricKind::kHistogram: {
+        const HistFields f = Summarize(*e.histogram);
+        out->append("," + FormatU64(f.count) + "," + FormatU64(f.min) + "," + FormatU64(f.max) +
+                    "," + FormatMetricDouble(f.mean) + "," + FormatU64(f.p50) + "," +
+                    FormatU64(f.p90) + "," + FormatU64(f.p95) + "," + FormatU64(f.p99) + "," +
+                    FormatU64(f.p999));
+        break;
+      }
+    }
+    out->push_back('\n');
+  }
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    return Status(ErrorCode::kInternal, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace blockhead

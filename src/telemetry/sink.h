@@ -1,0 +1,63 @@
+// Pluggable output sinks for MetricRegistry snapshots.
+//
+// Three formats, all deterministic (entries arrive sorted by name from Snapshot(), doubles are
+// formatted with a fixed printf spec, nothing reads the wall clock), so two same-seed runs of
+// a bench produce byte-identical dumps — the property BENCH_*.json regression trajectories
+// rely on:
+//
+//   * TableSink     — the human-readable fixed-width table the benches print;
+//   * JsonLinesSink — one JSON object per line, one line per metric ("--json" flag);
+//   * CsvSink       — one CSV row per metric with a fixed header ("--csv" flag).
+//
+// Histograms serialize as count/min/max/mean plus p50/p90/p95/p99/p999 (values are
+// nanoseconds; names carry the "_ns" convention).
+
+#ifndef BLOCKHEAD_SRC_TELEMETRY_SINK_H_
+#define BLOCKHEAD_SRC_TELEMETRY_SINK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/telemetry/metric_registry.h"
+#include "src/util/status.h"
+
+namespace blockhead {
+
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  // Appends the rendered snapshot to `out`. `bench_name` tags every record so dumps from
+  // different benches can be concatenated.
+  virtual void Render(std::string_view bench_name,
+                      const std::vector<MetricRegistry::Entry>& snapshot,
+                      std::string* out) const = 0;
+};
+
+class TableSink final : public MetricSink {
+ public:
+  void Render(std::string_view bench_name, const std::vector<MetricRegistry::Entry>& snapshot,
+              std::string* out) const override;
+};
+
+class JsonLinesSink final : public MetricSink {
+ public:
+  void Render(std::string_view bench_name, const std::vector<MetricRegistry::Entry>& snapshot,
+              std::string* out) const override;
+};
+
+class CsvSink final : public MetricSink {
+ public:
+  void Render(std::string_view bench_name, const std::vector<MetricRegistry::Entry>& snapshot,
+              std::string* out) const override;
+};
+
+// Fixed, locale-independent double rendering shared by all sinks ("%.6g" via snprintf).
+std::string FormatMetricDouble(double v);
+
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_TELEMETRY_SINK_H_

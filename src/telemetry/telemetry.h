@@ -1,0 +1,23 @@
+// The telemetry bundle handed to every layer: one registry + one tracer per measurement
+// domain (usually one per bench process; benches comparing two stacks attach both to the same
+// bundle under distinct prefixes, e.g. "conv" and "zns").
+//
+// Layers accept a `Telemetry*` via AttachTelemetry(t, prefix) and must tolerate nullptr
+// (telemetry off — the default — costs nothing on the hot paths).
+
+#ifndef BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
+#define BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
+
+#include "src/telemetry/metric_registry.h"
+#include "src/telemetry/trace.h"
+
+namespace blockhead {
+
+struct Telemetry {
+  MetricRegistry registry;
+  Tracer tracer{&registry};
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,67 @@
+#include "src/telemetry/trace.h"
+
+namespace blockhead {
+
+void Tracer::Span::End(SimTime end) {
+  if (tracer_ != nullptr) {
+    tracer_->Finish(id_, end);
+    tracer_ = nullptr;
+  }
+}
+
+void Tracer::Span::Abandon() {
+  if (tracer_ != nullptr) {
+    tracer_->Remove(id_);
+    tracer_ = nullptr;
+  }
+}
+
+Tracer::Span Tracer::Start(std::string_view name, SimTime begin) {
+  OpenSpan s;
+  s.id = next_id_++;
+  s.name = std::string(name);
+  s.begin = begin;
+  open_.push_back(std::move(s));
+  return Span(this, open_.back().id);
+}
+
+void Tracer::Charge(const SpanComponents& c) {
+  for (OpenSpan& s : open_) {
+    s.components.queue_ns += c.queue_ns;
+    s.components.gc_ns += c.gc_ns;
+    s.components.flash_ns += c.flash_ns;
+    s.components.flash_ops += c.flash_ops;
+  }
+}
+
+void Tracer::Finish(std::uint64_t id, SimTime end) {
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].id != id) {
+      continue;
+    }
+    const OpenSpan s = std::move(open_[i]);
+    open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    const SimTime total = end > s.begin ? end - s.begin : 0;
+    const SimTime attributed =
+        s.components.queue_ns + s.components.gc_ns + s.components.flash_ns;
+    const SimTime host = total > attributed ? total - attributed : 0;
+    const std::string prefix = "span." + s.name;
+    registry_->GetHistogram(prefix + ".total_ns")->Record(total);
+    registry_->GetHistogram(prefix + ".queue_ns")->Record(s.components.queue_ns);
+    registry_->GetHistogram(prefix + ".gc_ns")->Record(s.components.gc_ns);
+    registry_->GetHistogram(prefix + ".flash_ns")->Record(s.components.flash_ns);
+    registry_->GetHistogram(prefix + ".host_ns")->Record(host);
+    return;
+  }
+}
+
+void Tracer::Remove(std::uint64_t id) {
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].id == id) {
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+}  // namespace blockhead

@@ -28,6 +28,7 @@ class Histogram {
   void Reset();
 
   std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
   std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t max() const { return max_; }
   double Mean() const;
@@ -35,6 +36,13 @@ class Histogram {
   // Value at quantile q in [0, 1]. Returns 0 for an empty histogram. The returned value is the
   // representative (upper bound) of the bucket containing the q-th sample.
   std::uint64_t Percentile(double q) const;
+
+  // Named percentile accessors (the set the telemetry sinks serialize).
+  std::uint64_t P50() const { return Percentile(0.50); }
+  std::uint64_t P90() const { return Percentile(0.90); }
+  std::uint64_t P95() const { return Percentile(0.95); }
+  std::uint64_t P99() const { return Percentile(0.99); }
+  std::uint64_t P999() const { return Percentile(0.999); }
 
   // One-line summary: count, mean, p50, p90, p99, p99.9, max — values rendered with `unit`
   // divisor (e.g. 1000 for microseconds) and `unit_name`.

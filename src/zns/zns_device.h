@@ -96,10 +96,17 @@ struct CopyRange {
 class ZnsDevice {
  public:
   ZnsDevice(const FlashConfig& flash_config, const ZnsConfig& zns_config);
+  ~ZnsDevice();  // Publishes final metrics and unhooks from the registry if attached.
 
   const FlashDevice& flash() const { return flash_; }
   const ZnsStats& stats() const { return stats_; }
   const ZnsConfig& config() const { return config_; }
+
+  // Registers this device (and its inner flash, under `<prefix>.flash.*`) with `telemetry`:
+  // ZnsStats and zone-resource gauges under `<prefix>.*`, plus live host-observed latency
+  // histograms `<prefix>.append.latency_ns`, `<prefix>.write.latency_ns` and
+  // `<prefix>.read.latency_ns`.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "zns");
 
   std::uint32_t num_zones() const { return static_cast<std::uint32_t>(zones_.size()); }
   // Uniform nominal zone size in pages (LBA stride between zone starts).
@@ -178,6 +185,7 @@ class ZnsDevice {
   // Host-visible acknowledgement time for `pages` buffered at data_in whose programs finish
   // at program_done.
   SimTime BufferAck(Zone& z, std::uint32_t pages, SimTime data_in, SimTime program_done);
+  void PublishMetrics();
 
   FlashDevice flash_;
   ZnsConfig config_;
@@ -186,6 +194,12 @@ class ZnsDevice {
   std::uint32_t active_count_ = 0;
   std::uint32_t open_count_ = 0;
   ZnsStats stats_;
+
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
+  Histogram* append_latency_ = nullptr;
+  Histogram* write_latency_ = nullptr;
+  Histogram* read_latency_ = nullptr;
 };
 
 }  // namespace blockhead

@@ -269,6 +269,10 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
   if (file == nullptr) {
     return ErrorCode::kNotFound;
   }
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".append", now);
+  }
   SimTime done = now;
   std::size_t consumed = 0;
   while (consumed < data.size()) {
@@ -288,6 +292,7 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
       done = flushed.value();
     }
   }
+  span.End(done);
   return done;
 }
 
@@ -301,6 +306,10 @@ Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset
     return ErrorCode::kOutOfRange;
   }
   stats_.bytes_read += out.size();
+  Tracer::Span span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->tracer.Start(metric_prefix_ + ".read", now);
+  }
 
   SimTime done_all = now;
   std::uint64_t cur = offset;       // Position within the remaining extent walk.
@@ -337,6 +346,7 @@ Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset
     assert(cur + chunk <= file->tail.size());
     std::memcpy(out.data() + out_pos, file->tail.data() + cur, chunk);
   }
+  span.End(done_all);
   return done_all;
 }
 
@@ -645,6 +655,45 @@ std::uint32_t ZoneFileSystem::Pump(SimTime now, bool reads_pending, std::uint32_
     ++ran;
   }
   return ran;
+}
+
+ZoneFileSystem::~ZoneFileSystem() { AttachTelemetry(nullptr); }
+
+void ZoneFileSystem::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  metric_prefix_ = std::string(prefix);
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void ZoneFileSystem::PublishMetrics() {
+  MetricRegistry& reg = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  reg.GetCounter(p + ".bytes_appended")->Set(stats_.bytes_appended);
+  reg.GetCounter(p + ".bytes_read")->Set(stats_.bytes_read);
+  reg.GetCounter(p + ".data_pages_flushed")->Set(stats_.data_pages_flushed);
+  reg.GetCounter(p + ".meta_pages_written")->Set(stats_.meta_pages_written);
+  reg.GetCounter(p + ".checkpoints")->Set(stats_.checkpoints);
+  reg.GetCounter(p + ".files_created")->Set(stats_.files_created);
+  reg.GetCounter(p + ".files_deleted")->Set(stats_.files_deleted);
+  reg.GetCounter(p + ".gc.cycles")->Set(stats_.gc_cycles);
+  reg.GetCounter(p + ".gc.pages_copied")->Set(stats_.gc_pages_copied);
+  reg.GetCounter(p + ".gc.zones_reclaimed")->Set(stats_.zones_reclaimed);
+  const GcSchedStats& sched = scheduler_.stats();
+  reg.GetCounter(p + ".sched.decisions")->Set(sched.decisions);
+  reg.GetCounter(p + ".sched.allowed")->Set(sched.allowed);
+  reg.GetCounter(p + ".sched.critical_overrides")->Set(sched.critical_overrides);
+  reg.GetCounter(p + ".sched.denied")->Set(sched.denied);
+  reg.GetCounter(p + ".sched.runs")->Set(sched.runs);
+  reg.GetGauge(p + ".free_zones")->Set(static_cast<double>(FreeZones()));
+  reg.GetGauge(p + ".free_fraction")->Set(FreeFraction());
+  reg.GetGauge(p + ".write_amplification")->Set(EndToEndWriteAmplification());
 }
 
 double ZoneFileSystem::EndToEndWriteAmplification() const {

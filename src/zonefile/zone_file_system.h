@@ -75,6 +75,8 @@ struct ZoneFileStats {
 
 class ZoneFileSystem {
  public:
+  ~ZoneFileSystem();  // Publishes final metrics and unhooks from the registry if attached.
+
   // Initializes a fresh filesystem on `device` (erases any previous metadata). The device must
   // outlive the filesystem and must have at least 8 zones and >= kLifetimeClasses + 2 active
   // zones available.
@@ -112,6 +114,11 @@ class ZoneFileSystem {
   double FreeFraction() const;
   // Physical flash programs per byte of file data appended, normalized to pages.
   double EndToEndWriteAmplification() const;
+
+  // Registers ZoneFileStats, scheduler tallies (`<prefix>.sched.*`) and space gauges with
+  // `telemetry`, plus per-op tracing spans (`<prefix>.append` / `<prefix>.read`) around file
+  // I/O. The underlying ZnsDevice is attached separately by its owner.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "zonefile");
 
   // Validates live-page accounting against the extent maps. For tests.
   Status CheckConsistency() const;
@@ -158,6 +165,7 @@ class ZoneFileSystem {
   Result<SimTime> GcRunToCompletion(SimTime now, bool critical);
   Status StartGcVictim(SimTime now, bool critical);
   std::uint32_t PickVictim(bool critical) const;
+  void PublishMetrics();
 
   // --- Metadata journal ---
   // Writes a metadata blob of the given record type as one or more meta pages; swaps meta
@@ -204,6 +212,8 @@ class ZoneFileSystem {
   GcPending gc_;
 
   ZoneFileStats stats_;
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
 };
 
 }  // namespace blockhead

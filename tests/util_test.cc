@@ -224,6 +224,45 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.max(), 1000000u);
 }
 
+TEST(HistogramTest, NamedPercentileAccessors) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.P50(), h.Percentile(0.50));
+  EXPECT_EQ(h.P90(), h.Percentile(0.90));
+  EXPECT_EQ(h.P95(), h.Percentile(0.95));
+  EXPECT_EQ(h.P99(), h.Percentile(0.99));
+  EXPECT_EQ(h.P999(), h.Percentile(0.999));
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+  EXPECT_EQ(h.sum(), 10000u * 10001u / 2);
+}
+
+TEST(HistogramTest, MergePreservesPercentilesAndSum) {
+  // Merging two histograms must equal recording the union into one.
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.NextBelow(1000000);
+    ((i % 2 == 0) ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.P50(), combined.P50());
+  EXPECT_EQ(a.P95(), combined.P95());
+  EXPECT_EQ(a.P99(), combined.P99());
+  EXPECT_EQ(a.P999(), combined.P999());
+}
+
 TEST(HistogramTest, RecordManyAndReset) {
   Histogram h;
   h.RecordMany(50, 1000);
@@ -305,6 +344,21 @@ TEST(EventQueueTest, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(q.Pop().payload, i);
   }
+}
+
+TEST(EventQueueTest, EqualTimeFifoSurvivesInterleavedPops) {
+  // FIFO order among equal-time events must hold even when pops interleave with pushes (the
+  // pattern of an actor re-scheduling itself at the current time).
+  EventQueue<int> q;
+  q.Push(5, 0);
+  q.Push(5, 1);
+  EXPECT_EQ(q.Pop().payload, 0);
+  q.Push(5, 2);  // Same time, pushed after a pop.
+  q.Push(3, 99);
+  EXPECT_EQ(q.Pop().payload, 99);  // Earlier time still wins.
+  EXPECT_EQ(q.Pop().payload, 1);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(TypesTest, ThroughputConversion) {
