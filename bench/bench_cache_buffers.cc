@@ -75,6 +75,7 @@ CacheRunResult Drive(FlashCache& cache, const FlashDevice& flash) {
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_cache_buffers");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E14: Flash-cache write staging — DRAM buffers vs zones (§4.1) ===\n");
   std::printf("Paper claim: conventional-SSD caches need DRAM coalescing buffers to control\n"
@@ -127,5 +128,5 @@ int main(int argc, char** argv) {
   std::printf("Shape check: the naive block design pays FTL write amplification; the coalesced\n"
               "design buys WA~1 with a DRAM buffer per writer; the ZNS design gets WA~1 with\n"
               "ZERO staging DRAM — the buffer the paper says can be reclaimed.\n");
-  return FinishBench(opts, "bench_cache_buffers", tel.registry);
+  return FinishBench(opts, "bench_cache_buffers", tel);
 }

@@ -6,16 +6,22 @@
 //   int main(int argc, char** argv) {
 //     const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_foo");
 //     Telemetry tel;
-//     ... attach layers, run, print the usual tables ...
-//     return FinishBench(opts, "bench_foo", tel.registry);
+//     ... attach layers ...
+//     MaybeEnableTimeline(opts, tel);
+//     ... run, print the usual tables ...
+//     return FinishBench(opts, "bench_foo", tel);
 //   }
 //
 // Flags:
-//   --json <path>    dump the full metric registry as JSON-lines (deterministic: same seed ->
-//                    byte-identical file; this is what BENCH_*.json trajectories consume)
-//   --csv <path>     same dump as CSV
-//   --metrics        also print the registry as a table to stdout
-//   --help           usage
+//   --json <path>        dump the full metric registry as JSON-lines (deterministic: same
+//                        seed -> byte-identical file; this is what BENCH_*.json trajectories
+//                        and bench/run_suite.sh consume)
+//   --csv <path>         same dump as CSV
+//   --trace <path>       write the recorded timeline as Chrome-trace JSON (open in Perfetto);
+//                        deterministic: same seed -> byte-identical file
+//   --timeseries <path>  write the sampled utilization series as CSV (series,t_ns,value)
+//   --metrics            also print the registry as a table to stdout
+//   --help               usage
 
 #ifndef BLOCKHEAD_BENCH_BENCH_MAIN_H_
 #define BLOCKHEAD_BENCH_BENCH_MAIN_H_
@@ -33,6 +39,8 @@ namespace blockhead {
 struct BenchOptions {
   std::string json_path;
   std::string csv_path;
+  std::string trace_path;
+  std::string timeseries_path;
   bool print_metrics = false;
 };
 
@@ -51,10 +59,17 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
       opts.json_path = need_value("--json");
     } else if (std::strcmp(arg, "--csv") == 0) {
       opts.csv_path = need_value("--csv");
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      opts.trace_path = need_value("--trace");
+    } else if (std::strcmp(arg, "--timeseries") == 0) {
+      opts.timeseries_path = need_value("--timeseries");
     } else if (std::strcmp(arg, "--metrics") == 0) {
       opts.print_metrics = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--json <path>] [--csv <path>] [--metrics]\n", bench_name);
+      std::printf(
+          "usage: %s [--json <path>] [--csv <path>] [--trace <path>] [--timeseries <path>] "
+          "[--metrics]\n",
+          bench_name);
       std::exit(0);
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", bench_name, arg);
@@ -62,6 +77,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
     }
   }
   return opts;
+}
+
+// Turns timeline recording on when --trace or --timeseries was requested. Call after the
+// layers are attached (attachment registers the sampler groups; Enable resets their clocks).
+inline void MaybeEnableTimeline(const BenchOptions& opts, Telemetry& telemetry) {
+  if (!opts.trace_path.empty() || !opts.timeseries_path.empty()) {
+    telemetry.timeline.Enable();
+  }
 }
 
 // Dumps the registry to every sink the flags requested. Returns the bench's exit code.
@@ -88,6 +111,31 @@ inline int FinishBench(const BenchOptions& opts, const char* bench_name,
     const Status s = WriteStringToFile(opts.csv_path, csv);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: --csv: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Full-bundle variant: registry sinks plus the timeline exports (--trace / --timeseries).
+inline int FinishBench(const BenchOptions& opts, const char* bench_name, Telemetry& telemetry) {
+  const int rc = FinishBench(opts, bench_name, telemetry.registry);
+  if (rc != 0) {
+    return rc;
+  }
+  if (!opts.trace_path.empty()) {
+    const Status s =
+        WriteStringToFile(opts.trace_path, telemetry.timeline.ExportChromeTrace());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --trace: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.timeseries_path.empty()) {
+    const Status s =
+        WriteStringToFile(opts.timeseries_path, telemetry.timeline.ExportTimeSeriesCsv());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --timeseries: %s\n", bench_name, s.ToString().c_str());
       return 1;
     }
   }

@@ -140,6 +140,7 @@ MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
 int main(int argc, char** argv) {
   const BenchOptions bench_opts = ParseBenchArgs(argc, argv, "bench_read_latency");
   Telemetry tel;
+  MaybeEnableTimeline(bench_opts, tel);
 
   std::printf("=== E4: Mixed-load read latency & throughput, conventional vs ZNS-native ===\n");
   std::printf("Paper claim (§2.4, WD): ~60%% lower average read latency, ~3x higher throughput.\n");
@@ -172,5 +173,5 @@ int main(int argc, char** argv) {
               zns.read_latency.Summary(kMicrosecond, "us").c_str());
   std::printf("\nShape check: ZNS average read latency well below conventional (GC-free), and\n"
               "total throughput several times higher (no WA consuming flash bandwidth).\n");
-  return FinishBench(bench_opts, "bench_read_latency", tel.registry);
+  return FinishBench(bench_opts, "bench_read_latency", tel);
 }

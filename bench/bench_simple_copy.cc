@@ -66,6 +66,7 @@ CopyResult Run(bool use_simple_copy, Telemetry* tel) {
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_simple_copy");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E10: Host GC via read+write vs NVMe simple copy (block-on-ZNS) ===\n");
   std::printf("Paper claim (§2.3): with simple copy, GC relocation uses no PCIe bandwidth.\n\n");
@@ -94,5 +95,5 @@ int main(int argc, char** argv) {
               "bottleneck, so the throughput columns stay close — on real systems the saved\n"
               "PCIe bandwidth (22 GiB here) is concurrent host I/O that no longer competes\n"
               "with GC, which is the paper's point.\n");
-  return FinishBench(opts, "bench_simple_copy", tel.registry);
+  return FinishBench(opts, "bench_simple_copy", tel);
 }

@@ -114,6 +114,7 @@ KvRun RunWorkload(Env* env, const FlashDevice& flash, Telemetry* tel,
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_tail_latency");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);  // Sampler groups registered later still get grid clocks.
   std::printf("=== E5: KV-store read tail latency & write throughput, conventional vs ZNS ===\n");
   std::printf("Paper claims (§2.4): 2-4x lower read tail latency (up to 22x at extreme\n"
               "percentiles, IBM), ~2x write throughput. LSM KV, %llu keys, %llu mixed ops\n"
@@ -202,5 +203,5 @@ int main(int argc, char** argv) {
               "toward the extreme percentiles); ZNS write throughput is higher because flash\n"
               "bandwidth is not consumed by GC copies. The attribution table shows the\n"
               "conventional gc-wait component directly; the ZNS column's is ~0.\n");
-  return FinishBench(opts, "bench_tail_latency", tel.registry);
+  return FinishBench(opts, "bench_tail_latency", tel);
 }

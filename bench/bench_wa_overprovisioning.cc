@@ -109,6 +109,7 @@ void RunZnsAppManaged(Telemetry* tel) {
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_wa_overprovisioning");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E2: Write amplification vs overprovisioning (uniform random 4K writes) ===\n");
   std::printf("Paper claim: ~15x at 0%% OP, improving to ~2.5x at ~25%% OP (§2.2).\n\n");
@@ -140,5 +141,5 @@ int main(int argc, char** argv) {
               zns_wa);
   std::printf("\nShape check: WA must decrease monotonically with OP, high WA at 0%% OP,\n"
               "near 2-3x at 25%%+; the ZNS alternative stays at ~1x regardless of OP.\n");
-  return FinishBench(opts, "bench_wa_overprovisioning", tel.registry);
+  return FinishBench(opts, "bench_wa_overprovisioning", tel);
 }

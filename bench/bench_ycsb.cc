@@ -56,6 +56,7 @@ MatchedConfig DeviceConfig() {
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_ycsb");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E18: YCSB A-F on the LSM store, conventional vs ZNS backends ===\n");
   YcsbConfig ycsb;
@@ -142,5 +143,5 @@ int main(int argc, char** argv) {
               "backend (no device GC competing with foreground I/O, lower device WA);\n"
               "read-only C ties. This is the application-level view of the paper's §2.4\n"
               "claims.\n");
-  return FinishBench(opts, "bench_ycsb", tel.registry);
+  return FinishBench(opts, "bench_ycsb", tel);
 }

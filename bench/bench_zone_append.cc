@@ -83,6 +83,7 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry
 int main(int argc, char** argv) {
   const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_zone_append");
   Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E7: Multi-writer single-zone throughput — write pointer vs zone append ===\n");
   std::printf("Paper claim (§4.2): write-pointer writes serialize concurrent writers; zone\n"
@@ -109,5 +110,5 @@ int main(int argc, char** argv) {
               "(fully serialized on the write pointer; worst in the strict regime). With\n"
               "append the device orders concurrent records itself, so throughput scales with\n"
               "writers until the zone's plane parallelism (32 planes here) saturates.\n");
-  return FinishBench(opts, "bench_zone_append", tel.registry);
+  return FinishBench(opts, "bench_zone_append", tel);
 }

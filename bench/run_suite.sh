@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Runs every --json-wired bench and aggregates the registry dumps into one regression
+# baseline, BENCH_baseline.json (repo root): one JSON object per line with the schema
+#
+#   {"name": "<bench>", "metric": "<metric name>", "value": <number>, "seed": <workload seed>}
+#
+# Every bench is seed-pinned, so the suite output is byte-stable: a diff against the
+# committed baseline is a real behaviour change (perf regression, WA shift, accounting bug),
+# never noise.
+#
+#   bench/run_suite.sh                  # run suite, write BENCH_baseline.json.new, diff
+#   bench/run_suite.sh --update         # run suite and overwrite BENCH_baseline.json
+#   bench/run_suite.sh --check          # run suite, exit 1 if it differs from the baseline
+#
+# Assumes an existing build/ tree (ci.sh tier-1 provides one).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="diff"
+case "${1:-}" in
+  --update) mode="update" ;;
+  --check) mode="check" ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--update|--check]" >&2
+    exit 2
+    ;;
+esac
+
+build_dir="build"
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "run_suite.sh: no $build_dir/bench directory; build first (cmake --build build)" >&2
+  exit 1
+fi
+
+# bench -> primary workload seed (matches the constant hard-coded in each bench source;
+# 0 = the bench is deterministic with no top-level RNG).
+benches=(
+  "bench_tail_latency 11"
+  "bench_gc_policy 21"
+  "bench_read_latency 7"
+  "bench_cache_buffers 37"
+  "bench_simple_copy 13"
+  "bench_wa_overprovisioning 42"
+  "bench_ycsb 0"
+  "bench_zone_append 0"
+)
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+for entry in "${benches[@]}"; do
+  read -r bench seed <<< "$entry"
+  echo "run_suite.sh: $bench (seed $seed)"
+  "$build_dir/bench/$bench" --json "$tmp_dir/$bench.json" > /dev/null
+done
+
+out="$tmp_dir/BENCH_baseline.json"
+python3 - "$out" "${benches[@]}" <<'PY'
+import json, sys
+out_path = sys.argv[1]
+rows = []
+for entry in sys.argv[2:]:
+    bench, seed = entry.rsplit(" ", 1)
+    with open(f"{sys.argv[1].rsplit('/', 1)[0]}/{bench}.json") as f:
+        for line in f:
+            rec = json.loads(line)
+            if "value" in rec:  # counter / gauge
+                rows.append({"name": rec["bench"], "metric": rec["metric"],
+                             "value": rec["value"], "seed": int(seed)})
+            else:  # histogram: one row per summary stat
+                for stat in ("count", "min", "max", "mean", "p50", "p90", "p95",
+                             "p99", "p999"):
+                    rows.append({"name": rec["bench"],
+                                 "metric": f"{rec['metric']}.{stat}",
+                                 "value": rec[stat], "seed": int(seed)})
+with open(out_path, "w") as f:
+    for row in rows:
+        f.write(json.dumps(row, separators=(",", ":")) + "\n")
+PY
+
+case "$mode" in
+  update)
+    cp "$out" BENCH_baseline.json
+    echo "run_suite.sh: wrote BENCH_baseline.json ($(wc -l < BENCH_baseline.json) metrics)"
+    ;;
+  check)
+    if ! diff -q BENCH_baseline.json "$out" > /dev/null; then
+      echo "run_suite.sh: FAIL — bench metrics diverged from BENCH_baseline.json:" >&2
+      diff BENCH_baseline.json "$out" | head -40 >&2
+      exit 1
+    fi
+    echo "run_suite.sh: OK — bench metrics match BENCH_baseline.json"
+    ;;
+  diff)
+    cp "$out" BENCH_baseline.json.new
+    if [[ -f BENCH_baseline.json ]]; then
+      diff BENCH_baseline.json BENCH_baseline.json.new || true
+    fi
+    echo "run_suite.sh: wrote BENCH_baseline.json.new (use --update to commit it)"
+    ;;
+esac

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify plus a sanitizer pass.
 #
-#   ./ci.sh            # tier-1 (default build + full test suite), then ASan/UBSan tests
+#   ./ci.sh            # tier-1 (default build + full test suite + trace smoke), then
+#                      # ASan/UBSan tests (timeline determinism included)
 #   ./ci.sh --tier1    # tier-1 only
 #   ./ci.sh --asan     # sanitizer pass only
+#   ./ci.sh --suite    # tier-1 build, then the bench suite checked against BENCH_baseline.json
 #
 # The sanitizer pass builds the whole tree (tests and benches) into build-asan/ with
 # -fsanitize=address,undefined and runs the test suite under it; any leak, UB, or
@@ -14,12 +16,17 @@ cd "$(dirname "$0")"
 
 run_tier1=1
 run_asan=1
+run_suite=0
 case "${1:-}" in
   --tier1) run_asan=0 ;;
   --asan) run_tier1=0 ;;
+  --suite)
+    run_asan=0
+    run_suite=1
+    ;;
   "") ;;
   *)
-    echo "usage: $0 [--tier1|--asan]" >&2
+    echo "usage: $0 [--tier1|--asan|--suite]" >&2
     exit 2
     ;;
 esac
@@ -31,6 +38,57 @@ if [[ "$run_tier1" == 1 ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs"
   (cd build && ctest --output-on-failure -j "$jobs")
+
+  echo "=== smoke: timeline trace + time-series export ==="
+  smoke_dir=$(mktemp -d)
+  trap 'rm -rf "$smoke_dir"' EXIT
+  build/bench/bench_read_latency --trace "$smoke_dir/trace.json" \
+    --timeseries "$smoke_dir/timeseries.csv" > /dev/null
+  python3 - "$smoke_dir/trace.json" "$smoke_dir/timeseries.csv" <<'PY'
+import json, sys
+
+# Chrome-trace schema: top-level object, traceEvents[], the three named processes, and at
+# least three tracks with duration slices on them.
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert trace["displayTimeUnit"] == "ns", "unexpected displayTimeUnit"
+procs = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+assert {"host ops", "device maintenance", "utilization"} <= procs, procs
+tracks = {(e["pid"], e["tid"]) for e in events
+          if e["ph"] == "M" and e["name"] == "thread_name"}
+assert len(tracks) >= 3, f"expected >=3 tracks, got {len(tracks)}"
+slices = [e for e in events if e["ph"] == "X"]
+assert slices, "no duration slices in trace"
+for s in slices[:100]:
+    float(s["ts"]), float(s["dur"])  # Parseable microsecond stamps.
+counters = [e for e in events if e["ph"] == "C"]
+assert counters, "no counter samples in trace"
+
+# Time-series CSV schema: header then series,t_ns,value rows with non-decreasing t_ns
+# per series.
+with open(sys.argv[2]) as f:
+    header = f.readline().strip()
+    assert header == "series,t_ns,value", header
+    last = {}
+    rows = 0
+    for line in f:
+        series, t_ns, value = line.rsplit(",", 2)
+        t = int(t_ns)
+        float(value)
+        assert last.get(series, -1) <= t, f"time went backwards in {series}"
+        last[series] = t
+        rows += 1
+    assert rows > 0, "empty time-series"
+print(f"smoke: trace ok ({len(slices)} slices, {len(counters)} samples, "
+      f"{len(tracks)} tracks); time-series ok ({rows} rows)")
+PY
+fi
+
+if [[ "$run_suite" == 1 ]]; then
+  echo "=== bench suite vs committed baseline ==="
+  bench/run_suite.sh --check
 fi
 
 if [[ "$run_asan" == 1 ]]; then

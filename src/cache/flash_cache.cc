@@ -38,6 +38,15 @@ void FlashCache::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) 
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
 }
 
+void FlashCache::NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
+                              std::uint64_t objects) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->events.Append(t, TimelineEventType::kCacheEvict, metric_prefix_, detail,
+                            container, objects);
+}
+
 void FlashCache::PublishMetrics() {
   MetricRegistry& reg = telemetry_->registry;
   const std::string& p = metric_prefix_;
@@ -89,12 +98,18 @@ void BlockFlashCache::DropSegmentObjects(std::uint32_t segment) {
 Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
   // Recycle the slot: its previous generation of objects is evicted, then the staged buffer
   // lands as one large sequential write (the RIPQ pattern).
+  const std::uint64_t evicted_before = stats_.evicted_objects;
   DropSegmentObjects(open_segment_);
   const std::uint64_t lba = static_cast<std::uint64_t>(open_segment_) * config_.segment_pages;
   Result<SimTime> written = device_->WriteBlocks(lba, staged_pages_, now);
   if (!written.ok()) {
     return written;
   }
+  const std::uint64_t dropped = stats_.evicted_objects - evicted_before;
+  NoteEviction(written.value(),
+               "recycle segment " + std::to_string(open_segment_) + " evicted " +
+                   std::to_string(dropped),
+               open_segment_, dropped);
   for (const std::uint64_t key : staged_keys_) {
     auto it = index_.find(key);
     if (it != index_.end() && it->second.segment == open_segment_ && it->second.in_buffer) {
@@ -295,12 +310,17 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     // the structural WA≈1 property of the zoned cache.
     const std::uint32_t victim = zone_fifo_.front();
     zone_fifo_.pop_front();
+    const std::uint64_t evicted_before = stats_.evicted_objects;
     DropZoneObjects(victim);
     Result<SimTime> reset = device_->ResetZone(victim, now);
     if (!reset.ok()) {
       return reset;
     }
     now = reset.value();
+    const std::uint64_t dropped = stats_.evicted_objects - evicted_before;
+    NoteEviction(now,
+                 "evict zone " + std::to_string(victim) + " dropped " + std::to_string(dropped),
+                 victim, dropped);
     if (device_->zone(victim).state != ZoneState::kOffline) {
       free_zones_.push_back(victim);
     }

@@ -70,7 +70,8 @@ class FlashCache {
 
   // Registers CacheStats counters, hit-ratio/staging-DRAM gauges and a live
   // `<prefix>.get.latency_ns` histogram with `telemetry`. Shared by all cache designs; the
-  // backing device is attached separately by its owner.
+  // backing device is attached separately by its owner. While attached, bulk evictions
+  // (segment recycles / zone resets) land in the event log as kCacheEvict records.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "cache");
 
  protected:
@@ -80,6 +81,11 @@ class FlashCache {
       get_latency_->Record(latency);
     }
   }
+
+  // Appends a kCacheEvict event for a bulk eviction (no-op when detached). `container` is the
+  // recycled segment/zone id, `objects` the number of objects dropped with it.
+  void NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
+                    std::uint64_t objects);
 
  private:
   void PublishMetrics();

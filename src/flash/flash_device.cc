@@ -13,6 +13,8 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config), rng_(conf
   plane_busy_.assign(config_.geometry.total_planes(), 0);
   channel_busy_.assign(config_.geometry.channels, 0);
   plane_maintenance_busy_.assign(config_.geometry.total_planes(), 0);
+  plane_busy_series_.assign(config_.geometry.total_planes(), BusySeries{});
+  channel_busy_series_.assign(config_.geometry.channels, BusySeries{});
 }
 
 FlashDevice::~FlashDevice() { AttachTelemetry(nullptr); }
@@ -22,17 +24,37 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
     // Publish final values, then unhook: the registry may outlive this device.
     PublishMetrics();
     telemetry_->registry.RemoveProvider(metric_prefix_);
+    telemetry_->timeline.RemoveSamplerGroup(metric_prefix_);
   }
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) {
     read_latency_ = nullptr;
     program_latency_ = nullptr;
+    sampler_group_ = -1;
     return;
   }
   metric_prefix_ = std::string(prefix);
   read_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".read.latency_ns");
   program_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".program.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+
+  Timeline& tl = telemetry_->timeline;
+  sampler_group_ = tl.AddSamplerGroup(metric_prefix_);
+  plane_tracks_.clear();
+  for (std::size_t i = 0; i < plane_busy_series_.size(); ++i) {
+    plane_tracks_.push_back(metric_prefix_ + ".plane" + std::to_string(i));
+    tl.AddSampler(sampler_group_, plane_tracks_.back() + ".busy_fraction",
+                  Timeline::SampleKind::kRate, [this, i](SimTime t) {
+                    return static_cast<double>(plane_busy_series_[i].SettledNsAt(t));
+                  });
+  }
+  for (std::size_t i = 0; i < channel_busy_series_.size(); ++i) {
+    tl.AddSampler(sampler_group_,
+                  metric_prefix_ + ".channel" + std::to_string(i) + ".busy_fraction",
+                  Timeline::SampleKind::kRate, [this, i](SimTime t) {
+                    return static_cast<double>(channel_busy_series_[i].SettledNsAt(t));
+                  });
+  }
 }
 
 void FlashDevice::PublishMetrics() {
@@ -119,10 +141,23 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
       c.flash_ops = 1;
       telemetry_->tracer.Charge(c);
       read_latency_->Record(done - issue);
+      if (telemetry_->timeline.enabled()) {
+        plane_busy_series_[plane_index].Book(read_start, read_done);
+        channel_busy_series_[addr.channel].Book(xfer_start, done);
+      }
+      telemetry_->timeline.AdvanceGroup(sampler_group_, done);
     }
   } else {
     stats_.internal_pages_read++;
     NoteMaintenance(plane_index, read_done);
+    if (telemetry_ != nullptr) {
+      if (telemetry_->timeline.enabled()) {
+        plane_busy_series_[plane_index].Book(read_start, read_done);
+      }
+      telemetry_->timeline.RecordMaintenance(plane_tracks_[plane_index], "copy_read",
+                                             read_start, read_done);
+      telemetry_->timeline.AdvanceGroup(sampler_group_, read_done);
+    }
   }
 
   if (!out.empty()) {
@@ -184,9 +219,24 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
       c.flash_ops = 1;
       telemetry_->tracer.Charge(c);
       program_latency_->Record(done - issue);
+      if (telemetry_->timeline.enabled()) {
+        channel_busy_series_[addr.channel].Book(program_can_start -
+                                                    config_.timing.channel_xfer,
+                                                program_can_start);
+        plane_busy_series_[plane_index].Book(program_start, done);
+      }
+      telemetry_->timeline.AdvanceGroup(sampler_group_, done);
     }
   } else {
     NoteMaintenance(plane_index, done);
+    if (telemetry_ != nullptr) {
+      if (telemetry_->timeline.enabled()) {
+        plane_busy_series_[plane_index].Book(program_start, done);
+      }
+      telemetry_->timeline.RecordMaintenance(plane_tracks_[plane_index], "copy_program",
+                                             program_start, done);
+      telemetry_->timeline.AdvanceGroup(sampler_group_, done);
+    }
   }
 
   if (config_.store_data) {
@@ -226,6 +276,17 @@ Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t pla
   // Erases are reclamation work in both stacks (device GC or host-driven resets): host ops
   // queued behind them count as GC interference.
   NoteMaintenance(plane_index, done);
+  if (telemetry_ != nullptr) {
+    if (telemetry_->timeline.enabled()) {
+      plane_busy_series_[plane_index].Book(start, done);
+    }
+    telemetry_->timeline.RecordMaintenance(plane_tracks_[plane_index], "erase", start, done);
+    telemetry_->events.Append(done, TimelineEventType::kBlockErase, metric_prefix_,
+                              "erase plane " + std::to_string(plane_index) + " block " +
+                                  std::to_string(block),
+                              plane_index, block);
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done);
+  }
 
   state.next_page = 0;
   state.erase_count++;

@@ -89,6 +89,12 @@ class FlashDevice {
   // histograms (`<prefix>.read.latency_ns`, `<prefix>.program.latency_ns`). While attached,
   // host operations also charge queue/GC-interference/service components to any open tracing
   // span (see src/telemetry/trace.h). Passing nullptr detaches.
+  //
+  // Timeline wiring (active only once telemetry->timeline.Enable() is called): internal copy
+  // reads/programs and block erases become maintenance slices on per-plane tracks
+  // ("<prefix>.plane<i>"), erases are logged as kBlockErase events, and per-plane /
+  // per-channel busy fractions are sampled as "<prefix>.plane<i>.busy_fraction" /
+  // "<prefix>.channel<i>.busy_fraction" series on the timeline's cadence.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "flash");
 
   // Reads one page. If `out` is nonempty it must be page_size bytes and receives the payload
@@ -144,11 +150,18 @@ class FlashDevice {
   std::vector<SimTime> channel_busy_;    // Indexed by channel.
   // Completion time of the last maintenance op per plane (GC-interference attribution).
   std::vector<SimTime> plane_maintenance_busy_;
+  // Busy intervals (host + maintenance), settled at sample boundaries so the timeline's
+  // kRate samplers report true 0..1 busy fractions even though ops book their whole service
+  // interval at issue time. Booked only while the timeline is enabled.
+  std::vector<BusySeries> plane_busy_series_;
+  std::vector<BusySeries> channel_busy_series_;
   FlashStats stats_;
   Rng rng_;
 
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  int sampler_group_ = -1;
+  std::vector<std::string> plane_tracks_;  // Precomputed "<prefix>.plane<i>" track names.
   Histogram* read_latency_ = nullptr;     // Host reads, issue -> completion.
   Histogram* program_latency_ = nullptr;  // Host programs, issue -> completion.
 };

@@ -243,6 +243,17 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
   const PhysAddr victim_addr = BlockAddrFromFlat(g, victim);
   const std::uint64_t first_ppn = victim * g.pages_per_block;
   SimTime last_done = now;
+  const std::uint64_t copied_before = stats_.gc_pages_copied;
+  if (telemetry_ != nullptr) {
+    const char* policy = wear_migration ? "wear_migration"
+                         : config_.victim_policy == GcVictimPolicy::kGreedy ? "greedy"
+                                                                            : "cost_benefit";
+    telemetry_->events.Append(now, TimelineEventType::kGcVictim, metric_prefix_ + ".ftl",
+                              std::string("victim block ") + std::to_string(victim) +
+                                  " valid " + std::to_string(block_meta_[victim].valid_pages) +
+                                  " policy " + policy,
+                              victim, block_meta_[victim].valid_pages);
+  }
 
   // Copy valid pages forward (device-internal: no host-bus traffic). Copies run as a
   // plane-wide pipelined window: the FTL is bandwidth-greedy for internal moves (it must keep
@@ -306,6 +317,17 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
     planes_[plane_index].free_blocks.push_back(victim_addr.block);
     free_block_count_++;
     stats_.gc_blocks_reclaimed++;
+  }
+  if (telemetry_ != nullptr) {
+    const std::uint64_t copied = stats_.gc_pages_copied - copied_before;
+    telemetry_->events.Append(erased.value(), TimelineEventType::kGcCycle,
+                              metric_prefix_ + ".ftl",
+                              "cycle done block " + std::to_string(victim) + " copied " +
+                                  std::to_string(copied),
+                              victim, copied);
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".ftl.gc", "gc_cycle", now,
+                                           erased.value());
+    telemetry_->timeline.AdvanceGroup(sampler_group_, erased.value());
   }
   return erased;
 }
@@ -378,15 +400,26 @@ void ConventionalSsd::AttachTelemetry(Telemetry* telemetry, std::string_view pre
   if (telemetry_ != nullptr) {
     PublishMetrics();
     telemetry_->registry.RemoveProvider(metric_prefix_ + ".ftl");
+    telemetry_->timeline.RemoveSamplerGroup(metric_prefix_ + ".ftl");
   }
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) {
     flash_.AttachTelemetry(nullptr);
+    sampler_group_ = -1;
     return;
   }
   metric_prefix_ = std::string(prefix);
   flash_.AttachTelemetry(telemetry_, metric_prefix_ + ".flash");
   telemetry_->registry.AddProvider(metric_prefix_ + ".ftl", [this] { PublishMetrics(); });
+
+  Timeline& tl = telemetry_->timeline;
+  sampler_group_ = tl.AddSamplerGroup(metric_prefix_ + ".ftl");
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".ftl.free_blocks",
+                Timeline::SampleKind::kInstant,
+                [this](SimTime) { return static_cast<double>(free_block_count_); });
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".ftl.write_amplification",
+                Timeline::SampleKind::kInstant,
+                [this](SimTime) { return WriteAmplification(); });
 }
 
 void ConventionalSsd::PublishMetrics() {
@@ -440,6 +473,9 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint3
     const SimTime data_in = issue + flash_.timing().channel_xfer;
     ack = std::max(ack, BufferAck(data_in, done.value()));
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
+  }
   span.End(ack);
   return ack;
 }
@@ -480,6 +516,9 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
       return done;
     }
     done_all = std::max(done_all, done.value());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
   }
   span.End(done_all);
   return done_all;

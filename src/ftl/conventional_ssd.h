@@ -107,6 +107,11 @@ class ConventionalSsd final : public BlockDevice {
   // Registers this device (and its inner flash, under `<prefix>.flash.*`) with `telemetry`:
   // FtlStats, write amplification and DRAM gauges under `<prefix>.ftl.*`, plus per-op tracing
   // spans (`<prefix>.ftl.read` / `<prefix>.ftl.write`) around host I/O.
+  //
+  // While attached, GC decisions are logged as events (kGcVictim on victim selection, kGcCycle
+  // on completion) and each GC cycle becomes a maintenance slice on the "<prefix>.ftl.gc"
+  // timeline track; "<prefix>.ftl.free_blocks" and "<prefix>.ftl.write_amplification" are
+  // sampled as timeline series once the timeline is enabled.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "conv");
 
   // Physical-flash-writes / host-writes since construction. >= 1 once anything was written.
@@ -183,6 +188,7 @@ class ConventionalSsd final : public BlockDevice {
   FtlStats stats_;
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  int sampler_group_ = -1;  // Timeline group for free-pool / WA gauges.
 };
 
 }  // namespace blockhead

@@ -146,6 +146,14 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
     if (gc_victim_ == kNoZone) {
       return ErrorCode::kNoFreeBlocks;
     }
+    gc_cycle_copied_base_ = stats_.gc_pages_copied;
+    if (telemetry_ != nullptr) {
+      telemetry_->events.Append(now, TimelineEventType::kGcVictim, metric_prefix_,
+                                "victim zone " + std::to_string(gc_victim_) + " live " +
+                                    std::to_string(zone_live_[gc_victim_]) +
+                                    (critical ? " critical" : ""),
+                                gc_victim_, zone_live_[gc_victim_]);
+    }
   }
   const ZoneDescriptor vd = device_->zone(gc_victim_);
   const std::uint32_t page_size = device_->page_size();
@@ -205,6 +213,9 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
     gc_offset_ += run;
     moved += run;
   }
+  if (telemetry_ != nullptr && moved > 0) {
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".gc", "gc_step", now, t);
+  }
   if (gc_offset_ < vd.capacity_pages) {
     return t;  // More steps needed; the victim resumes on the next call.
   }
@@ -220,6 +231,14 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
   stats_.gc_cycles++;
   stats_.zones_reclaimed++;
   scheduler_.NoteRun(now);
+  if (telemetry_ != nullptr) {
+    const std::uint64_t copied = stats_.gc_pages_copied - gc_cycle_copied_base_;
+    telemetry_->events.Append(reset.value(), TimelineEventType::kGcCycle, metric_prefix_,
+                              "cycle done zone " + std::to_string(gc_victim_) + " copied " +
+                                  std::to_string(copied),
+                              gc_victim_, copied);
+    telemetry_->timeline.AdvanceGroup(sampler_group_, reset.value());
+  }
   gc_victim_ = kNoZone;
   gc_offset_ = 0;
   return reset;
@@ -288,6 +307,9 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
     stats_.host_pages_written++;
     ack = std::max(ack, done.value());
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
+  }
   span.End(ack);
   return ack;
 }
@@ -326,6 +348,9 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
     }
     done_all = std::max(done_all, done.value());
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
+  }
   span.End(done_all);
   return done_all;
 }
@@ -350,13 +375,25 @@ void HostFtlBlockDevice::AttachTelemetry(Telemetry* telemetry, std::string_view 
   if (telemetry_ != nullptr) {
     PublishMetrics();
     telemetry_->registry.RemoveProvider(metric_prefix_);
+    telemetry_->timeline.RemoveSamplerGroup(metric_prefix_);
+    scheduler_.AttachEvents(nullptr, "");
   }
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
+    sampler_group_ = -1;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
+
+  Timeline& tl = telemetry_->timeline;
+  sampler_group_ = tl.AddSamplerGroup(metric_prefix_);
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".free_fraction",
+                Timeline::SampleKind::kInstant, [this](SimTime) { return FreeFraction(); });
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".write_amplification",
+                Timeline::SampleKind::kInstant,
+                [this](SimTime) { return EndToEndWriteAmplification(); });
 }
 
 void HostFtlBlockDevice::PublishMetrics() {

@@ -78,6 +78,12 @@ class HostFtlBlockDevice final : public BlockDevice {
   // `telemetry`, plus per-op tracing spans (`<prefix>.read` / `<prefix>.write`) around host
   // I/O. Does NOT attach the underlying ZnsDevice — callers that own it attach it themselves
   // (with its own prefix) so shared-device setups stay unambiguous.
+  //
+  // While attached, reclamation decisions are logged as events: kGcVictim when a victim zone
+  // is chosen, kGcCycle when it is fully drained and reset, and edge-triggered kGcWindow
+  // records from the scheduler under "<prefix>.sched". Each incremental relocation step
+  // becomes a "gc_step" maintenance slice on the "<prefix>.gc" timeline track, and
+  // "<prefix>.free_fraction" / "<prefix>.write_amplification" are sampled as timeline series.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "hostftl");
 
   // Opportunistic maintenance hook: the I/O driver calls this between requests (e.g. on idle
@@ -133,10 +139,13 @@ class HostFtlBlockDevice final : public BlockDevice {
   // Incremental-reclamation state: the victim being drained and the scan position within it.
   std::uint32_t gc_victim_ = kNoZone;
   std::uint64_t gc_offset_ = 0;
+  // stats_.gc_pages_copied at victim selection (per-cycle copy count for the kGcCycle event).
+  std::uint64_t gc_cycle_copied_base_ = 0;
 
   HostFtlStats stats_;
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
 };
 
 }  // namespace blockhead

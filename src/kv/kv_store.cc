@@ -438,6 +438,13 @@ Result<SimTime> KvStore::FlushMemtable(SimTime now) {
   }
   memtable_.clear();
   memtable_bytes_ = 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(t, TimelineEventType::kCompaction, metric_prefix_,
+                              "flush memtable table " + std::to_string(file_number) +
+                                  " bytes " + std::to_string(meta.bytes),
+                              file_number, meta.bytes);
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".compaction", "flush", now, t);
+  }
 
   Result<SimTime> compacted = MaybeCompact(t);
   if (!compacted.ok()) {
@@ -637,6 +644,16 @@ Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
     t = deleted.value();
   }
   stats_.compactions++;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(t, TimelineEventType::kCompaction, metric_prefix_,
+                              "compact L" + std::to_string(level) + " -> L" +
+                                  std::to_string(out_level) + " inputs " +
+                                  std::to_string(removed.size()) + " outputs " +
+                                  std::to_string(outputs.size()),
+                              level, out_level);
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".compaction",
+                                           "compact_l" + std::to_string(level), now, t);
+  }
   return t;
 }
 

@@ -96,7 +96,9 @@ class KvStore {
 
   // Registers KvStats and the LSM write-amplification gauge with `telemetry`, plus per-op
   // tracing spans (`<prefix>.get` / `<prefix>.put`). A Put span covers everything the write
-  // absorbs: WAL append, stalls, memtable flush and any compaction it triggers.
+  // absorbs: WAL append, stalls, memtable flush and any compaction it triggers. While
+  // attached, memtable flushes and level compactions land in the event log as kCompaction
+  // records and as slices on the "<prefix>.compaction" maintenance track.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "kv");
 
  private:

@@ -10,10 +10,14 @@
 #define BLOCKHEAD_SRC_SCHED_GC_SCHEDULER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "src/util/types.h"
 
 namespace blockhead {
+
+class EventLog;
 
 enum class GcSchedPolicy {
   // Reclaim only when space is critically low, synchronously with the triggering write.
@@ -57,6 +61,10 @@ class GcScheduler {
   const GcSchedulerConfig& config() const { return config_; }
   const GcSchedStats& stats() const { return stats_; }
 
+  // Mirrors decisions into `events` as edge-triggered kGcWindow records: one event whenever
+  // ShouldRun's answer flips (window opens or closes), not one per query. nullptr detaches.
+  void AttachEvents(EventLog* events, std::string_view source);
+
   // True if a reclamation cycle should run at `now`.
   bool ShouldRun(double free_fraction, bool reads_pending, SimTime now) const;
 
@@ -73,11 +81,19 @@ class GcScheduler {
   }
 
  private:
+  // Appends a kGcWindow event if the decision differs from the previous one.
+  void NoteDecision(bool run, SimTime now) const;
+
   GcSchedulerConfig config_;
   SimTime last_run_ = 0;
   bool has_run_ = false;
-  // ShouldRun is logically const (a pure policy query); the tallies are observability only.
+  // ShouldRun is logically const (a pure policy query); the tallies and the window-edge
+  // tracking are observability only.
   mutable GcSchedStats stats_;
+  EventLog* events_ = nullptr;
+  std::string source_;
+  mutable bool has_decision_ = false;
+  mutable bool last_decision_ = false;
 };
 
 }  // namespace blockhead

@@ -1,0 +1,112 @@
+#include "src/telemetry/event_log.h"
+
+namespace blockhead {
+
+const char* TimelineEventTypeName(TimelineEventType type) {
+  switch (type) {
+    case TimelineEventType::kZoneTransition:
+      return "zone_transition";
+    case TimelineEventType::kZoneReset:
+      return "zone_reset";
+    case TimelineEventType::kGcVictim:
+      return "gc_victim";
+    case TimelineEventType::kGcCycle:
+      return "gc_cycle";
+    case TimelineEventType::kGcWindow:
+      return "gc_window";
+    case TimelineEventType::kBlockErase:
+      return "block_erase";
+    case TimelineEventType::kCompaction:
+      return "compaction";
+    case TimelineEventType::kCacheEvict:
+      return "cache_evict";
+    case TimelineEventType::kFileLifecycle:
+      return "file_lifecycle";
+  }
+  return "unknown";
+}
+
+EventLog::~EventLog() { PublishTo(nullptr); }
+
+void EventLog::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    dropped_++;
+  }
+}
+
+void EventLog::Append(TimelineEvent event) {
+  event.seq = next_seq_++;
+  appended_++;
+  appended_by_type_[static_cast<std::size_t>(event.type)]++;
+  if (capacity_ == 0) {
+    dropped_++;
+    return;
+  }
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    dropped_++;
+  }
+  events_.push_back(std::move(event));
+}
+
+void EventLog::Append(SimTime time, TimelineEventType type, std::string_view source,
+                      std::string detail, std::uint64_t arg0, std::uint64_t arg1) {
+  TimelineEvent e;
+  e.time = time;
+  e.type = type;
+  e.source = std::string(source);
+  e.detail = std::move(detail);
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  Append(std::move(e));
+}
+
+std::vector<TimelineEvent> EventLog::Page(TimelineEventType type) const {
+  std::vector<TimelineEvent> page;
+  for (const TimelineEvent& e : events_) {
+    if (e.type == type) {
+      page.push_back(e);
+    }
+  }
+  return page;
+}
+
+std::string EventLog::RenderPage(TimelineEventType type) const {
+  std::string out = "log page ";
+  out += TimelineEventTypeName(type);
+  out += ": " + std::to_string(appended_of(type)) + " total\n";
+  for (const TimelineEvent& e : events_) {
+    if (e.type != type) {
+      continue;
+    }
+    out += "  [" + std::to_string(e.time) + "] " + e.source + " " + e.detail + "\n";
+  }
+  return out;
+}
+
+void EventLog::PublishTo(MetricRegistry* registry, std::string_view prefix) {
+  if (registry_ != nullptr) {
+    registry_->RemoveProvider(registry_prefix_);
+  }
+  registry_ = registry;
+  if (registry_ == nullptr) {
+    return;
+  }
+  registry_prefix_ = std::string(prefix);
+  registry_->AddProvider(registry_prefix_, [this] {
+    const std::string& p = registry_prefix_;
+    registry_->GetCounter(p + ".total")->Set(appended_);
+    registry_->GetCounter(p + ".dropped")->Set(dropped_);
+    for (std::size_t i = 0; i < kNumTimelineEventTypes; ++i) {
+      if (appended_by_type_[i] == 0) {
+        continue;  // Keep snapshots free of never-seen event types.
+      }
+      const char* name = TimelineEventTypeName(static_cast<TimelineEventType>(i));
+      registry_->GetCounter(p + "." + name + ".count")->Set(appended_by_type_[i]);
+    }
+  });
+}
+
+}  // namespace blockhead

@@ -1,21 +1,33 @@
-// The telemetry bundle handed to every layer: one registry + one tracer per measurement
-// domain (usually one per bench process; benches comparing two stacks attach both to the same
-// bundle under distinct prefixes, e.g. "conv" and "zns").
+// The telemetry bundle handed to every layer: one registry + one tracer + one event log + one
+// timeline per measurement domain (usually one per bench process; benches comparing two stacks
+// attach both to the same bundle under distinct prefixes, e.g. "conv" and "zns").
 //
 // Layers accept a `Telemetry*` via AttachTelemetry(t, prefix) and must tolerate nullptr
-// (telemetry off — the default — costs nothing on the hot paths).
+// (telemetry off — the default — costs nothing on the hot paths). The event log records typed
+// decisions (zone transitions, GC victims, scheduler windows) whenever telemetry is attached;
+// the timeline (span/maintenance slices + sampled utilization series) additionally requires
+// timeline.Enable(), which benches do for --trace/--timeseries.
 
 #ifndef BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
 #define BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
 
+#include "src/telemetry/event_log.h"
 #include "src/telemetry/metric_registry.h"
+#include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
 
 namespace blockhead {
 
 struct Telemetry {
   MetricRegistry registry;
+  EventLog events;
+  Timeline timeline;
   Tracer tracer{&registry};
+
+  Telemetry() {
+    tracer.set_timeline(&timeline);    // Completed spans become timeline slices.
+    events.PublishTo(&registry);       // Event totals appear in every snapshot.
+  }
 };
 
 }  // namespace blockhead

@@ -1,0 +1,289 @@
+#include "src/telemetry/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/telemetry/sink.h"  // FormatMetricDouble: shared fixed double rendering.
+
+namespace blockhead {
+
+namespace {
+
+// Microsecond timestamp with nanosecond precision — Chrome-trace `ts`/`dur` fields.
+std::string FormatTraceUs(SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+// Minimal JSON escaping for names (ASCII identifiers in practice; quotes and backslashes must
+// never corrupt the stream).
+std::string JsonEscapeName(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Timeline::Enable(const TimelineConfig& config) {
+  enabled_ = true;
+  config_ = config;
+  if (config_.sample_interval == 0) {
+    config_.sample_interval = TimelineConfig{}.sample_interval;
+  }
+  slices_.clear();
+  samples_.clear();
+  slices_recorded_ = slices_dropped_ = 0;
+  samples_recorded_ = samples_dropped_ = 0;
+  next_seq_ = 1;
+  for (Group& g : groups_) {
+    g.last = 0;
+    g.next_due = config_.sample_interval;
+    for (Sampler& s : g.samplers) {
+      s.prev = 0.0;
+    }
+  }
+}
+
+std::uint32_t Timeline::InternName(std::string_view name) {
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) {
+    return it->second;
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t Timeline::InternTrack(std::uint32_t pid, std::string_view name) {
+  std::string key = std::to_string(pid) + "/" + std::string(name);
+  auto it = track_ids_.find(key);
+  if (it != track_ids_.end()) {
+    return it->second;
+  }
+  std::uint32_t tid = 0;
+  for (const Track& t : tracks_) {
+    if (t.pid == pid) {
+      tid++;
+    }
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(Track{pid, tid, std::string(name)});
+  track_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+std::uint32_t Timeline::InternSeries(std::string_view name) {
+  auto it = series_ids_.find(name);
+  if (it != series_ids_.end()) {
+    return it->second;
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(series_names_.size());
+  series_names_.emplace_back(name);
+  series_ids_.emplace(series_names_.back(), id);
+  return id;
+}
+
+void Timeline::PushSlice(std::uint32_t pid, std::string_view track, std::string_view name,
+                         SimTime begin, SimTime end) {
+  Slice s;
+  s.begin = begin;
+  s.end = end >= begin ? end : begin;
+  s.seq = next_seq_++;
+  s.name_id = InternName(name);
+  s.track = InternTrack(pid, track);
+  slices_recorded_++;
+  if (config_.max_slices == 0) {
+    slices_dropped_++;
+    return;
+  }
+  if (slices_.size() >= config_.max_slices) {
+    slices_.pop_front();
+    slices_dropped_++;
+  }
+  slices_.push_back(s);
+}
+
+int Timeline::AddSamplerGroup(std::string_view id) {
+  auto it = group_ids_.find(id);
+  if (it != group_ids_.end()) {
+    Group& g = groups_[it->second];
+    g.samplers.clear();  // Re-attach: the layer re-registers its series.
+    g.last = 0;
+    g.next_due = config_.sample_interval;
+    return static_cast<int>(it->second);
+  }
+  const std::size_t index = groups_.size();
+  Group g;
+  g.id = std::string(id);
+  g.next_due = config_.sample_interval;
+  groups_.push_back(std::move(g));
+  group_ids_.emplace(groups_.back().id, index);
+  return static_cast<int>(index);
+}
+
+void Timeline::AddSampler(int group, std::string_view series, SampleKind kind,
+                          std::function<double(SimTime)> fn) {
+  if (group < 0 || static_cast<std::size_t>(group) >= groups_.size()) {
+    return;
+  }
+  Sampler s;
+  s.series = InternSeries(series);
+  s.kind = kind;
+  s.fn = std::move(fn);
+  groups_[static_cast<std::size_t>(group)].samplers.push_back(std::move(s));
+}
+
+void Timeline::RemoveSamplerGroup(std::string_view id) {
+  auto it = group_ids_.find(id);
+  if (it != group_ids_.end()) {
+    groups_[it->second].samplers.clear();
+  }
+}
+
+void Timeline::SampleGroup(std::size_t group, SimTime now) {
+  Group& g = groups_[group];
+  if (g.samplers.empty()) {
+    // Keep the clock moving so a late-registered sampler starts from a current window.
+    const SimTime interval = config_.sample_interval;
+    g.last = now - now % interval;
+    g.next_due = g.last + interval;
+    return;
+  }
+  const SimTime interval = config_.sample_interval;
+  const SimTime boundary = now - now % interval;  // Largest grid point <= now.
+  const SimTime window = boundary - g.last;       // > 0: next_due was crossed.
+  for (Sampler& s : g.samplers) {
+    const double value = s.fn(boundary);
+    double emitted = value;
+    if (s.kind == SampleKind::kRate) {
+      emitted = (value - s.prev) / static_cast<double>(window);
+      s.prev = value;
+    }
+    Sample sample;
+    sample.t = boundary;
+    sample.seq = next_seq_++;
+    sample.series = s.series;
+    sample.value = emitted;
+    samples_recorded_++;
+    if (config_.max_samples == 0) {
+      samples_dropped_++;
+      continue;
+    }
+    if (samples_.size() >= config_.max_samples) {
+      samples_.pop_front();
+      samples_dropped_++;
+    }
+    samples_.push_back(sample);
+  }
+  g.last = boundary;
+  g.next_due = boundary + interval;
+}
+
+std::string Timeline::ExportChromeTrace() const {
+  std::string out;
+  out.reserve(256 + slices_.size() * 96 + samples_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"blockhead-timeline\"},";
+  out += "\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  // Metadata: stable process names, then thread names in track-creation order.
+  struct PidName {
+    std::uint32_t pid;
+    const char* name;
+  };
+  static constexpr PidName kPids[] = {
+      {kHostPid, "host ops"},
+      {kMaintenancePid, "device maintenance"},
+      {kUtilizationPid, "utilization"},
+  };
+  for (const PidName& p : kPids) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(p.pid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"" + p.name + "\"}}");
+  }
+  for (const Track& t : tracks_) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(t.pid) + ",\"tid\":" +
+         std::to_string(t.tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         JsonEscapeName(t.name) + "\"}}");
+  }
+
+  // Merge slices (keyed by begin) and samples (keyed by t) into one stream ordered by
+  // (timestamp, sequence) — sequence makes equal-time ordering the recording order.
+  struct Ref {
+    SimTime t;
+    std::uint64_t seq;
+    bool is_slice;
+    std::size_t index;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(slices_.size() + samples_.size());
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    refs.push_back(Ref{slices_[i].begin, slices_[i].seq, true, i});
+  }
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    refs.push_back(Ref{samples_[i].t, samples_[i].seq, false, i});
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
+
+  for (const Ref& r : refs) {
+    if (r.is_slice) {
+      const Slice& s = slices_[r.index];
+      const Track& track = tracks_[s.track];
+      emit("{\"name\":\"" + JsonEscapeName(names_[s.name_id]) + "\",\"cat\":\"" +
+           (track.pid == kHostPid ? "span" : "maintenance") + "\",\"ph\":\"X\",\"ts\":" +
+           FormatTraceUs(s.begin) + ",\"dur\":" + FormatTraceUs(s.end - s.begin) +
+           ",\"pid\":" + std::to_string(track.pid) + ",\"tid\":" + std::to_string(track.tid) +
+           "}");
+    } else {
+      const Sample& s = samples_[r.index];
+      emit("{\"name\":\"" + JsonEscapeName(series_names_[s.series]) +
+           "\",\"ph\":\"C\",\"ts\":" + FormatTraceUs(s.t) + ",\"pid\":" +
+           std::to_string(kUtilizationPid) + ",\"tid\":0,\"args\":{\"value\":" +
+           FormatMetricDouble(s.value) + "}}");
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Timeline::ExportTimeSeriesCsv() const {
+  std::string out = "series,t_ns,value\n";
+  // Samples are appended in nondecreasing time order per group; a global stable order is
+  // (t, seq), same as the trace export.
+  std::vector<std::size_t> order(samples_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return samples_[a].t != samples_[b].t ? samples_[a].t < samples_[b].t
+                                          : samples_[a].seq < samples_[b].seq;
+  });
+  for (const std::size_t i : order) {
+    const Sample& s = samples_[i];
+    out += series_names_[s.series] + "," + std::to_string(s.t) + "," +
+           FormatMetricDouble(s.value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace blockhead

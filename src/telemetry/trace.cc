@@ -51,6 +51,9 @@ void Tracer::Finish(std::uint64_t id, SimTime end) {
     registry_->GetHistogram(prefix + ".gc_ns")->Record(s.components.gc_ns);
     registry_->GetHistogram(prefix + ".flash_ns")->Record(s.components.flash_ns);
     registry_->GetHistogram(prefix + ".host_ns")->Record(host);
+    if (timeline_ != nullptr) {
+      timeline_->RecordSpan(s.name, s.begin, end);
+    }
     return;
   }
 }
@@ -58,6 +61,7 @@ void Tracer::Finish(std::uint64_t id, SimTime end) {
 void Tracer::Remove(std::uint64_t id) {
   for (std::size_t i = 0; i < open_.size(); ++i) {
     if (open_[i].id == id) {
+      registry_->GetCounter("span." + open_[i].name + ".abandoned")->Add(1);
       open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
       return;
     }

@@ -23,7 +23,11 @@
 //   span.<name>.flash_ns
 //   span.<name>.host_ns    (total minus the three above: host-side time — buffering,
 //                           write-pointer serialization, controller work)
-// A span destroyed without End() (error paths) records nothing.
+// A span destroyed without End() (error paths) records no histograms, but bumps the
+// span.<name>.abandoned counter so leaked/error-path spans are visible in snapshots.
+//
+// When a Timeline is attached (set_timeline), every ended span is additionally recorded as a
+// duration slice on the timeline's host-ops track, SimTime-stamped, for Perfetto export.
 
 #ifndef BLOCKHEAD_SRC_TELEMETRY_TRACE_H_
 #define BLOCKHEAD_SRC_TELEMETRY_TRACE_H_
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "src/telemetry/metric_registry.h"
+#include "src/telemetry/timeline.h"
 #include "src/util/types.h"
 
 namespace blockhead {
@@ -89,6 +94,9 @@ class Tracer {
   // Opens a span named `name` starting at `begin` (SimTime).
   Span Start(std::string_view name, SimTime begin);
 
+  // Attaches a timeline that receives every ended span as a slice (nullptr detaches).
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
   // Charges `c` to every open span. No-op when no span is open, so layers may charge
   // unconditionally.
   void Charge(const SpanComponents& c);
@@ -108,6 +116,7 @@ class Tracer {
   void Remove(std::uint64_t id);
 
   MetricRegistry* registry_;
+  Timeline* timeline_ = nullptr;
   std::vector<OpenSpan> open_;
   std::uint64_t next_id_ = 1;
 };

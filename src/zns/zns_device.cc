@@ -76,6 +76,7 @@ void ZnsDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   if (telemetry_ != nullptr) {
     PublishMetrics();
     telemetry_->registry.RemoveProvider(metric_prefix_ + ".zns");
+    telemetry_->timeline.RemoveSamplerGroup(metric_prefix_ + ".zns");
   }
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
@@ -84,6 +85,7 @@ void ZnsDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
     append_latency_ = nullptr;
     write_latency_ = nullptr;
     read_latency_ = nullptr;
+    sampler_group_ = -1;
     return;
   }
   flash_.AttachTelemetry(telemetry_, metric_prefix_ + ".flash");
@@ -91,6 +93,25 @@ void ZnsDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   write_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".write.latency_ns");
   read_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".read.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_ + ".zns", [this] { PublishMetrics(); });
+
+  Timeline& tl = telemetry_->timeline;
+  sampler_group_ = tl.AddSamplerGroup(metric_prefix_ + ".zns");
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".active_zones",
+                Timeline::SampleKind::kInstant,
+                [this](SimTime) { return static_cast<double>(active_count_); });
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".open_zones", Timeline::SampleKind::kInstant,
+                [this](SimTime) { return static_cast<double>(open_count_); });
+}
+
+void ZnsDevice::NoteZoneTransition(const Zone& z, ZoneState from, ZoneState to, SimTime t) {
+  if (telemetry_ == nullptr || from == to) {
+    return;
+  }
+  const std::uint32_t zone_id = static_cast<std::uint32_t>(&z - zones_.data());
+  telemetry_->events.Append(t, TimelineEventType::kZoneTransition, metric_prefix_,
+                            "zone " + std::to_string(zone_id) + " " + ZoneStateName(from) +
+                                "->" + ZoneStateName(to),
+                            zone_id, static_cast<std::uint64_t>(to));
 }
 
 void ZnsDevice::PublishMetrics() {
@@ -149,7 +170,7 @@ PhysAddr ZnsDevice::AddrOf(const Zone& z, std::uint64_t offset) const {
   return a;
 }
 
-Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open) {
+Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open, SimTime now) {
   switch (z.state) {
     case ZoneState::kImplicitOpen:
     case ZoneState::kExplicitOpen:
@@ -166,6 +187,7 @@ Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open) {
       z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
       active_count_++;
       open_count_++;
+      NoteZoneTransition(z, ZoneState::kEmpty, z.state, now);
       return Status::Ok();
     case ZoneState::kClosed:
       if (open_count_ >= config_.max_open_zones) {
@@ -174,6 +196,7 @@ Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open) {
       }
       z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
       open_count_++;
+      NoteZoneTransition(z, ZoneState::kClosed, z.state, now);
       return Status::Ok();
     case ZoneState::kFull:
       return Status(ErrorCode::kZoneFull);
@@ -231,8 +254,10 @@ Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime iss
     z.programmed_pages = z.write_pointer;
   }
   if (z.write_pointer >= z.capacity_pages) {
+    const ZoneState prev = z.state;
     ReleaseActive(z);
     z.state = ZoneState::kFull;
+    NoteZoneTransition(z, prev, ZoneState::kFull, done_all);
   }
   return done_all;
 }
@@ -263,7 +288,7 @@ Result<SimTime> ZnsDevice::Write(std::uint32_t zone_id, std::uint64_t offset, st
   if (z.write_pointer + pages > z.capacity_pages) {
     return ErrorCode::kZoneFull;
   }
-  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false));
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false, effective_issue));
   Result<SimTime> done = ProgramAtWp(z, pages, effective_issue, data, OpClass::kHost);
   if (!done.ok()) {
     return done;
@@ -278,6 +303,9 @@ Result<SimTime> ZnsDevice::Write(std::uint32_t zone_id, std::uint64_t offset, st
   if (write_latency_ != nullptr) {
     // Measured from the caller's issue time, so write-pointer serialization waits show up.
     write_latency_->Record(ack - issue);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
   }
   return ack;
 }
@@ -301,7 +329,7 @@ Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t page
   if (z.write_pointer + pages > z.capacity_pages) {
     return ErrorCode::kZoneFull;
   }
-  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false));
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false, issue));
   const std::uint64_t assigned =
       static_cast<std::uint64_t>(zone_id) * zone_size_pages_ + z.write_pointer;
   // No host-side serialization: the device orders concurrent appends itself.
@@ -314,6 +342,9 @@ Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t page
   const SimTime ack = BufferAck(z, pages, data_in, done.value());
   if (append_latency_ != nullptr) {
     append_latency_->Record(ack - issue);
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
   }
   return AppendResult{ack, assigned};
 }
@@ -357,6 +388,9 @@ Result<SimTime> ZnsDevice::Read(std::uint64_t lba, std::uint32_t pages, SimTime 
   if (read_latency_ != nullptr && pages > 0) {
     read_latency_->Record(done_all - issue);
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
+  }
   return done_all;
 }
 
@@ -365,8 +399,10 @@ Result<SimTime> ZnsDevice::OpenZone(std::uint32_t zone_id, SimTime issue) {
     return ErrorCode::kOutOfRange;
   }
   Zone& z = zones_[zone_id];
-  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/true));
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/true, issue));
+  const ZoneState mid = z.state;  // ImplicitOpen -> ExplicitOpen is a loggable edge too.
   z.state = ZoneState::kExplicitOpen;
+  NoteZoneTransition(z, mid, ZoneState::kExplicitOpen, issue);
   return issue + flash_.timing().channel_xfer;
 }
 
@@ -378,9 +414,11 @@ Result<SimTime> ZnsDevice::CloseZone(std::uint32_t zone_id, SimTime issue) {
   if (!IsOpen(z.state)) {
     return ErrorCode::kZoneNotOpen;
   }
+  const ZoneState prev = z.state;
   z.state = ZoneState::kClosed;
   assert(open_count_ > 0);
   open_count_--;
+  NoteZoneTransition(z, prev, ZoneState::kClosed, issue);
   return issue + flash_.timing().channel_xfer;
 }
 
@@ -399,10 +437,12 @@ Result<SimTime> ZnsDevice::FinishZone(std::uint32_t zone_id, SimTime issue) {
     default:
       break;
   }
+  const ZoneState prev = z.state;
   ReleaseActive(z);
   z.state = ZoneState::kFull;
   z.write_pointer = z.capacity_pages;  // programmed_pages keeps the truly-written prefix.
   stats_.zone_finishes++;
+  NoteZoneTransition(z, prev, ZoneState::kFull, issue);
   return issue + flash_.timing().channel_xfer;
 }
 
@@ -417,6 +457,7 @@ Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
   if (z.state == ZoneState::kReadOnly) {
     return ErrorCode::kZoneReadOnly;
   }
+  const ZoneState prev = z.state;
   ReleaseActive(z);
 
   // Erase every block that has been programmed since the last reset. Issued in parallel;
@@ -448,6 +489,16 @@ Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
   z.inflight.clear();
   z.state = z.units.empty() ? ZoneState::kOffline : ZoneState::kEmpty;
   stats_.zone_resets++;
+  NoteZoneTransition(z, prev, z.state, done_all);
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(done_all, TimelineEventType::kZoneReset, metric_prefix_,
+                              "zone " + std::to_string(zone_id) + " reset capacity " +
+                                  std::to_string(z.capacity_pages),
+                              zone_id, z.capacity_pages);
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".reset", "zone_reset", issue,
+                                           done_all);
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
+  }
   return done_all;
 }
 
@@ -468,7 +519,7 @@ Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, std::u
   if (dst.write_pointer + total_pages > dst.capacity_pages) {
     return ErrorCode::kZoneFull;
   }
-  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(dst, /*explicit_open=*/false));
+  BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(dst, /*explicit_open=*/false, issue));
 
   // Pages are copied as a stripe-wide pipelined window (not booked all at once): the
   // controller uses the destination stripe's full plane parallelism, and the batch boundaries
@@ -512,8 +563,10 @@ Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, std::u
     }
   }
   if (dst.write_pointer >= dst.capacity_pages) {
+    const ZoneState prev = dst.state;
     ReleaseActive(dst);
     dst.state = ZoneState::kFull;
+    NoteZoneTransition(dst, prev, ZoneState::kFull, done_all);
   }
   return ack_all;
 }

@@ -106,6 +106,11 @@ class ZnsDevice {
   // ZnsStats and zone-resource gauges under `<prefix>.*`, plus live host-observed latency
   // histograms `<prefix>.append.latency_ns`, `<prefix>.write.latency_ns` and
   // `<prefix>.read.latency_ns`.
+  //
+  // While attached, every zone state-machine edge (EMPTY -> OPEN -> FULL -> reset, plus
+  // close/finish/offline) is logged as a kZoneTransition event, completed resets additionally
+  // as kZoneReset events and "zone_reset" maintenance slices on the "<prefix>.reset" timeline
+  // track; "<prefix>.active_zones" / "<prefix>.open_zones" are sampled as timeline series.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "zns");
 
   std::uint32_t num_zones() const { return static_cast<std::uint32_t>(zones_.size()); }
@@ -179,9 +184,12 @@ class ZnsDevice {
   // Common path for Write/Append/SimpleCopy payload programming.
   Result<SimTime> ProgramAtWp(Zone& z, std::uint32_t pages, SimTime issue,
                               std::span<const std::uint8_t> data, OpClass op_class);
-  // Transitions a zone toward (implicit) open for writing; enforces resource limits.
-  Status EnsureWritable(Zone& z, bool explicit_open);
+  // Transitions a zone toward (implicit) open for writing; enforces resource limits. `now` is
+  // the SimTime any state transition is logged at.
+  Status EnsureWritable(Zone& z, bool explicit_open, SimTime now);
   void ReleaseActive(Zone& z);
+  // Logs a kZoneTransition event (no-op when telemetry is off or from == to).
+  void NoteZoneTransition(const Zone& z, ZoneState from, ZoneState to, SimTime t);
   // Host-visible acknowledgement time for `pages` buffered at data_in whose programs finish
   // at program_done.
   SimTime BufferAck(Zone& z, std::uint32_t pages, SimTime data_in, SimTime program_done);
@@ -200,6 +208,7 @@ class ZnsDevice {
   Histogram* append_latency_ = nullptr;
   Histogram* write_latency_ = nullptr;
   Histogram* read_latency_ = nullptr;
+  int sampler_group_ = -1;  // Timeline group for zone-resource gauges.
 };
 
 }  // namespace blockhead

@@ -260,6 +260,10 @@ Result<SimTime> ZoneFileSystem::Create(std::string_view name, Lifetime hint, Sim
   names_.emplace(file.name, id);
   files_.emplace(id, std::move(file));
   stats_.files_created++;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(now, TimelineEventType::kFileLifecycle, metric_prefix_,
+                              "create " + std::string(name), id);
+  }
   return WriteMetaBlob(kRecFile, SerializeFileRecord(files_.at(id)), now);
 }
 
@@ -291,6 +295,9 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
       }
       done = flushed.value();
     }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done);
   }
   span.End(done);
   return done;
@@ -346,6 +353,9 @@ Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset
     assert(cur + chunk <= file->tail.size());
     std::memcpy(out.data() + out_pos, file->tail.data() + cur, chunk);
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
+  }
   span.End(done_all);
   return done_all;
 }
@@ -364,6 +374,10 @@ Result<SimTime> ZoneFileSystem::Sync(std::string_view name, SimTime now) {
     t = flushed.value();
   }
   file->synced_size = file->size;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(t, TimelineEventType::kFileLifecycle, metric_prefix_,
+                              "seal " + std::string(name), file->id, file->size);
+  }
   // ZenFS-style early finish: a nearly-full frontier is sealed at file boundaries so the next
   // file gets a fresh zone (see ZoneFileConfig::finish_remainder_pages).
   if (config_.finish_remainder_pages > 0) {
@@ -400,6 +414,10 @@ Result<SimTime> ZoneFileSystem::Delete(std::string_view name, SimTime now) {
   names_.erase(file->name);
   files_.erase(id);
   stats_.files_deleted++;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(now, TimelineEventType::kFileLifecycle, metric_prefix_,
+                              "delete " + std::string(name), id);
+  }
   return WriteMetaBlob(kRecDelete, blob, now);
 }
 
@@ -487,6 +505,14 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
   gc_.items.clear();
   gc_.next = 0;
   gc_.touched_files.clear();
+  if (telemetry_ != nullptr) {
+    gc_cycle_copied_base_ = stats_.gc_pages_copied;
+    telemetry_->events.Append(now, TimelineEventType::kGcVictim, metric_prefix_,
+                              "victim zone " + std::to_string(victim) + " live " +
+                                  std::to_string(zone_live_pages_[victim]) +
+                                  (critical ? " critical" : ""),
+                              victim, zone_live_pages_[victim]);
+  }
   const ZoneDescriptor vd = device_->zone(victim);
   for (const auto& [id, file] : files_) {
     for (const Extent& ext : file.extents) {
@@ -505,6 +531,7 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
   in_gc_ = true;
   SimTime t = now;
   std::uint32_t budget = max_pages;
+  const std::uint64_t copied_before_step = stats_.gc_pages_copied;
   std::vector<std::uint8_t> page(page_size_);
 
   while (budget > 0 && gc_.next < gc_.items.size()) {
@@ -589,6 +616,10 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
     }
   }
 
+  if (telemetry_ != nullptr && stats_.gc_pages_copied > copied_before_step) {
+    telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".gc", "gc_step", now, t);
+  }
+
   if (gc_.next < gc_.items.size()) {
     in_gc_ = false;
     return t;  // More steps needed; the victim resumes on the next call.
@@ -628,6 +659,14 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
   stats_.gc_cycles++;
   stats_.zones_reclaimed++;
   scheduler_.NoteRun(now);
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(
+        t, TimelineEventType::kGcCycle, metric_prefix_,
+        "cycle done zone " + std::to_string(gc_.victim) + " copied " +
+            std::to_string(stats_.gc_pages_copied - gc_cycle_copied_base_),
+        gc_.victim, stats_.gc_pages_copied - gc_cycle_copied_base_);
+    telemetry_->timeline.AdvanceGroup(sampler_group_, t);
+  }
   gc_.victim = kNoZone;
   gc_.items.clear();
   gc_.touched_files.clear();
@@ -663,6 +702,9 @@ void ZoneFileSystem::AttachTelemetry(Telemetry* telemetry, std::string_view pref
   if (telemetry_ != nullptr) {
     PublishMetrics();
     telemetry_->registry.RemoveProvider(metric_prefix_);
+    telemetry_->timeline.RemoveSamplerGroup(metric_prefix_);
+    scheduler_.AttachEvents(nullptr, "");
+    sampler_group_ = -1;
   }
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
@@ -670,6 +712,14 @@ void ZoneFileSystem::AttachTelemetry(Telemetry* telemetry, std::string_view pref
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
+  sampler_group_ = telemetry_->timeline.AddSamplerGroup(metric_prefix_);
+  telemetry_->timeline.AddSampler(sampler_group_, metric_prefix_ + ".free_fraction",
+                                  Timeline::SampleKind::kInstant,
+                                  [this](SimTime) { return FreeFraction(); });
+  telemetry_->timeline.AddSampler(sampler_group_, metric_prefix_ + ".write_amplification",
+                                  Timeline::SampleKind::kInstant,
+                                  [this](SimTime) { return EndToEndWriteAmplification(); });
 }
 
 void ZoneFileSystem::PublishMetrics() {

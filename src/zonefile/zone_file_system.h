@@ -118,6 +118,12 @@ class ZoneFileSystem {
   // Registers ZoneFileStats, scheduler tallies (`<prefix>.sched.*`) and space gauges with
   // `telemetry`, plus per-op tracing spans (`<prefix>.append` / `<prefix>.read`) around file
   // I/O. The underlying ZnsDevice is attached separately by its owner.
+  //
+  // While attached, file lifecycle (create/seal/delete), compaction victim selections
+  // (kGcVictim), completed cycles (kGcCycle) and edge-triggered scheduler windows
+  // ("<prefix>.sched") land in the event log; each relocation burst becomes a "gc_step"
+  // maintenance slice on the "<prefix>.gc" track, and "<prefix>.free_fraction" /
+  // "<prefix>.write_amplification" are sampled as timeline series.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "zonefile");
 
   // Validates live-page accounting against the extent maps. For tests.
@@ -214,6 +220,9 @@ class ZoneFileSystem {
   ZoneFileStats stats_;
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
+  // stats_.gc_pages_copied at victim selection (per-cycle copy count for the kGcCycle event).
+  std::uint64_t gc_cycle_copied_base_ = 0;
 };
 
 }  // namespace blockhead

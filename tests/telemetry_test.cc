@@ -118,7 +118,7 @@ TEST(TracerTest, NestedSpansBothSeeCharges) {
   EXPECT_FALSE(tracer.active());
 }
 
-TEST(TracerTest, AbandonedSpanRecordsNothing) {
+TEST(TracerTest, AbandonedSpanRecordsNothingButIsCounted) {
   MetricRegistry reg;
   Tracer tracer(&reg);
   {
@@ -128,6 +128,17 @@ TEST(TracerTest, AbandonedSpanRecordsNothing) {
   }
   EXPECT_FALSE(tracer.active());
   EXPECT_FALSE(reg.Lookup("span.lost.total_ns"));
+  // The leak is not silent: each abandonment bumps a per-name counter.
+  ASSERT_TRUE(reg.Lookup("span.lost.abandoned"));
+  EXPECT_EQ(reg.GetCounter("span.lost.abandoned")->value(), 1u);
+  {
+    Tracer::Span again = tracer.Start("lost", 10);
+  }
+  EXPECT_EQ(reg.GetCounter("span.lost.abandoned")->value(), 2u);
+  // Ended spans never touch the abandoned counter.
+  Tracer::Span ok = tracer.Start("fine", 0);
+  ok.End(5);
+  EXPECT_FALSE(reg.Lookup("span.fine.abandoned"));
 }
 
 TEST(TracerTest, EndIsIdempotentAndMovedFromHandleInert) {
