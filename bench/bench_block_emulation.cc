@@ -7,9 +7,12 @@
 // now run a page-mapped log with GC (one in firmware, one on the host).
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
 #include "src/hostftl/host_ftl.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/workload.h"
 
 using namespace blockhead;
@@ -18,6 +21,7 @@ namespace {
 
 struct WorkloadSpec {
   const char* name;
+  const char* key;  // Metric-prefix-safe identifier ("conv.<key>", "zns.<key>", "emul.<key>").
   double read_fraction;
   std::uint32_t io_pages;
   AddressDistribution dist;
@@ -43,16 +47,20 @@ RunResult RunOn(BlockDevice& device, const WorkloadSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_block_emulation");
+  Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
+
   std::printf("=== E13: Block interface emulated on ZNS vs native conventional SSD ===\n");
   std::printf("Paper claim (§2.3): host block emulation over ZNS (with simple copy) performs\n"
               "comparably to a conventional SSD.\n\n");
 
   const WorkloadSpec specs[] = {
-      {"randwrite 4K", 0.0, 1, AddressDistribution::kUniform},
-      {"randrw 70/30 4K", 0.7, 1, AddressDistribution::kUniform},
-      {"randread 4K", 1.0, 1, AddressDistribution::kUniform},
-      {"zipf-rw 50/50 16K", 0.5, 4, AddressDistribution::kZipfian},
+      {"randwrite 4K", "randwrite4k", 0.0, 1, AddressDistribution::kUniform},
+      {"randrw 70/30 4K", "randrw4k", 0.7, 1, AddressDistribution::kUniform},
+      {"randread 4K", "randread4k", 1.0, 1, AddressDistribution::kUniform},
+      {"zipf-rw 50/50 16K", "zipfrw16k", 0.5, 4, AddressDistribution::kZipfian},
   };
 
   TablePrinter table({"workload", "device", "read p50/p99 (us)", "write p50/p99 (us)", "MiB/s",
@@ -62,6 +70,7 @@ int main() {
       MatchedConfig cfg = MatchedConfig::Bench();
       cfg.ftl.op_fraction = 0.20;
       ConventionalSsd ssd(cfg.flash, cfg.ftl);
+      ssd.AttachTelemetry(&tel, std::string("conv.") + spec.key);
       const RunResult run = RunOn(ssd, spec, nullptr);
       table.AddRow(
           {spec.name, "conventional",
@@ -81,10 +90,12 @@ int main() {
       MatchedConfig cfg = MatchedConfig::Bench();
       cfg.zns.zone_write_buffer_pages = 64;  // Equal buffering with the conventional device.
       ZnsDevice dev(cfg.flash, cfg.zns);
+      dev.AttachTelemetry(&tel, std::string("zns.") + spec.key);
       HostFtlConfig hcfg;
       hcfg.op_fraction = 0.20;
       hcfg.use_simple_copy = true;
       HostFtlBlockDevice ftl(&dev, hcfg);
+      ftl.AttachTelemetry(&tel, std::string("emul.") + spec.key);
       const RunResult run =
           RunOn(ftl, spec, [&ftl](SimTime now, bool reads) { ftl.Pump(now, reads, 1); });
       table.AddRow(
@@ -104,6 +115,48 @@ int main() {
     }
   }
   std::printf("%s\n", table.Render().c_str());
+
+  // Provenance: both columns run a page-mapped log with reclaim — one in firmware
+  // (kDeviceGC), one on the host (kBlockEmulationReclaim). The table attributes each side's
+  // internal writes and shows the factorized chain (for the emulation: emul-host bytes ->
+  // ZNS-host bytes -> physical bytes; its product is the end-to-end WA the main table prints).
+  std::printf("Reclaim provenance per workload:\n\n");
+  TablePrinter prov({"workload", "device", "host", "reclaim", "reclaim share",
+                     "factorized WA"});
+  for (const WorkloadSpec& spec : specs) {
+    const std::string conv_dev = std::string("conv.") + spec.key + ".flash";
+    const std::string zns_dev = std::string("zns.") + spec.key + ".flash";
+    const WriteProvenance::DeviceLedger* conv = tel.provenance.FindDevice(conv_dev);
+    const WriteProvenance::DeviceLedger* zns = tel.provenance.FindDevice(zns_dev);
+    if (conv == nullptr || zns == nullptr) {
+      continue;
+    }
+    const auto share = [](std::uint64_t part, std::uint64_t total) {
+      return total == 0 ? std::string("-")
+                        : TablePrinter::Fmt(100.0 * static_cast<double>(part) /
+                                            static_cast<double>(total), 1) + "%";
+    };
+    const std::uint64_t conv_gc =
+        WriteProvenance::ProgramCount(*conv, WriteCause::kDeviceGC) +
+        WriteProvenance::ProgramCount(*conv, WriteCause::kWearMigration);
+    const WriteProvenance::FactorizedWa conv_wa = tel.provenance.Factorize({}, conv_dev);
+    PublishFactorizedWa(&tel.registry, std::string("conv.") + spec.key, conv_wa);
+    prov.AddRow({spec.name, "conventional",
+                 std::to_string(WriteProvenance::ProgramCount(*conv, WriteCause::kHostWrite)),
+                 std::to_string(conv_gc), share(conv_gc, conv->total_pages),
+                 FormatFactorizedWa(conv_wa)});
+    const std::uint64_t emul_gc =
+        WriteProvenance::ProgramCount(*zns, WriteCause::kBlockEmulationReclaim);
+    const WriteProvenance::FactorizedWa emul_wa =
+        tel.provenance.Factorize({std::string("emul.") + spec.key}, zns_dev);
+    PublishFactorizedWa(&tel.registry, std::string("emul.") + spec.key, emul_wa);
+    prov.AddRow({"", "block-on-ZNS",
+                 std::to_string(WriteProvenance::ProgramCount(*zns, WriteCause::kHostWrite)),
+                 std::to_string(emul_gc), share(emul_gc, zns->total_pages),
+                 FormatFactorizedWa(emul_wa)});
+  }
+  std::printf("%s\n", prov.Render().c_str());
+
   std::printf("Shape check: reads are identical and the latency profile is the same shape; the\n"
               "emulation's write-heavy throughput pays up to ~2x at matched spare capacity\n"
               "because host reclaim works at zone granularity (16 MiB here) while firmware GC\n"
@@ -111,5 +164,5 @@ int main() {
               "keeps even that gap bounded (E10 isolates its contribution); smaller zones\n"
               "shrink it further. The block-on-ZNS path is a compatibility bridge, not the\n"
               "destination: ZNS-native stacks (E4/E6/E14) beat both columns.\n");
-  return 0;
+  return FinishBench(opts, "bench_block_emulation", tel);
 }

@@ -41,6 +41,7 @@ struct BenchOptions {
   std::string csv_path;
   std::string trace_path;
   std::string timeseries_path;
+  std::string ledger_path;
   bool print_metrics = false;
 };
 
@@ -63,12 +64,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
       opts.trace_path = need_value("--trace");
     } else if (std::strcmp(arg, "--timeseries") == 0) {
       opts.timeseries_path = need_value("--timeseries");
+    } else if (std::strcmp(arg, "--ledger") == 0) {
+      opts.ledger_path = need_value("--ledger");
     } else if (std::strcmp(arg, "--metrics") == 0) {
       opts.print_metrics = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--json <path>] [--csv <path>] [--trace <path>] [--timeseries <path>] "
-          "[--metrics]\n",
+          "[--ledger <path>] [--metrics]\n",
           bench_name);
       std::exit(0);
     } else {
@@ -88,6 +91,7 @@ inline void MaybeEnableTimeline(const BenchOptions& opts, Telemetry& telemetry) 
 }
 
 // Dumps the registry to every sink the flags requested. Returns the bench's exit code.
+// (--ledger and span finalization need the full bundle; see the Telemetry overload.)
 inline int FinishBench(const BenchOptions& opts, const char* bench_name,
                        MetricRegistry& registry) {
   const auto snapshot = registry.Snapshot();
@@ -117,11 +121,23 @@ inline int FinishBench(const BenchOptions& opts, const char* bench_name,
   return 0;
 }
 
-// Full-bundle variant: registry sinks plus the timeline exports (--trace / --timeseries).
+// Full-bundle variant: registry sinks plus the timeline exports (--trace / --timeseries) and
+// the provenance ledger (--ledger). Teardown finalization happens here, before the snapshot:
+// spans still open (a bench that returned early) are drained into their span.<name>.abandoned
+// counters, and the provenance provider publishes the ledger's final per-cause counts — so
+// --json/--ledger output is complete even on an early exit.
 inline int FinishBench(const BenchOptions& opts, const char* bench_name, Telemetry& telemetry) {
+  telemetry.tracer.AbandonOpen();
   const int rc = FinishBench(opts, bench_name, telemetry.registry);
   if (rc != 0) {
     return rc;
+  }
+  if (!opts.ledger_path.empty()) {
+    const Status s = WriteStringToFile(opts.ledger_path, telemetry.provenance.Dump());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --ledger: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
   }
   if (!opts.trace_path.empty()) {
     const Status s =

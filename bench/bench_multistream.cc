@@ -9,22 +9,26 @@
 // and the per-device hardware cost that streams do NOT remove.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_main.h"
 #include "src/core/matched_pair.h"
 #include "src/cost/cost_model.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 using namespace blockhead;
 
 namespace {
 
-double RunConventional(std::uint32_t streams) {
+double RunConventional(std::uint32_t streams, Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.flash.timing = FlashTiming::FastForTests();
   FtlConfig ftl = cfg.ftl;
   ftl.op_fraction = 0.10;
   ftl.num_streams = streams;
   ConventionalSsd ssd(cfg.flash, ftl);
+  ssd.AttachTelemetry(tel, "conv.s" + std::to_string(streams));
   const std::uint64_t n = ssd.num_blocks();
   const std::uint64_t cold_space = n / 2;
   SimTime t = 0;
@@ -48,10 +52,11 @@ double RunConventional(std::uint32_t streams) {
   return ssd.WriteAmplification();
 }
 
-double RunZnsZonePerClass() {
+double RunZnsZonePerClass(Telemetry* tel) {
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.flash.timing = FlashTiming::FastForTests();
   ZnsDevice dev(cfg.flash, cfg.zns);
+  dev.AttachTelemetry(tel, "zns.zoneperclass");
   // App-managed: hot class cycles through one set of zones, cold through another, whole-zone
   // invalidation (the workload is the same volume as the conventional runs).
   const std::uint64_t zone_pages = dev.zone_size_pages();
@@ -90,16 +95,20 @@ double RunZnsZonePerClass() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_multistream");
+  Telemetry tel;
+  MaybeEnableTimeline(opts, tel);
+
   std::printf("=== E15: Multi-stream writes vs ZNS (§2.3) ===\n");
   std::printf("Paper: streams fix placement on conventional SSDs, but 'the high hardware\n"
               "costs of conventional devices remains.'\n");
   std::printf("Workload: hot random overwrites interleaved 8:1 with a sequential cold rewrite\n"
               "cycle (journal + checkpoint pattern), identical flash.\n\n");
 
-  const double wa_plain = RunConventional(1);
-  const double wa_streams = RunConventional(2);
-  const double wa_zns = RunZnsZonePerClass();
+  const double wa_plain = RunConventional(1, &tel);
+  const double wa_streams = RunConventional(2, &tel);
+  const double wa_zns = RunZnsZonePerClass(&tel);
 
   const CostModelConfig cost_cfg;
   const DeviceCost conv_cost = ConventionalDeviceCost(4 * kTiB, 0.10, cost_cfg);
@@ -114,8 +123,16 @@ int main() {
                 TablePrinter::Fmt(zns_cost.usd_per_usable_gib(), 4)});
   std::printf("%s\n", table.Render().c_str());
 
+  // Provenance: per-device factorized WA (device-only chain) lands in the registry so the
+  // --json dump carries per-cause program counts alongside the headline numbers.
+  for (const char* device : {"conv.s1", "conv.s2", "zns.zoneperclass"}) {
+    const WriteProvenance::FactorizedWa wa =
+        tel.provenance.Factorize({}, std::string(device) + ".flash");
+    PublishFactorizedWa(&tel.registry, device, wa);
+  }
+
   std::printf("Shape check: streams close most of the WA gap to ZNS (placement fixed), but the\n"
               "device still carries the OP flash pool and page-granular mapping DRAM — the\n"
               "$/GiB column only drops on the ZNS row.\n");
-  return 0;
+  return FinishBench(opts, "bench_multistream", tel);
 }

@@ -139,7 +139,52 @@ int main(int argc, char** argv) {
       tel.registry.GetGauge("zns.appmanaged.flash.write_amplification")->value();
   std::printf("Same churn, app-managed zones on the ZNS device (no GC copies): WA = %.2fx\n",
               zns_wa);
-  std::printf("\nShape check: WA must decrease monotonically with OP, high WA at 0%% OP,\n"
-              "near 2-3x at 25%%+; the ZNS alternative stays at ~1x regardless of OP.\n");
+
+  // Provenance view of the same runs: every physical program attributed to its cause, the WA
+  // factorized as a host->physical chain (the product must match the end-to-end number), and
+  // the endurance projection that the extra GC churn implies.
+  std::printf("\nWrite provenance per OP point (cause of each physical program):\n\n");
+  TablePrinter prov({"OP fraction", "host", "device GC", "wear mig", "GC share",
+                     "factorized WA", "endurance (days)"});
+  for (const double op : ops) {
+    const std::string device = OpPrefix(op) + ".flash";
+    const WriteProvenance::DeviceLedger* ledger = tel.provenance.FindDevice(device);
+    if (ledger == nullptr || ledger->total_pages == 0) {
+      continue;
+    }
+    const std::uint64_t host =
+        WriteProvenance::ProgramCount(*ledger, WriteCause::kHostWrite);
+    const std::uint64_t gc = WriteProvenance::ProgramCount(*ledger, WriteCause::kDeviceGC);
+    const std::uint64_t wear =
+        WriteProvenance::ProgramCount(*ledger, WriteCause::kWearMigration);
+    const WriteProvenance::FactorizedWa wa = tel.provenance.Factorize({}, device);
+    PublishFactorizedWa(&tel.registry, OpPrefix(op), wa);
+    const WriteProvenance::EnduranceProjection endurance =
+        tel.provenance.ProjectEndurance(device);
+    char opbuf[16];
+    std::snprintf(opbuf, sizeof(opbuf), "%.1f%%", op * 100);
+    // Simulated time is accelerated (FastForTests), so the projection is a small fraction of
+    // a day; %.3g keeps the relative ordering visible instead of rounding to 0.0.
+    char days[32] = "-";
+    if (endurance.valid) {
+      std::snprintf(days, sizeof(days), "%.3g", endurance.projected_days);
+    }
+    prov.AddRow({opbuf, std::to_string(host), std::to_string(gc), std::to_string(wear),
+                 TablePrinter::Fmt(100.0 * static_cast<double>(gc) /
+                                       static_cast<double>(ledger->total_pages), 1) + "%",
+                 FormatFactorizedWa(wa), days});
+  }
+  std::printf("%s\n", prov.Render().c_str());
+  {
+    const WriteProvenance::FactorizedWa wa =
+        tel.provenance.Factorize({}, "zns.appmanaged.flash");
+    PublishFactorizedWa(&tel.registry, "zns.appmanaged", wa);
+  }
+
+  std::printf("Shape check: WA must decrease monotonically with OP, high WA at 0%% OP,\n"
+              "near 2-3x at 25%%+; the ZNS alternative stays at ~1x regardless of OP. The\n"
+              "provenance table explains the curve: at 0%% OP nearly all programs are device-GC\n"
+              "relocations — per host byte the drive burns ~8x the P/E budget, paid for in\n"
+              "foreground throughput rather than calendar time.\n");
   return FinishBench(opts, "bench_wa_overprovisioning", tel);
 }

@@ -45,6 +45,10 @@ benches=(
   "bench_wa_overprovisioning 42"
   "bench_ycsb 0"
   "bench_zone_append 0"
+  "bench_wear_leveling 11"
+  "bench_lifetime_hints 3"
+  "bench_multistream 3"
+  "bench_block_emulation 23"
 )
 
 tmp_dir=$(mktemp -d)

@@ -84,6 +84,82 @@ with open(sys.argv[2]) as f:
 print(f"smoke: trace ok ({len(slices)} slices, {len(counters)} samples, "
       f"{len(tracks)} tracks); time-series ok ({rows} rows)")
 PY
+
+  echo "=== smoke: write-provenance JSON rows + ledger dump ==="
+  build/bench/bench_lifetime_hints --json "$smoke_dir/prov.json" \
+    --ledger "$smoke_dir/ledger.txt" > /dev/null
+  python3 - "$smoke_dir/prov.json" "$smoke_dir/ledger.txt" <<'PY'
+import json, sys
+from collections import defaultdict
+
+# --json schema: every provenance.<device>.programs.<cause> row must sum back to the
+# device's programs.total row (same for erases), the endurance projection rows must be
+# present, and each published factorized-WA chain must multiply to its end-to-end gauge.
+values = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if "value" in rec:
+            values[rec["metric"]] = rec["value"]
+
+causes = ("host_write", "device_gc", "wear_migration", "block_emulation_reclaim",
+          "zone_compaction", "lsm_flush", "lsm_compaction", "cache_eviction", "padding")
+devices = {m[len("provenance."):-len(".programs.total")]
+           for m in values if m.startswith("provenance.") and m.endswith(".programs.total")}
+assert devices, "no provenance.<device>.programs.total rows in --json output"
+for dev in devices:
+    p = f"provenance.{dev}"
+    for op in ("programs", "erases"):
+        total = values[f"{p}.{op}.total"]
+        by_cause = sum(values.get(f"{p}.{op}.{c}", 0) for c in causes)
+        assert by_cause == total, f"{dev} {op}: per-cause sum {by_cause} != total {total}"
+    for metric in ("endurance.pe_budget", "endurance.mean_erase_count",
+                   "endurance.erases_per_block_per_day", "endurance.projected_days"):
+        assert f"{p}.{metric}" in values, f"missing {p}.{metric}"
+
+wa_prefixes = {m[:-len(".wa.end_to_end")] for m in values if m.endswith(".wa.end_to_end")}
+assert wa_prefixes, "no factorized-WA rows in --json output"
+for prefix in wa_prefixes:
+    product = 1.0
+    i = 0
+    while f"{prefix}.wa.factor{i}" in values:
+        product *= values[f"{prefix}.wa.factor{i}"]
+        i += 1
+    assert i > 0, f"{prefix}: no wa.factor<i> rows"
+    end_to_end = values[f"{prefix}.wa.end_to_end"]
+    # Gauges are rounded when serialized; the exact 1e-9 identity is asserted on the
+    # unrounded doubles in tests/provenance_test.cc.
+    assert abs(product - end_to_end) <= 1e-4 * max(1.0, end_to_end), \
+        f"{prefix}: factor product {product} != end-to-end {end_to_end}"
+
+# Ledger dump format: versioned header, per-device geometry/programs/erases sections whose
+# per-cause cells sum to the section totals, and domain bytes_in lines.
+with open(sys.argv[2]) as f:
+    lines = f.read().splitlines()
+assert lines[0] == "# blockhead write-provenance ledger v1", lines[0]
+sums = defaultdict(lambda: defaultdict(int))
+totals = {}
+dev = None
+saw_domain = False
+for line in lines[1:]:
+    parts = line.split()
+    if parts[0] == "device":
+        dev = parts[1]
+    elif parts[0] in ("programs", "erases"):
+        totals[(dev, parts[0])] = int(parts[1].split("=")[1])
+    elif parts[0] in ("program", "erase"):
+        assert parts[1] in causes, f"unknown cause {parts[1]!r}"
+        sums[dev][parts[0] + "s"] += int(parts[3])
+    elif parts[0] == "domain":
+        saw_domain = True
+        int(parts[2].split("=")[1])
+for (d, op), total in totals.items():
+    assert sums[d][op] == total, f"ledger {d} {op}: {sums[d][op]} != {total}"
+assert totals, "no device sections in ledger dump"
+assert saw_domain, "no domain lines in ledger dump"
+print(f"smoke: provenance ok ({len(devices)} devices, {len(wa_prefixes)} WA chains, "
+      f"ledger {len(lines)} lines)")
+PY
 fi
 
 if [[ "$run_suite" == 1 ]]; then

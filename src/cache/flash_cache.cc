@@ -32,10 +32,12 @@ void FlashCache::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) 
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
     get_latency_ = nullptr;
+    provenance_ingress_ = nullptr;
     return;
   }
   get_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".get.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
 }
 
 void FlashCache::NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
@@ -97,7 +99,10 @@ void BlockFlashCache::DropSegmentObjects(std::uint32_t segment) {
 
 Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
   // Recycle the slot: its previous generation of objects is evicted, then the staged buffer
-  // lands as one large sequential write (the RIPQ pattern).
+  // lands as one large sequential write (the RIPQ pattern). The overwrite is the eviction
+  // mechanism, so its programs (and the device GC they displace) are cache-recycling work.
+  WriteProvenance::CauseScope cause(provenance(), WriteCause::kCacheEviction,
+                                    StackLayer::kCache);
   const std::uint64_t evicted_before = stats_.evicted_objects;
   DropSegmentObjects(open_segment_);
   const std::uint64_t lba = static_cast<std::uint64_t>(open_segment_) * config_.segment_pages;
@@ -200,6 +205,7 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
 Result<SimTime> BlockFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, SimTime now) {
   stats_.puts++;
   stats_.bytes_admitted += size_bytes;
+  NoteIngressBytes(size_bytes);
   const std::uint32_t pages = PagesFor(size_bytes, device_->block_size());
   // Overwrite: retire the old copy first.
   auto it = index_.find(key);
@@ -312,6 +318,9 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     zone_fifo_.pop_front();
     const std::uint64_t evicted_before = stats_.evicted_objects;
     DropZoneObjects(victim);
+    // The reset's block erases are cache-eviction work (the zoned cache's only reclaim I/O).
+    WriteProvenance::CauseScope cause(provenance(), WriteCause::kCacheEviction,
+                                      StackLayer::kCache);
     Result<SimTime> reset = device_->ResetZone(victim, now);
     if (!reset.ok()) {
       return reset;
@@ -332,6 +341,7 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
 Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, SimTime now) {
   stats_.puts++;
   stats_.bytes_admitted += size_bytes;
+  NoteIngressBytes(size_bytes);
   const std::uint32_t pages = PagesFor(size_bytes, device_->page_size());
   if (pages > device_->zone_size_pages()) {
     return ErrorCode::kInvalidArgument;

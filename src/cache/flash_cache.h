@@ -82,6 +82,19 @@ class FlashCache {
     }
   }
 
+  // Provenance ledger for cause scopes around recycling writes; nullptr when detached.
+  WriteProvenance* provenance() {
+    return telemetry_ == nullptr ? nullptr : &telemetry_->provenance;
+  }
+
+  // Derived Put implementations report admitted bytes here (the cache's logical ingress in
+  // the factorized-WA chain); no-op when detached.
+  void NoteIngressBytes(std::uint64_t bytes) {
+    if (provenance_ingress_ != nullptr) {
+      *provenance_ingress_ += bytes;
+    }
+  }
+
   // Appends a kCacheEvict event for a bulk eviction (no-op when detached). `container` is the
   // recycled segment/zone id, `objects` the number of objects dropped with it.
   void NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
@@ -93,6 +106,7 @@ class FlashCache {
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
   Histogram* get_latency_ = nullptr;
+  std::uint64_t* provenance_ingress_ = nullptr;  // Domain "<prefix>" bytes-in accumulator.
 };
 
 struct BlockCacheConfig {

@@ -30,6 +30,8 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
   if (telemetry_ == nullptr) {
     read_latency_ = nullptr;
     program_latency_ = nullptr;
+    provenance_ = nullptr;
+    ledger_ = nullptr;
     sampler_group_ = -1;
     return;
   }
@@ -37,9 +39,16 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
   read_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".read.latency_ns");
   program_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".program.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  provenance_ = &telemetry_->provenance;
+  ledger_ = provenance_->RegisterDevice(metric_prefix_, config_.geometry.total_blocks(),
+                                        config_.timing.endurance_cycles,
+                                        config_.geometry.page_size);
 
   Timeline& tl = telemetry_->timeline;
   sampler_group_ = tl.AddSamplerGroup(metric_prefix_);
+  tl.AddSampler(sampler_group_, metric_prefix_ + ".wear.max_erase_count",
+                Timeline::SampleKind::kInstant,
+                [this](SimTime) { return static_cast<double>(max_erase_count_); });
   plane_tracks_.clear();
   for (std::size_t i = 0; i < plane_busy_series_.size(); ++i) {
     plane_tracks_.push_back(metric_prefix_ + ".plane" + std::to_string(i));
@@ -77,6 +86,13 @@ void FlashDevice::PublishMetrics() {
   r.GetGauge(p + ".wear.mean_erase_count")->Set(w.mean_erase_count);
   r.GetGauge(p + ".wear.stddev_erase_count")->Set(w.stddev_erase_count);
   r.GetCounter(p + ".wear.bad_blocks")->Set(w.bad_blocks);
+  // Full bucketed erase-count distribution (not just the moments): rebuilt from the current
+  // per-block counts on every publish so the snapshot always reflects the live state.
+  Histogram* wear = r.GetHistogram(p + ".wear.erase_count");
+  wear->Reset();
+  for (const BlockState& b : blocks_) {
+    wear->Record(b.erase_count);
+  }
 }
 
 void FlashDevice::NoteMaintenance(std::uint32_t plane_index, SimTime done) {
@@ -239,6 +255,10 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
     }
   }
 
+  if (provenance_ != nullptr) {
+    provenance_->RecordProgram(ledger_, op_class == OpClass::kHost, done);
+  }
+
   if (config_.store_data) {
     if (block.data.empty()) {
       block.data.assign(static_cast<std::size_t>(g.pages_per_block) * g.page_size, 0);
@@ -290,7 +310,13 @@ Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t pla
 
   state.next_page = 0;
   state.erase_count++;
+  if (state.erase_count > max_erase_count_) {
+    max_erase_count_ = state.erase_count;
+  }
   stats_.blocks_erased++;
+  if (provenance_ != nullptr) {
+    provenance_->RecordErase(ledger_, done);
+  }
   if (!state.data.empty()) {
     std::fill(state.data.begin(), state.data.end(), 0);
   }

@@ -93,8 +93,13 @@ class FlashDevice {
   // Timeline wiring (active only once telemetry->timeline.Enable() is called): internal copy
   // reads/programs and block erases become maintenance slices on per-plane tracks
   // ("<prefix>.plane<i>"), erases are logged as kBlockErase events, and per-plane /
-  // per-channel busy fractions are sampled as "<prefix>.plane<i>.busy_fraction" /
-  // "<prefix>.channel<i>.busy_fraction" series on the timeline's cadence.
+  // per-channel busy fractions plus the running "<prefix>.wear.max_erase_count" are sampled
+  // as timeline series on its cadence.
+  //
+  // Provenance wiring: the device registers itself with telemetry->provenance under `prefix`
+  // and tallies every page program and block erase under the innermost open CauseScope (see
+  // src/telemetry/provenance.h), so per-cause WA attribution needs no cooperation from
+  // callers beyond opening scopes around their internally generated writes.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "flash");
 
   // Reads one page. If `out` is nonempty it must be page_size bytes and receives the payload
@@ -160,6 +165,11 @@ class FlashDevice {
 
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  // Write-provenance recording: every program/erase is tallied under the innermost open
+  // CauseScope. The ledger pointer is cached at attach so the hot path does no map lookup.
+  WriteProvenance* provenance_ = nullptr;
+  WriteProvenance::DeviceLedger* ledger_ = nullptr;
+  std::uint32_t max_erase_count_ = 0;  // Running max, sampled as a timeline counter track.
   int sampler_group_ = -1;
   std::vector<std::string> plane_tracks_;  // Precomputed "<prefix>.plane<i>" track names.
   Histogram* read_latency_ = nullptr;     // Host reads, issue -> completion.

@@ -239,6 +239,11 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
     return ErrorCode::kNoFreeBlocks;
   }
 
+  // Everything this cycle programs/erases is device reclaim work, not host data.
+  WriteProvenance::CauseScope cause(
+      ProvenanceOf(telemetry_),
+      wear_migration ? WriteCause::kWearMigration : WriteCause::kDeviceGC, StackLayer::kFtl);
+
   const FlashGeometry& g = flash_.geometry();
   const PhysAddr victim_addr = BlockAddrFromFlat(g, victim);
   const std::uint64_t first_ppn = victim * g.pages_per_block;

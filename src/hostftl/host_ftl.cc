@@ -140,6 +140,10 @@ std::uint32_t HostFtlBlockDevice::PickVictim(bool critical) const {
 
 Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
                                            std::uint32_t max_pages) {
+  // Relocation copies and the victim reset are block-emulation reclaim, not host data: the
+  // doubling the paper attributes to dm-zoned-style translation shows up under this cause.
+  WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_),
+                                    WriteCause::kBlockEmulationReclaim, StackLayer::kHostFtl);
   if (gc_victim_ == kNoZone) {
     gc_victim_ = PickVictim(critical);
     gc_offset_ = 0;
@@ -305,6 +309,9 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
       return done;
     }
     stats_.host_pages_written++;
+    if (provenance_ingress_ != nullptr) {
+      *provenance_ingress_ += page_size;
+    }
     ack = std::max(ack, done.value());
   }
   if (telemetry_ != nullptr) {
@@ -382,9 +389,11 @@ void HostFtlBlockDevice::AttachTelemetry(Telemetry* telemetry, std::string_view 
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
     sampler_group_ = -1;
+    provenance_ingress_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
   scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
 
   Timeline& tl = telemetry_->timeline;

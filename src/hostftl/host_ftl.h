@@ -146,6 +146,9 @@ class HostFtlBlockDevice final : public BlockDevice {
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
   int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
+  // Logical bytes accepted from the host, accumulated into the provenance ledger's domain
+  // "<prefix>" as a link in the factorized-WA chain.
+  std::uint64_t* provenance_ingress_ = nullptr;
 };
 
 }  // namespace blockhead

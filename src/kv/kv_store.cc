@@ -355,6 +355,9 @@ Result<SimTime> KvStore::ApplyWrite(std::string_view key, KvEntryType type,
     memtable_[std::string(key)] = std::nullopt;
   }
   stats_.user_bytes_written += key.size() + value.size();
+  if (provenance_ingress_ != nullptr) {
+    *provenance_ingress_ += key.size() + value.size();
+  }
   if (memtable_bytes_ >= config_.memtable_bytes) {
     Result<SimTime> flushed = FlushMemtable(now);
     if (!flushed.ok()) {
@@ -386,6 +389,9 @@ Result<SimTime> KvStore::FlushMemtable(SimTime now) {
   if (memtable_.empty()) {
     return now;
   }
+  // The L0 table the flush writes is LSM housekeeping, not foreground user data.
+  WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_), WriteCause::kLsmFlush,
+                                    StackLayer::kKv);
   const std::uint32_t file_number = next_file_number_++;
   SSTableBuilderOptions opts;
   opts.block_bytes = config_.block_bytes;
@@ -506,6 +512,9 @@ Result<SimTime> KvStore::MaybeCompact(SimTime now) {
 Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
   const std::uint32_t out_level = level + 1;
   assert(out_level < config_.max_levels);
+  // Everything the merge writes (output tables + manifest updates) is compaction work.
+  WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_), WriteCause::kLsmCompaction,
+                                    StackLayer::kKv);
 
   // Upper inputs.
   std::vector<TableMeta> upper;
@@ -845,9 +854,11 @@ void KvStore::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
+    provenance_ingress_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
 }
 
 void KvStore::PublishMetrics() {

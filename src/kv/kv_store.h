@@ -155,6 +155,9 @@ class KvStore {
   KvStats stats_;
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+  // User bytes accepted by Put/Delete, accumulated into the provenance ledger's domain
+  // "<prefix>" as the top link of the factorized-WA chain.
+  std::uint64_t* provenance_ingress_ = nullptr;
 };
 
 }  // namespace blockhead

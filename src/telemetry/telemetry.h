@@ -13,6 +13,7 @@
 
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metric_registry.h"
+#include "src/telemetry/provenance.h"
 #include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
 
@@ -23,12 +24,21 @@ struct Telemetry {
   EventLog events;
   Timeline timeline;
   Tracer tracer{&registry};
+  WriteProvenance provenance;
 
   Telemetry() {
     tracer.set_timeline(&timeline);    // Completed spans become timeline slices.
     events.PublishTo(&registry);       // Event totals appear in every snapshot.
+    // Per-cause program/erase counters and endurance projections join every snapshot.
+    registry.AddProvider("provenance", [this] { provenance.PublishTo(&registry); });
   }
 };
+
+// Convenience for layers opening a CauseScope: the ledger when telemetry is attached, else
+// nullptr (scope becomes a no-op).
+inline WriteProvenance* ProvenanceOf(Telemetry* telemetry) {
+  return telemetry == nullptr ? nullptr : &telemetry->provenance;
+}
 
 }  // namespace blockhead
 

@@ -58,6 +58,12 @@ void Tracer::Finish(std::uint64_t id, SimTime end) {
   }
 }
 
+void Tracer::AbandonOpen() {
+  while (!open_.empty()) {
+    Remove(open_.back().id);
+  }
+}
+
 void Tracer::Remove(std::uint64_t id) {
   for (std::size_t i = 0; i < open_.size(); ++i) {
     if (open_[i].id == id) {

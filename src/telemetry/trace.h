@@ -101,6 +101,12 @@ class Tracer {
   // unconditionally.
   void Charge(const SpanComponents& c);
 
+  // Drains every still-open span, bumping its span.<name>.abandoned counter. The bench
+  // harness calls this in teardown so spans left open on early exit are visible in the final
+  // snapshot instead of silently vanishing (their Span handles outlive the dump). Handles to
+  // drained spans become inert: End()/destruction after this is a no-op.
+  void AbandonOpen();
+
   bool active() const { return !open_.empty(); }
   std::size_t open_spans() const { return open_.size(); }
 

@@ -210,6 +210,10 @@ Result<std::uint32_t> ZoneFileSystem::FrontierFor(Lifetime hint, SimTime now) {
 Result<SimTime> ZoneFileSystem::FlushTailPage(FileMeta& file, SimTime now, bool pad) {
   assert(pad ? !file.tail.empty() : file.tail.size() >= page_size_);
   const std::uint64_t bytes = pad ? file.tail.size() : page_size_;
+  // A padded flush programs a full page for a partial tail: attribute it to kPadding (scope
+  // is a no-op for the common full-page flush).
+  WriteProvenance::CauseScope cause(pad ? ProvenanceOf(telemetry_) : nullptr,
+                                    WriteCause::kPadding, StackLayer::kZoneFs);
 
   Result<std::uint32_t> frontier = FrontierFor(file.hint, now);
   if (!frontier.ok()) {
@@ -288,6 +292,9 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
     // Accounted incrementally so a failed flush leaves size == extents + tail (consistent).
     file->size += take;
     stats_.bytes_appended += take;
+    if (provenance_ingress_ != nullptr) {
+      *provenance_ingress_ += take;
+    }
     if (file->tail.size() >= page_size_) {
       Result<SimTime> flushed = FlushTailPage(*file, done, /*pad=*/false);
       if (!flushed.ok()) {
@@ -525,6 +532,10 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
 }
 
 Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t max_pages) {
+  // Relocation writes, the compaction batch journal, and the victim reset are filesystem
+  // zone-compaction work, not application data.
+  WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_), WriteCause::kZoneCompaction,
+                                    StackLayer::kZoneFs);
   if (gc_.victim == kNoZone) {
     BLOCKHEAD_RETURN_IF_ERROR(StartGcVictim(now, critical));
   }
@@ -709,9 +720,11 @@ void ZoneFileSystem::AttachTelemetry(Telemetry* telemetry, std::string_view pref
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
+    provenance_ingress_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
   scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
   sampler_group_ = telemetry_->timeline.AddSamplerGroup(metric_prefix_);
   telemetry_->timeline.AddSampler(sampler_group_, metric_prefix_ + ".free_fraction",

@@ -221,6 +221,9 @@ class ZoneFileSystem {
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
   int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
+  // Application bytes accepted by Append, accumulated into the provenance ledger's domain
+  // "<prefix>" as a link in the factorized-WA chain.
+  std::uint64_t* provenance_ingress_ = nullptr;
   // stats_.gc_pages_copied at victim selection (per-cycle copy count for the kGcCycle event).
   std::uint64_t gc_cycle_copied_base_ = 0;
 };
