@@ -20,7 +20,8 @@ MultiTenantResult Run(ZoneBudgetManager& budget, std::uint32_t tenants, SimTime 
   MatchedConfig cfg = MatchedConfig::Bench();
   cfg.zns.max_active_zones = 14;  // Paper §2.1: a current device supports 14 active zones.
   cfg.zns.max_open_zones = 14;
-  cfg.zns.planes_per_zone = 4;  // A zone stripes over a die group: one zone can't saturate the device.
+  // A zone stripes over a die group: one zone can't saturate the device.
+  cfg.zns.planes_per_zone = 4;
   ZnsDevice dev(cfg.flash, cfg.zns);
   std::vector<TenantConfig> configs(tenants);
   for (std::uint32_t t = 0; t < tenants; ++t) {

@@ -46,7 +46,7 @@ void BM_FlashProgramPage(benchmark::State& state) {
   std::uint64_t i = 0;
   SimTime t = 0;
   for (auto _ : state) {
-    const PhysAddr addr = AddrFromFlatPage(g, i % g.total_pages());
+    const PhysAddr addr = AddrFromFlatPage(g, Ppa{i % g.total_pages()});
     auto r = dev.ProgramPage(addr, t);
     if (r.ok()) {
       t = r.value();
@@ -78,7 +78,7 @@ void BM_ConventionalRandomWrite(benchmark::State& state) {
   Rng rng(1);
   SimTime t = 0;
   for (auto _ : state) {
-    auto r = ssd.WriteBlocks(rng.NextBelow(ssd.num_blocks()), 1, t);
+    auto r = ssd.WriteBlocks(Lba{rng.NextBelow(ssd.num_blocks())}, 1, t);
     if (r.ok()) {
       t = r.value();
     }
@@ -100,13 +100,13 @@ void BM_ZnsAppend(benchmark::State& state) {
   std::uint32_t zone = 0;
   SimTime t = 0;
   for (auto _ : state) {
-    auto r = dev.Append(zone, 1, t);
+    auto r = dev.Append(ZoneId{zone}, 1, t);
     if (r.ok()) {
       t = r->completion;
     } else {
       zone = (zone + 1) % dev.num_zones();
-      if (dev.zone(zone).state == ZoneState::kFull) {
-        benchmark::DoNotOptimize(dev.ResetZone(zone, t));
+      if (dev.zone(ZoneId{zone}).state == ZoneState::kFull) {
+        benchmark::DoNotOptimize(dev.ResetZone(ZoneId{zone}, t));
       }
     }
   }
@@ -129,7 +129,7 @@ void BM_HostFtlRandomWrite(benchmark::State& state) {
   Rng rng(2);
   SimTime t = 0;
   for (auto _ : state) {
-    auto r = ftl.WriteBlocks(rng.NextBelow(ftl.num_blocks()), 1, t);
+    auto r = ftl.WriteBlocks(Lba{rng.NextBelow(ftl.num_blocks())}, 1, t);
     if (r.ok()) {
       t = r.value();
     }

@@ -15,7 +15,8 @@ using namespace blockhead;
 
 int main() {
   std::printf("=== E3: On-board DRAM for address translation, conventional vs ZNS ===\n");
-  std::printf("Paper claim: ~1 GB/TB (4 B per 4 KiB page) vs ~256 KB/TB (4 B per 16 MiB block).\n\n");
+  std::printf(
+      "Paper claim: ~1 GB/TB (4 B per 4 KiB page) vs ~256 KB/TB (4 B per 16 MiB block).\n\n");
 
   const CostModelConfig cfg;
   TablePrinter model({"capacity", "conventional DRAM", "ZNS DRAM", "ratio"});

@@ -60,22 +60,22 @@ InterfaceResult RunRawZones() {
   std::uint32_t next_reset = 0;
   bool wrapped = false;
   for (std::uint64_t r = 0; r < kRecords; ++r) {
-    ZoneDescriptor d = dev.zone(open_zone);
+    ZoneDescriptor d = dev.zone(ZoneId{open_zone});
     if (d.write_pointer + kRecordPages > d.capacity_pages) {
       open_zone = (open_zone + 1) % dev.num_zones();
       if (open_zone == 0) {
         wrapped = true;
       }
       if (wrapped) {
-        auto reset = dev.ResetZone(next_reset, t);
+        auto reset = dev.ResetZone(ZoneId{next_reset}, t);
         if (reset.ok()) {
           t = reset.value();
         }
         next_reset = (next_reset + 1) % dev.num_zones();
       }
-      d = dev.zone(open_zone);
+      d = dev.zone(ZoneId{open_zone});
     }
-    auto w = dev.Write(open_zone, d.write_pointer, kRecordPages, t);
+    auto w = dev.Write(ZoneId{open_zone}, d.write_pointer, kRecordPages, t);
     if (!w.ok()) {
       break;
     }
@@ -171,7 +171,7 @@ InterfaceResult RunBlockEmulation() {
     if (lba + kRecordPages > block.num_blocks()) {
       lba = 0;
     }
-    auto w = block.WriteBlocks(lba, kRecordPages, t);
+    auto w = block.WriteBlocks(Lba{lba}, kRecordPages, t);
     if (!w.ok()) {
       break;
     }

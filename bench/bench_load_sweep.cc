@@ -46,7 +46,7 @@ Histogram RunConventional(double ops_per_sec) {
   const FlashGeometry& g = ssd.flash().geometry();
   for (std::uint32_t ch = 0; ch < g.channels; ++ch) {
     for (std::uint32_t pl = 0; pl < g.planes_per_channel; ++pl) {
-      quiesced = std::max(quiesced, ssd.flash().PlaneBusyUntil(ch, pl));
+      quiesced = std::max(quiesced, ssd.flash().PlaneBusyUntil(ChannelId{ch}, PlaneId{pl}));
     }
   }
 
@@ -73,7 +73,7 @@ Histogram RunZns(double ops_per_sec) {
   std::deque<std::uint32_t> full_zones;
   for (std::uint32_t z = 0; z + 2 < dev.num_zones(); ++z) {
     for (std::uint64_t off = 0; off < zone_pages; off += 8) {
-      auto w = dev.Write(z, off, 8, t);
+      auto w = dev.Write(ZoneId{z}, off, 8, t);
       if (w.ok()) {
         t = w.value();
       }
@@ -91,23 +91,23 @@ Histogram RunZns(double ops_per_sec) {
     const SimTime issue = static_cast<SimTime>(clock);
     if (rng.NextBool(kReadFraction)) {
       const std::uint32_t zone = full_zones[rng.NextBelow(full_zones.size())];
-      const std::uint64_t lba =
-          dev.zone(zone).start_lba + rng.NextBelow(dev.zone(zone).capacity_pages);
+      const Lba lba =
+          dev.zone(ZoneId{zone}).start_lba + rng.NextBelow(dev.zone(ZoneId{zone}).capacity_pages);
       auto r = dev.Read(lba, 1, issue);
       if (r.ok()) {
         read_latency.Record(r.value() - issue);
       }
     } else {
-      ZoneDescriptor d = dev.zone(open_zone);
+      ZoneDescriptor d = dev.zone(ZoneId{open_zone});
       if (d.write_pointer >= d.capacity_pages) {
         full_zones.push_back(open_zone);
         const std::uint32_t victim = full_zones.front();
         full_zones.pop_front();
-        (void)dev.ResetZone(victim, issue);
+        (void)dev.ResetZone(ZoneId{victim}, issue);
         open_zone = victim;
-        d = dev.zone(open_zone);
+        d = dev.zone(ZoneId{open_zone});
       }
-      (void)dev.Write(open_zone, d.write_pointer, 1, issue);
+      (void)dev.Write(ZoneId{open_zone}, d.write_pointer, 1, issue);
     }
   }
   return read_latency;

@@ -43,7 +43,7 @@ double RunConventional(std::uint32_t streams, Telemetry* tel) {
     } else {
       lba = cold_space + rng.NextBelow(n - cold_space);
     }
-    auto w = ssd.WriteBlocksStream(lba, 1, is_cold ? 1 : 0, t);
+    auto w = ssd.WriteBlocksStream(Lba{lba}, 1, is_cold ? 1 : 0, t);
     if (!w.ok()) {
       return -1.0;
     }
@@ -70,19 +70,19 @@ double RunZnsZonePerClass(Telemetry* tel) {
     const int cls = i % 8 == 0 ? 0 : 1;
     const std::uint32_t lo = cls == 0 ? 0 : cold_zones;
     const std::uint32_t hi = cls == 0 ? cold_zones : zones;
-    ZoneDescriptor d = dev.zone(open_zone[cls]);
+    ZoneDescriptor d = dev.zone(ZoneId{open_zone[cls]});
     if (d.write_pointer >= d.capacity_pages) {
       open_zone[cls] = open_zone[cls] + 1 < hi ? open_zone[cls] + 1 : lo;
       if (open_zone[cls] == next_reset[cls]) {
         next_reset[cls] = next_reset[cls] + 1 < hi ? next_reset[cls] + 1 : lo;
       }
-      auto reset = dev.ResetZone(open_zone[cls], t);
+      auto reset = dev.ResetZone(ZoneId{open_zone[cls]}, t);
       if (reset.ok()) {
         t = reset.value();
       }
-      d = dev.zone(open_zone[cls]);
+      d = dev.zone(ZoneId{open_zone[cls]});
     }
-    auto w = dev.Write(open_zone[cls], d.write_pointer, 1, t);
+    auto w = dev.Write(ZoneId{open_zone[cls]}, d.write_pointer, 1, t);
     if (!w.ok()) {
       return -1.0;
     }

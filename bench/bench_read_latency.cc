@@ -72,7 +72,7 @@ MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
   std::uint32_t open_zone = 0;
   for (std::uint32_t z = 0; z + 2 < dev.num_zones(); ++z) {
     for (std::uint64_t off = 0; off < zone_pages; off += 8) {
-      auto w = dev.Write(z, off, 8, t);
+      auto w = dev.Write(ZoneId{z}, off, 8, t);
       if (w.ok()) {
         t = w.value();
       }
@@ -95,9 +95,9 @@ MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
     if (is_read) {
       // Random valid page in a full zone.
       const std::uint32_t zone = full_zones[rng.NextBelow(full_zones.size())];
-      const std::uint64_t lba =
-          dev.zone(zone).start_lba + rng.NextBelow(dev.zone(zone).capacity_pages);
-      auto r = dev.Read(lba, 1, issue);
+      const Lba lba =
+          dev.zone(ZoneId{zone}).start_lba + rng.NextBelow(dev.zone(ZoneId{zone}).capacity_pages);
+      auto r = dev.Read(Lba{lba}, 1, issue);
       if (!r.ok()) {
         continue;
       }
@@ -106,20 +106,20 @@ MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
       result.bytes_total += 4096;
       end = std::max(end, r.value());
     } else {
-      ZoneDescriptor d = dev.zone(open_zone);
+      ZoneDescriptor d = dev.zone(ZoneId{open_zone});
       if (d.write_pointer >= d.capacity_pages) {
         full_zones.push_back(open_zone);
         // Reclaim the oldest zone wholesale — the ZNS-native overwrite pattern.
         const std::uint32_t victim = full_zones.front();
         full_zones.pop_front();
-        auto reset = dev.ResetZone(victim, issue);
+        auto reset = dev.ResetZone(ZoneId{victim}, issue);
         open_zone = victim;
         if (reset.ok()) {
           end = std::max(end, reset.value());
         }
-        d = dev.zone(open_zone);
+        d = dev.zone(ZoneId{open_zone});
       }
-      auto w = dev.Write(open_zone, d.write_pointer, 1, issue);
+      auto w = dev.Write(ZoneId{open_zone}, d.write_pointer, 1, issue);
       if (!w.ok()) {
         continue;
       }

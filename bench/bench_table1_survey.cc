@@ -13,8 +13,11 @@ int main() {
   const SurveyTable table = ComputeTable1();
   std::printf("%s\n", RenderTable1(table).c_str());
 
-  std::printf("Paper claims:  Simpl+solved 23%% | unaffected (Orth) 18%% | affected (Appr+Res) 59%%\n");
-  std::printf("Measured:      Simpl+solved %.0f%% | unaffected (Orth) %.0f%% | affected (Appr+Res) %.0f%%\n\n",
+  std::printf(
+      "Paper claims:  Simpl+solved 23%% | unaffected (Orth) 18%% | affected (Appr+Res) 59%%\n");
+  std::printf(
+      "Measured:      Simpl+solved %.0f%% | unaffected (Orth) %.0f%% |"
+      " affected (Appr+Res) %.0f%%\n\n",
               100.0 * table.CategoryFraction(SurveyCategory::kSimplified),
               100.0 * table.CategoryFraction(SurveyCategory::kOrthogonal),
               100.0 * (table.CategoryFraction(SurveyCategory::kApproach) +

@@ -77,14 +77,14 @@ void RunZnsAppManaged(Telemetry* tel) {
   bool wrapped = false;
   SimTime t = 0;
   for (std::uint64_t written = 0; written < 4 * total_pages;) {
-    const ZoneDescriptor d = dev.zone(open_zone);
+    const ZoneDescriptor d = dev.zone(ZoneId{open_zone});
     if (d.write_pointer >= d.capacity_pages) {
       open_zone = (open_zone + 1) % dev.num_zones();
       if (open_zone == 0) {
         wrapped = true;
       }
       if (wrapped) {
-        auto reset = dev.ResetZone(next_reset, t);
+        auto reset = dev.ResetZone(ZoneId{next_reset}, t);
         if (reset.ok()) {
           t = reset.value();
         }
@@ -93,7 +93,7 @@ void RunZnsAppManaged(Telemetry* tel) {
       continue;
     }
     const std::uint32_t chunk = 8;
-    auto w = dev.Write(open_zone, d.write_pointer, chunk, t);
+    auto w = dev.Write(ZoneId{open_zone}, d.write_pointer, chunk, t);
     if (!w.ok()) {
       open_zone = (open_zone + 1) % dev.num_zones();
       continue;

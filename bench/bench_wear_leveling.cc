@@ -44,14 +44,14 @@ WearResult RunConventional(bool wear_leveling, Telemetry* tel, const std::string
   SimTime t = 0;
   // Fill once (cold bulk), then hammer 5% of the space.
   for (std::uint64_t lba = 0; lba < n; ++lba) {
-    auto w = ssd.WriteBlocks(lba, 1, t);
+    auto w = ssd.WriteBlocks(Lba{lba}, 1, t);
     if (!w.ok()) {
       return result;
     }
     t = w.value();
   }
   for (std::uint64_t i = 0; i < 60 * n; ++i) {
-    auto w = ssd.WriteBlocks(rng.NextBelow(n / 20), 1, t);
+    auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n / 20)}, 1, t);
     if (!w.ok()) {
       break;
     }
@@ -87,19 +87,19 @@ WearResult RunZnsCycling(Telemetry* tel, const std::string& prefix) {
   bool wrapped = false;
   // Same write volume; the app's natural FIFO zone cycling IS the wear leveling.
   for (std::uint64_t i = 0; i < 61 * total_pages; ++i) {
-    ZoneDescriptor d = dev.zone(zone);
+    ZoneDescriptor d = dev.zone(ZoneId{zone});
     if (d.state == ZoneState::kOffline || d.write_pointer >= d.capacity_pages) {
       zone = (zone + 1) % dev.num_zones();
       if (zone == 0) {
         wrapped = true;
       }
       if (wrapped) {
-        (void)dev.ResetZone(next_reset, t);
+        (void)dev.ResetZone(ZoneId{next_reset}, t);
         next_reset = (next_reset + 1) % dev.num_zones();
       }
       continue;
     }
-    auto w = dev.Write(zone, d.write_pointer, 1, t);
+    auto w = dev.Write(ZoneId{zone}, d.write_pointer, 1, t);
     if (!w.ok()) {
       continue;
     }

@@ -71,7 +71,8 @@ double RunSharedAppend(ZnsDevice& dev, bool use_append) {
 }  // namespace
 
 int main() {
-  std::printf("=== E16: Systematic workload sweep — does anything run WORSE on ZNS? (§4.2) ===\n\n");
+  std::printf(
+      "=== E16: Systematic workload sweep — does anything run WORSE on ZNS? (§4.2) ===\n\n");
 
   const ZooEntry zoo[] = {
       {"seq write 128K", 0.0, 32, AddressDistribution::kUniform, 1},
@@ -124,7 +125,7 @@ int main() {
     std::vector<SimTime> ready(8, 0);
     std::uint64_t bytes = 0;
     for (std::uint64_t r = 0; r < 4096; ++r) {
-      auto w = conv.WriteBlocks(r % conv.num_blocks(), 1, ready[r % 8]);
+      auto w = conv.WriteBlocks(Lba{r % conv.num_blocks()}, 1, ready[r % 8]);
       if (!w.ok()) {
         break;
       }

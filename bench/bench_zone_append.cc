@@ -40,7 +40,7 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry
   }
   ZnsDevice dev(cfg.flash, cfg.zns);
   dev.AttachTelemetry(tel, ConfigPrefix(writers, use_append, strict));
-  const std::uint64_t total_pages = dev.zone(0).capacity_pages;
+  const std::uint64_t total_pages = dev.zone(ZoneId{0}).capacity_pages;
 
   EventQueue<std::uint32_t> ready;  // Writer w is ready to issue at event time.
   for (std::uint32_t w = 0; w < writers; ++w) {
@@ -53,7 +53,7 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry
     const SimTime now = event.time;
     SimTime done = now;
     if (use_append) {
-      auto r = dev.Append(0, 1, now);
+      auto r = dev.Append(ZoneId{0}, 1, now);
       if (!r.ok()) {
         break;
       }
@@ -61,8 +61,8 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry
     } else {
       // A writer must (re)read the write pointer, then issue at it; the device model charges
       // the serialization (a write cannot be formed until the previous one completed).
-      const std::uint64_t wp = dev.zone(0).write_pointer;
-      auto r = dev.Write(0, wp, 1, now);
+      const std::uint64_t wp = dev.zone(ZoneId{0}).write_pointer;
+      auto r = dev.Write(ZoneId{0}, wp, 1, now);
       if (!r.ok()) {
         break;
       }

@@ -5,33 +5,57 @@
 #                      # ASan/UBSan tests (timeline determinism included)
 #   ./ci.sh --tier1    # tier-1 only
 #   ./ci.sh --asan     # sanitizer pass only
+#   ./ci.sh --tsan     # ThreadSanitizer pass only
+#   ./ci.sh --lint     # static analysis only: tools/check.sh (lint.py + clang-format +
+#                      # clang-tidy where installed) and a -Werror strict build
 #   ./ci.sh --suite    # tier-1 build, then the bench suite checked against BENCH_baseline.json
 #
-# The sanitizer pass builds the whole tree (tests and benches) into build-asan/ with
-# -fsanitize=address,undefined and runs the test suite under it; any leak, UB, or
-# out-of-bounds access fails the script.
+# The sanitizer passes build the whole tree (tests and benches) into build-asan/ or
+# build-tsan/ with -fsanitize=address,undefined (resp. thread) and run the test suite under
+# it; any leak, UB, out-of-bounds access, or data race fails the script.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 run_tier1=1
 run_asan=1
+run_tsan=0
+run_lint=0
 run_suite=0
 case "${1:-}" in
   --tier1) run_asan=0 ;;
   --asan) run_tier1=0 ;;
+  --tsan)
+    run_tier1=0
+    run_asan=0
+    run_tsan=1
+    ;;
+  --lint)
+    run_tier1=0
+    run_asan=0
+    run_lint=1
+    ;;
   --suite)
     run_asan=0
     run_suite=1
     ;;
   "") ;;
   *)
-    echo "usage: $0 [--tier1|--asan|--suite]" >&2
+    echo "usage: $0 [--tier1|--asan|--tsan|--lint|--suite]" >&2
     exit 2
     ;;
 esac
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ "$run_lint" == 1 ]]; then
+  echo "=== lint: project rules + clang tooling (where installed) ==="
+  tools/check.sh
+
+  echo "=== lint: -Werror strict build ==="
+  cmake -B build-werror -S . -DBLOCKHEAD_WERROR=ON
+  cmake --build build-werror -j "$jobs"
+fi
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "=== tier-1: configure + build + ctest ==="
@@ -177,6 +201,17 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$jobs"
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== sanitizers: TSan build + ctest ==="
+  tsan_flags="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$tsan_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$tsan_flags"
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 ctest --output-on-failure -j "$jobs")
 fi
 
 echo "ci.sh: all requested checks passed"

@@ -29,52 +29,54 @@ int main() {
 
   // 1. Sequential writes must land exactly on the write pointer.
   std::vector<std::uint8_t> data(4096, 0xAB);
-  auto w = zns.Write(/*zone=*/0, /*offset=*/0, /*pages=*/1, /*issue=*/0, data);
+  auto w = zns.Write(ZoneId{/*zone=*/0}, /*offset=*/0, /*pages=*/1, /*issue=*/0, data);
   std::printf("write zone 0 @0      -> %s (zone now %s, wp=%llu)\n",
-              w.ok() ? "OK" : w.status().ToString().c_str(), ZoneStateName(zns.zone(0).state),
-              static_cast<unsigned long long>(zns.zone(0).write_pointer));
+              w.ok() ? "OK" : w.status().ToString().c_str(),
+              ZoneStateName(zns.zone(ZoneId{0}).state),
+              static_cast<unsigned long long>(zns.zone(ZoneId{0}).write_pointer));
 
-  auto bad = zns.Write(0, 5, 1, 0);  // Not at the write pointer.
+  auto bad = zns.Write(ZoneId{0}, 5, 1, 0);  // Not at the write pointer.
   std::printf("write zone 0 @5      -> %s (the block-interface habit fails fast)\n",
               bad.status().ToString().c_str());
 
   // 2. Zone append: the device picks the address (no host-side write-pointer coordination).
-  auto a = zns.Append(0, 2, 0, {});
+  auto a = zns.Append(ZoneId{0}, 2, 0, {});
   if (a.ok()) {
     std::printf("append zone 0 x2     -> OK, device assigned LBA %llu\n",
-                static_cast<unsigned long long>(a->assigned_lba));
+                static_cast<unsigned long long>(a->assigned_lba.value()));
   }
 
   // 3. Reads below the write pointer return data; above it, zeroes.
   std::vector<std::uint8_t> out(4096);
-  auto r = zns.Read(zns.zone(0).start_lba, 1, 1 * kMillisecond, out);
+  auto r = zns.Read(zns.zone(ZoneId{0}).start_lba, 1, 1 * kMillisecond, out);
   std::printf("read  zone 0 @0      -> %s, first byte 0x%02X (latency %.1f us)\n",
               r.ok() ? "OK" : r.status().ToString().c_str(), out[0],
               r.ok() ? static_cast<double>(r.value() - 1 * kMillisecond) / kMicrosecond : 0.0);
 
   // 4. Active-zone limits are a real resource (paper §4.2).
   for (std::uint32_t z = 1; z <= 4; ++z) {
-    auto open = zns.Write(z, 0, 1, 0);
+    auto open = zns.Write(ZoneId{z}, 0, 1, 0);
     std::printf("write zone %u @0      -> %s (active zones: %u)\n", z,
                 open.ok() ? "OK" : open.status().ToString().c_str(), zns.active_zones());
   }
 
   // 5. Simple copy: device-internal relocation, zero host-bus bytes.
   const std::uint64_t bus_before = zns.flash().stats().host_bus_bytes;
-  const CopyRange range{zns.zone(0).start_lba, 3};
-  auto copy = zns.SimpleCopy(std::span<const CopyRange>(&range, 1), /*dst_zone=*/1, 0);
+  const CopyRange range{zns.zone(ZoneId{0}).start_lba, 3};
+  auto copy = zns.SimpleCopy(std::span<const CopyRange>(&range, 1), ZoneId{1}, 0);
   std::printf("simple copy 3 pages  -> %s, host-bus bytes moved: %llu\n",
               copy.ok() ? "OK" : copy.status().ToString().c_str(),
               static_cast<unsigned long long>(zns.flash().stats().host_bus_bytes - bus_before));
 
   // 6. Finish seals a zone early; reset recycles it.
-  (void)zns.FinishZone(0, 0);
-  std::printf("finish zone 0        -> state %s, wp=%llu\n", ZoneStateName(zns.zone(0).state),
-              static_cast<unsigned long long>(zns.zone(0).write_pointer));
-  auto reset = zns.ResetZone(0, 0);
+  (void)zns.FinishZone(ZoneId{0}, 0);
+  std::printf("finish zone 0        -> state %s, wp=%llu\n",
+              ZoneStateName(zns.zone(ZoneId{0}).state),
+              static_cast<unsigned long long>(zns.zone(ZoneId{0}).write_pointer));
+  auto reset = zns.ResetZone(ZoneId{0}, 0);
   std::printf("reset  zone 0        -> %s, state %s (erases counted: %llu)\n",
               reset.ok() ? "OK" : reset.status().ToString().c_str(),
-              ZoneStateName(zns.zone(0).state),
+              ZoneStateName(zns.zone(ZoneId{0}).state),
               static_cast<unsigned long long>(zns.flash().stats().blocks_erased));
 
   // 7. The paper's §2.2 DRAM argument, on these two devices.
@@ -82,7 +84,8 @@ int main() {
   const DramUsage z = zns.ComputeDramUsage();
   std::printf("\nMapping-table DRAM on identical %s flash:\n",
               TablePrinter::FmtBytes(cfg.flash.geometry.capacity_bytes()).c_str());
-  std::printf("  conventional (4 B/page):  %s\n", TablePrinter::FmtBytes(conv.mapping_bytes).c_str());
+  std::printf("  conventional (4 B/page):  %s\n",
+              TablePrinter::FmtBytes(conv.mapping_bytes).c_str());
   std::printf("  ZNS (4 B/erasure block):  %s\n", TablePrinter::FmtBytes(z.mapping_bytes).c_str());
   return 0;
 }

@@ -120,7 +120,7 @@ MultiTenantResult RunMultiTenantSim(ZnsDevice& device, ZoneBudgetManager& budget
     while (!recyclable.empty()) {
       const std::uint32_t z = recyclable.front();
       recyclable.pop_front();
-      Result<SimTime> reset = device.ResetZone(z, now);
+      Result<SimTime> reset = device.ResetZone(ZoneId{z}, now);
       if (!reset.ok()) {
         continue;  // Worn out; drop it.
       }
@@ -138,13 +138,13 @@ MultiTenantResult RunMultiTenantSim(ZnsDevice& device, ZoneBudgetManager& budget
     util_integral += static_cast<std::uint64_t>(held_total) * (now - last_event);
     last_event = now;
   };
-  auto release_zone = [&](TenantState& tenant, std::uint32_t tenant_id, std::uint32_t zone,
-                          SimTime now) {
-    (void)device.FinishZone(zone, now);
+  auto release_zone = [&](TenantState& tenant, std::uint32_t tenant_id,
+                          std::uint32_t zone_index, SimTime now) {
+    (void)device.FinishZone(ZoneId{zone_index}, now);
     budget.Release(tenant_id);
     held_total--;
-    recyclable.push_back(zone);
-    std::erase(tenant.zones, zone);
+    recyclable.push_back(zone_index);
+    std::erase(tenant.zones, zone_index);
   };
 
   EventQueue<SimEvent> queue;
@@ -207,14 +207,14 @@ MultiTenantResult RunMultiTenantSim(ZnsDevice& device, ZoneBudgetManager& budget
       release_zone(tenant, tenant_id, zone, now);
       continue;
     }
-    const ZoneDescriptor d = device.zone(zone);
+    const ZoneDescriptor d = device.zone(ZoneId{zone});
     const std::uint32_t room = static_cast<std::uint32_t>(d.capacity_pages - d.write_pointer);
     if (room == 0) {
       release_zone(tenant, tenant_id, zone, now);
       continue;
     }
     const std::uint32_t pages = std::min(kChunkPages, room);
-    Result<SimTime> written = device.Write(zone, d.write_pointer, pages, now);
+    Result<SimTime> written = device.Write(ZoneId{zone}, d.write_pointer, pages, now);
     if (!written.ok()) {
       release_zone(tenant, tenant_id, zone, now);
       continue;

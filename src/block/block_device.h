@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/core/strong_id.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
 
@@ -20,16 +21,16 @@ class BlockDevice {
 
   // Reads `count` logical blocks starting at `lba`. If `out` is nonempty it must hold
   // count * block_size() bytes. Returns the completion time.
-  virtual Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  virtual Result<SimTime> ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                      std::span<std::uint8_t> out = {}) = 0;
 
   // Writes `count` logical blocks starting at `lba`. If `data` is nonempty it must hold
   // count * block_size() bytes. Returns the completion (host acknowledgement) time.
-  virtual Result<SimTime> WriteBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  virtual Result<SimTime> WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                       std::span<const std::uint8_t> data = {}) = 0;
 
   // Invalidates `count` logical blocks starting at `lba` (TRIM/deallocate).
-  virtual Result<SimTime> TrimBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue) = 0;
+  virtual Result<SimTime> TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) = 0;
 
   // Logical capacity in blocks.
   virtual std::uint64_t num_blocks() const = 0;

@@ -106,7 +106,7 @@ Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
   const std::uint64_t evicted_before = stats_.evicted_objects;
   DropSegmentObjects(open_segment_);
   const std::uint64_t lba = static_cast<std::uint64_t>(open_segment_) * config_.segment_pages;
-  Result<SimTime> written = device_->WriteBlocks(lba, staged_pages_, now);
+  Result<SimTime> written = device_->WriteBlocks(Lba{lba}, staged_pages_, now);
   if (!written.ok()) {
     return written;
   }
@@ -174,7 +174,7 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
     }
     for (const std::uint64_t page : it->second.page_list) {
       free_pages_.push_back(page);
-      Result<SimTime> trimmed = device_->TrimBlocks(page, 1, t);
+      Result<SimTime> trimmed = device_->TrimBlocks(Lba{page}, 1, t);
       if (!trimmed.ok()) {
         return trimmed;
       }
@@ -191,7 +191,7 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
     const std::uint64_t page = free_pages_.back();
     free_pages_.pop_back();
     loc.page_list.push_back(page);
-    Result<SimTime> written = device_->WriteBlocks(page, 1, t);
+    Result<SimTime> written = device_->WriteBlocks(Lba{page}, 1, t);
     if (!written.ok()) {
       return written;
     }
@@ -243,7 +243,7 @@ Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
     const std::uint64_t lba =
         static_cast<std::uint64_t>(it->second.segment) * config_.segment_pages +
         it->second.page;
-    Result<SimTime> read = device_->ReadBlocks(lba, it->second.pages, now);
+    Result<SimTime> read = device_->ReadBlocks(Lba{lba}, it->second.pages, now);
     if (!read.ok()) {
       return read.status();
     }
@@ -252,7 +252,7 @@ Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
     return result;
   }
   for (const std::uint64_t page : it->second.page_list) {
-    Result<SimTime> read = device_->ReadBlocks(page, 1, now);
+    Result<SimTime> read = device_->ReadBlocks(Lba{page}, 1, now);
     if (!read.ok()) {
       return read.status();
     }
@@ -273,25 +273,25 @@ ZnsFlashCache::ZnsFlashCache(ZnsDevice* device, const ZnsCacheConfig& config)
   }
 }
 
-void ZnsFlashCache::DropZoneObjects(std::uint32_t zone) {
-  for (const std::uint64_t key : zone_keys_[zone]) {
+void ZnsFlashCache::DropZoneObjects(std::uint32_t zone_index) {
+  for (const std::uint64_t key : zone_keys_[zone_index]) {
     auto it = index_.find(key);
-    if (it != index_.end() && it->second.zone == zone) {
+    if (it != index_.end() && it->second.zone == zone_index) {
       index_.erase(it);
       stats_.evicted_objects++;
     }
   }
-  zone_keys_[zone].clear();
+  zone_keys_[zone_index].clear();
 }
 
 Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTime now) {
   if (open_zone_ != kNoZone) {
-    const ZoneDescriptor d = device_->zone(open_zone_);
+    const ZoneDescriptor d = device_->zone(ZoneId{open_zone_});
     if (d.write_pointer + pages_needed <= d.capacity_pages) {
       return now;
     }
     // Seal the zone and rotate it into the FIFO.
-    Result<SimTime> finished = device_->FinishZone(open_zone_, now);
+    Result<SimTime> finished = device_->FinishZone(ZoneId{open_zone_}, now);
     if (!finished.ok()) {
       return finished;
     }
@@ -303,7 +303,8 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     if (!free_zones_.empty()) {
       const std::uint32_t z = free_zones_.back();
       free_zones_.pop_back();
-      if (device_->zone(z).state != ZoneState::kEmpty || device_->zone(z).capacity_pages == 0) {
+      const ZoneDescriptor d = device_->zone(ZoneId{z});
+    if (d.state != ZoneState::kEmpty || d.capacity_pages == 0) {
         continue;  // Worn out; skip permanently.
       }
       open_zone_ = z;
@@ -321,7 +322,7 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     // The reset's block erases are cache-eviction work (the zoned cache's only reclaim I/O).
     WriteProvenance::CauseScope cause(provenance(), WriteCause::kCacheEviction,
                                       StackLayer::kCache);
-    Result<SimTime> reset = device_->ResetZone(victim, now);
+    Result<SimTime> reset = device_->ResetZone(ZoneId{victim}, now);
     if (!reset.ok()) {
       return reset;
     }
@@ -330,7 +331,7 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     NoteEviction(now,
                  "evict zone " + std::to_string(victim) + " dropped " + std::to_string(dropped),
                  victim, dropped);
-    if (device_->zone(victim).state != ZoneState::kOffline) {
+    if (device_->zone(ZoneId{victim}).state != ZoneState::kOffline) {
       free_zones_.push_back(victim);
     }
     stats_.segments_recycled++;
@@ -354,13 +355,13 @@ Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, 
   if (!ready.ok()) {
     return ready;
   }
-  Result<AppendResult> appended = device_->Append(open_zone_, pages, ready.value());
+  Result<AppendResult> appended = device_->Append(ZoneId{open_zone_}, pages, ready.value());
   if (!appended.ok()) {
     return appended.status();
   }
   Location loc;
   loc.zone = open_zone_;
-  loc.offset = appended->assigned_lba - device_->zone(open_zone_).start_lba;
+  loc.offset = appended->assigned_lba - device_->zone(ZoneId{open_zone_}).start_lba;
   loc.pages = pages;
   loc.size_bytes = size_bytes;
   index_[key] = loc;
@@ -379,8 +380,7 @@ Result<CacheGetResult> ZnsFlashCache::Get(std::uint64_t key, SimTime now) {
   stats_.hits++;
   result.hit = true;
   result.size_bytes = it->second.size_bytes;
-  const std::uint64_t lba =
-      device_->zone(it->second.zone).start_lba + it->second.offset;
+  const Lba lba = device_->zone(ZoneId{it->second.zone}).start_lba + it->second.offset;
   Result<SimTime> read = device_->Read(lba, it->second.pages, now);
   if (!read.ok()) {
     return read.status();

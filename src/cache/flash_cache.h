@@ -91,7 +91,7 @@ class FlashCache {
   // the factorized-WA chain); no-op when detached.
   void NoteIngressBytes(std::uint64_t bytes) {
     if (provenance_ingress_ != nullptr) {
-      *provenance_ingress_ += bytes;
+      *provenance_ingress_ += Bytes{bytes};
     }
   }
 
@@ -106,7 +106,7 @@ class FlashCache {
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
   Histogram* get_latency_ = nullptr;
-  std::uint64_t* provenance_ingress_ = nullptr;  // Domain "<prefix>" bytes-in accumulator.
+  Bytes* provenance_ingress_ = nullptr;  // Domain "<prefix>" bytes-in accumulator.
 };
 
 struct BlockCacheConfig {
@@ -188,7 +188,7 @@ class ZnsFlashCache final : public FlashCache {
   };
 
   Result<SimTime> EnsureOpenZone(std::uint32_t pages_needed, SimTime now);
-  void DropZoneObjects(std::uint32_t zone);
+  void DropZoneObjects(std::uint32_t zone_index);
 
   ZnsDevice* device_;
   ZnsCacheConfig config_;

@@ -42,7 +42,7 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
   provenance_ = &telemetry_->provenance;
   ledger_ = provenance_->RegisterDevice(metric_prefix_, config_.geometry.total_blocks(),
                                         config_.timing.endurance_cycles,
-                                        config_.geometry.page_size);
+                                        Bytes{config_.geometry.page_size});
 
   Timeline& tl = telemetry_->timeline;
   sampler_group_ = tl.AddSamplerGroup(metric_prefix_);
@@ -108,8 +108,8 @@ SimTime FlashDevice::MaintenanceOverlap(std::uint32_t plane_index, SimTime issue
 
 Status FlashDevice::CheckAddr(const PhysAddr& addr) const {
   const FlashGeometry& g = config_.geometry;
-  if (addr.channel >= g.channels || addr.plane >= g.planes_per_channel ||
-      addr.block >= g.blocks_per_plane || addr.page >= g.pages_per_block) {
+  if (addr.channel.value() >= g.channels || addr.plane.value() >= g.planes_per_channel ||
+      addr.block.value() >= g.blocks_per_plane || addr.page.value() >= g.pages_per_block) {
     return Status(ErrorCode::kOutOfRange, "physical address outside geometry");
   }
   return Status::Ok();
@@ -142,7 +142,7 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
   SimTime done = read_done;
   if (op_class == OpClass::kHost) {
     // Transfer out over the channel bus.
-    SimTime& chan = channel_busy_[addr.channel];
+    SimTime& chan = channel_busy_[addr.channel.value()];
     const SimTime xfer_start = std::max(read_done, chan);
     done = xfer_start + config_.timing.channel_xfer;
     chan = done;
@@ -159,7 +159,7 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
       read_latency_->Record(done - issue);
       if (telemetry_->timeline.enabled()) {
         plane_busy_series_[plane_index].Book(read_start, read_done);
-        channel_busy_series_[addr.channel].Book(xfer_start, done);
+        channel_busy_series_[addr.channel.value()].Book(xfer_start, done);
       }
       telemetry_->timeline.AdvanceGroup(sampler_group_, done);
     }
@@ -178,9 +178,9 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
 
   if (!out.empty()) {
     assert(out.size() == g.page_size);
-    if (config_.store_data && !block.data.empty() && addr.page < block.next_page) {
-      const std::uint8_t* src = block.data.data() + static_cast<std::size_t>(addr.page) *
-                                                        g.page_size;
+    if (config_.store_data && !block.data.empty() && addr.page.value() < block.next_page) {
+      const std::uint8_t* src =
+          block.data.data() + static_cast<std::size_t>(addr.page.value()) * g.page_size;
       std::memcpy(out.data(), src, g.page_size);
     } else {
       std::memset(out.data(), 0, g.page_size);
@@ -196,8 +196,8 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   if (block.bad) {
     return ErrorCode::kBlockBad;
   }
-  if (addr.page != block.next_page) {
-    if (addr.page < block.next_page) {
+  if (addr.page.value() != block.next_page) {
+    if (addr.page.value() < block.next_page) {
       // Page already programmed since last erase.
       return ErrorCode::kEraseBeforeProgram;
     }
@@ -209,7 +209,7 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   SimTime bus_wait = 0;
   if (op_class == OpClass::kHost) {
     // Data in over the channel bus, then the plane programs the cells.
-    SimTime& chan = channel_busy_[addr.channel];
+    SimTime& chan = channel_busy_[addr.channel.value()];
     const SimTime xfer_start = std::max(issue, chan);
     bus_wait = xfer_start - issue;
     program_can_start = xfer_start + config_.timing.channel_xfer;
@@ -236,7 +236,7 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
       telemetry_->tracer.Charge(c);
       program_latency_->Record(done - issue);
       if (telemetry_->timeline.enabled()) {
-        channel_busy_series_[addr.channel].Book(program_can_start -
+        channel_busy_series_[addr.channel.value()].Book(program_can_start -
                                                     config_.timing.channel_xfer,
                                                 program_can_start);
         plane_busy_series_[plane_index].Book(program_start, done);
@@ -263,7 +263,8 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
     if (block.data.empty()) {
       block.data.assign(static_cast<std::size_t>(g.pages_per_block) * g.page_size, 0);
     }
-    std::uint8_t* dst = block.data.data() + static_cast<std::size_t>(addr.page) * g.page_size;
+    std::uint8_t* dst =
+        block.data.data() + static_cast<std::size_t>(addr.page.value()) * g.page_size;
     if (!data.empty()) {
       assert(data.size() <= g.page_size);
       std::memcpy(dst, data.data(), data.size());
@@ -279,9 +280,9 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   return done;
 }
 
-Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t plane,
-                                        std::uint32_t block, SimTime issue) {
-  PhysAddr addr{channel, plane, block, 0};
+Result<SimTime> FlashDevice::EraseBlock(ChannelId channel, PlaneId plane, BlockId block,
+                                        SimTime issue) {
+  PhysAddr addr{channel, plane, block, PageId{0}};
   BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
   BlockState& state = BlockAt(addr);
   if (state.bad) {
@@ -303,8 +304,8 @@ Result<SimTime> FlashDevice::EraseBlock(std::uint32_t channel, std::uint32_t pla
     telemetry_->timeline.RecordMaintenance(plane_tracks_[plane_index], "erase", start, done);
     telemetry_->events.Append(done, TimelineEventType::kBlockErase, metric_prefix_,
                               "erase plane " + std::to_string(plane_index) + " block " +
-                                  std::to_string(block),
-                              plane_index, block);
+                                  std::to_string(block.value()),
+                              plane_index, block.value());
     telemetry_->timeline.AdvanceGroup(sampler_group_, done);
   }
 
@@ -343,13 +344,12 @@ Result<SimTime> FlashDevice::CopyPage(const PhysAddr& src, const PhysAddr& dst, 
   return ProgramPage(dst, read_done.value(), buf, OpClass::kInternal);
 }
 
-SimTime FlashDevice::PlaneBusyUntil(std::uint32_t channel, std::uint32_t plane) const {
+SimTime FlashDevice::PlaneBusyUntil(ChannelId channel, PlaneId plane) const {
   return plane_busy_[PlaneIndex(config_.geometry, channel, plane)];
 }
 
-BlockStatus FlashDevice::block_status(std::uint32_t channel, std::uint32_t plane,
-                                      std::uint32_t block) const {
-  const PhysAddr addr{channel, plane, block, 0};
+BlockStatus FlashDevice::block_status(ChannelId channel, PlaneId plane, BlockId block) const {
+  const PhysAddr addr{channel, plane, block, PageId{0}};
   const BlockState& state = BlockAt(addr);
   return BlockStatus{state.next_page, state.erase_count, state.bad};
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/strong_id.h"
 #include "src/flash/geometry.h"
 #include "src/flash/timing.h"
 #include "src/telemetry/telemetry.h"
@@ -115,18 +116,16 @@ class FlashDevice {
   // Erases a block, recycling it for programming. Consumes one endurance cycle; at the
   // endurance limit (or on early failure) the block is marked bad and kBlockBad is returned by
   // subsequent programs.
-  Result<SimTime> EraseBlock(std::uint32_t channel, std::uint32_t plane, std::uint32_t block,
-                             SimTime issue);
+  Result<SimTime> EraseBlock(ChannelId channel, PlaneId plane, BlockId block, SimTime issue);
 
   // Device-internal page move (used by conventional-FTL GC and by the ZNS simple-copy
   // command): reads src and programs dst without touching the host bus.
   Result<SimTime> CopyPage(const PhysAddr& src, const PhysAddr& dst, SimTime issue);
 
   // Earliest time at which a new operation on this plane could start.
-  SimTime PlaneBusyUntil(std::uint32_t channel, std::uint32_t plane) const;
+  SimTime PlaneBusyUntil(ChannelId channel, PlaneId plane) const;
 
-  BlockStatus block_status(std::uint32_t channel, std::uint32_t plane,
-                           std::uint32_t block) const;
+  BlockStatus block_status(ChannelId channel, PlaneId plane, BlockId block) const;
 
   WearSummary ComputeWear() const;
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "src/core/strong_id.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
 
@@ -65,12 +66,14 @@ struct FlashGeometry {
   }
 };
 
-// Physical page address within the hierarchy.
+// Physical page address within the hierarchy. Every coordinate is a strong type (see
+// src/core/strong_id.h), so a swapped (plane, block) or an LBA smuggled into a physical
+// coordinate is a compile error rather than a silent mis-address.
 struct PhysAddr {
-  std::uint32_t channel = 0;
-  std::uint32_t plane = 0;
-  std::uint32_t block = 0;
-  std::uint32_t page = 0;
+  ChannelId channel{0};
+  PlaneId plane{0};
+  BlockId block{0};
+  PageId page{0};
 
   friend bool operator==(const PhysAddr& a, const PhysAddr& b) {
     return a.channel == b.channel && a.plane == b.plane && a.block == b.block && a.page == b.page;
@@ -78,31 +81,31 @@ struct PhysAddr {
 };
 
 // Flat indices used by the FTLs for dense tables.
-inline std::uint32_t PlaneIndex(const FlashGeometry& g, std::uint32_t channel,
-                                std::uint32_t plane) {
-  return channel * g.planes_per_channel + plane;
+inline std::uint32_t PlaneIndex(const FlashGeometry& g, ChannelId channel, PlaneId plane) {
+  return channel.value() * g.planes_per_channel + plane.value();
 }
 
 // Flat block index across the whole device: plane-major, then block.
 inline std::uint64_t FlatBlockIndex(const FlashGeometry& g, const PhysAddr& a) {
   return static_cast<std::uint64_t>(PlaneIndex(g, a.channel, a.plane)) * g.blocks_per_plane +
-         a.block;
+         a.block.value();
 }
 
-// Flat physical page index across the whole device.
-inline std::uint64_t FlatPageIndex(const FlashGeometry& g, const PhysAddr& a) {
-  return FlatBlockIndex(g, a) * g.pages_per_block + a.page;
+// Flat physical page address across the whole device.
+inline Ppa FlatPageIndex(const FlashGeometry& g, const PhysAddr& a) {
+  return Ppa{FlatBlockIndex(g, a) * g.pages_per_block + a.page.value()};
 }
 
 // Inverse of FlatPageIndex.
-inline PhysAddr AddrFromFlatPage(const FlashGeometry& g, std::uint64_t flat) {
+inline PhysAddr AddrFromFlatPage(const FlashGeometry& g, Ppa ppa) {
+  const std::uint64_t flat = ppa.value();
   PhysAddr a;
-  a.page = static_cast<std::uint32_t>(flat % g.pages_per_block);
+  a.page = PageId{static_cast<std::uint32_t>(flat % g.pages_per_block)};
   const std::uint64_t block_flat = flat / g.pages_per_block;
-  a.block = static_cast<std::uint32_t>(block_flat % g.blocks_per_plane);
+  a.block = BlockId{static_cast<std::uint32_t>(block_flat % g.blocks_per_plane)};
   const std::uint64_t plane_flat = block_flat / g.blocks_per_plane;
-  a.plane = static_cast<std::uint32_t>(plane_flat % g.planes_per_channel);
-  a.channel = static_cast<std::uint32_t>(plane_flat / g.planes_per_channel);
+  a.plane = PlaneId{static_cast<std::uint32_t>(plane_flat % g.planes_per_channel)};
+  a.channel = ChannelId{static_cast<std::uint32_t>(plane_flat / g.planes_per_channel)};
   return a;
 }
 

@@ -12,11 +12,11 @@ namespace {
 // Decomposes a flat block index into its (channel, plane, block) coordinates.
 PhysAddr BlockAddrFromFlat(const FlashGeometry& g, std::uint64_t flat_block) {
   PhysAddr a;
-  a.page = 0;
-  a.block = static_cast<std::uint32_t>(flat_block % g.blocks_per_plane);
+  a.page = PageId{0};
+  a.block = BlockId{static_cast<std::uint32_t>(flat_block % g.blocks_per_plane)};
   const std::uint64_t plane_flat = flat_block / g.blocks_per_plane;
-  a.plane = static_cast<std::uint32_t>(plane_flat % g.planes_per_channel);
-  a.channel = static_cast<std::uint32_t>(plane_flat / g.planes_per_channel);
+  a.plane = PlaneId{static_cast<std::uint32_t>(plane_flat % g.planes_per_channel)};
+  a.channel = ChannelId{static_cast<std::uint32_t>(plane_flat / g.planes_per_channel)};
   return a;
 }
 
@@ -79,11 +79,12 @@ std::uint32_t ConventionalSsd::TakeFreeBlock(std::uint32_t plane_index) {
   if (config_.wear_leveling) {
     // Least-worn free block, to spread erases.
     const FlashGeometry& g = flash_.geometry();
-    const std::uint32_t channel = plane_index / g.planes_per_channel;
-    const std::uint32_t pl = plane_index % g.planes_per_channel;
+    const ChannelId channel{plane_index / g.planes_per_channel};
+    const PlaneId pl{plane_index % g.planes_per_channel};
     std::uint32_t best_wear = std::numeric_limits<std::uint32_t>::max();
     for (std::size_t i = 0; i < plane.free_blocks.size(); ++i) {
-      const std::uint32_t wear = flash_.block_status(channel, pl, plane.free_blocks[i]).erase_count;
+      const std::uint32_t wear =
+          flash_.block_status(channel, pl, BlockId{plane.free_blocks[i]}).erase_count;
       if (wear < best_wear) {
         best_wear = wear;
         pick = i;
@@ -107,12 +108,12 @@ Result<PhysAddr> ConventionalSsd::NextSlot(SimTime issue, bool gc_write,
     const std::uint32_t plane_index = (cursor + attempt) % planes;
     PlaneState& plane = planes_[plane_index];
     std::uint32_t& frontier = gc_write ? plane.gc_frontier : plane.host_frontiers[stream];
-    const std::uint32_t channel = plane_index / g.planes_per_channel;
-    const std::uint32_t pl = plane_index % g.planes_per_channel;
+    const ChannelId channel{plane_index / g.planes_per_channel};
+    const PlaneId pl{plane_index % g.planes_per_channel};
 
     // Retire a full frontier.
     if (frontier != kNoBlock &&
-        flash_.block_status(channel, pl, frontier).next_page >= g.pages_per_block) {
+        flash_.block_status(channel, pl, BlockId{frontier}).next_page >= g.pages_per_block) {
       const std::uint64_t flat = static_cast<std::uint64_t>(plane_index) * g.blocks_per_plane +
                                  frontier;
       block_meta_[flat].open = false;
@@ -127,7 +128,7 @@ Result<PhysAddr> ConventionalSsd::NextSlot(SimTime issue, bool gc_write,
       const std::uint64_t flat = static_cast<std::uint64_t>(plane_index) * g.blocks_per_plane +
                                  frontier;
       block_meta_[flat].open = true;
-      if (flash_.block_status(channel, pl, frontier).bad) {
+      if (flash_.block_status(channel, pl, BlockId{frontier}).bad) {
         // A free-pool block can have gone bad via early failure on its last erase; drop it.
         block_meta_[flat].open = false;
         frontier = kNoBlock;
@@ -139,8 +140,8 @@ Result<PhysAddr> ConventionalSsd::NextSlot(SimTime issue, bool gc_write,
     PhysAddr addr;
     addr.channel = channel;
     addr.plane = pl;
-    addr.block = frontier;
-    addr.page = flash_.block_status(channel, pl, frontier).next_page;
+    addr.block = BlockId{frontier};
+    addr.page = PageId{flash_.block_status(channel, pl, BlockId{frontier}).next_page};
     return addr;
   }
   return ErrorCode::kNoFreeBlocks;
@@ -161,7 +162,7 @@ Result<SimTime> ConventionalSsd::AppendPage(std::uint64_t lpn, SimTime issue,
   }
   InvalidatePage(lpn);
   const FlashGeometry& g = flash_.geometry();
-  const std::uint64_t ppn = FlatPageIndex(g, addr);
+  const std::uint64_t ppn = FlatPageIndex(g, addr).value();
   const std::uint64_t block = ppn / g.pages_per_block;
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
@@ -278,7 +279,7 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
       return slot.status();
     }
     PhysAddr src = victim_addr;
-    src.page = p;
+    src.page = PageId{p};
     if (++in_batch >= kGcCopyWindow) {
       // The next batch starts when the victim plane finishes this batch's page reads (the
       // cadence-setting resource); its programs overlap the next batch's reads, as a real
@@ -292,7 +293,7 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
     }
     last_done = std::max(last_done, done.value());
     // Remap.
-    const std::uint64_t new_ppn = FlatPageIndex(g, slot.value());
+    const std::uint64_t new_ppn = FlatPageIndex(g, slot.value()).value();
     const std::uint64_t new_block = new_ppn / g.pages_per_block;
     l2p_[lpn] = new_ppn;
     p2l_[new_ppn] = lpn;
@@ -319,7 +320,7 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
   }
   if (!flash_.block_status(victim_addr.channel, victim_addr.plane, victim_addr.block).bad) {
     const std::uint32_t plane_index = PlaneIndex(g, victim_addr.channel, victim_addr.plane);
-    planes_[plane_index].free_blocks.push_back(victim_addr.block);
+    planes_[plane_index].free_blocks.push_back(victim_addr.block.value());
     free_block_count_++;
     stats_.gc_blocks_reclaimed++;
   }
@@ -393,8 +394,7 @@ SimTime ConventionalSsd::BufferAck(SimTime data_in, SimTime program_done) {
   return std::max(data_in, slot_free);
 }
 
-Result<SimTime> ConventionalSsd::WriteBlocks(std::uint64_t lba, std::uint32_t count,
-                                             SimTime issue,
+Result<SimTime> ConventionalSsd::WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                              std::span<const std::uint8_t> data) {
   return WriteBlocksStream(lba, count, /*stream=*/0, issue, data);
 }
@@ -447,11 +447,11 @@ void ConventionalSsd::PublishMetrics() {
   r.GetGauge(p + ".dram.total_bytes")->Set(static_cast<double>(dram.total()));
 }
 
-Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint32_t count,
+Result<SimTime> ConventionalSsd::WriteBlocksStream(Lba lba, std::uint32_t count,
                                                    std::uint32_t stream, SimTime issue,
                                                    std::span<const std::uint8_t> data) {
   stream = std::min(stream, config_.num_streams - 1);
-  if (lba + count > logical_pages_) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   const std::uint32_t page_size = flash_.geometry().page_size;
@@ -470,7 +470,8 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint3
     if (!data.empty()) {
       page_data = data.subspan(static_cast<std::size_t>(i) * page_size, page_size);
     }
-    Result<SimTime> done = AppendPage(lba + i, issue, page_data, /*gc_write=*/false, stream);
+    Result<SimTime> done =
+        AppendPage(lba.value() + i, issue, page_data, /*gc_write=*/false, stream);
     if (!done.ok()) {
       return done;
     }
@@ -485,9 +486,9 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(std::uint64_t lba, std::uint3
   return ack;
 }
 
-Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+Result<SimTime> ConventionalSsd::ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                             std::span<std::uint8_t> out) {
-  if (lba + count > logical_pages_) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   const std::uint32_t page_size = flash_.geometry().page_size;
@@ -505,7 +506,7 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
     if (!out.empty()) {
       page_out = out.subspan(static_cast<std::size_t>(i) * page_size, page_size);
     }
-    const std::uint64_t ppn = l2p_[lba + i];
+    const std::uint64_t ppn = l2p_[lba.value() + i];
     stats_.host_pages_read++;
     if (ppn == kUnmapped) {
       // Never-written LBA: served from the controller without touching flash.
@@ -515,8 +516,8 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
       done_all = std::max(done_all, issue + flash_.timing().channel_xfer);
       continue;
     }
-    Result<SimTime> done = flash_.ReadPage(AddrFromFlatPage(flash_.geometry(), ppn), issue,
-                                           page_out, OpClass::kHost);
+    Result<SimTime> done = flash_.ReadPage(AddrFromFlatPage(flash_.geometry(), Ppa{ppn}),
+                                           issue, page_out, OpClass::kHost);
     if (!done.ok()) {
       return done;
     }
@@ -529,14 +530,13 @@ Result<SimTime> ConventionalSsd::ReadBlocks(std::uint64_t lba, std::uint32_t cou
   return done_all;
 }
 
-Result<SimTime> ConventionalSsd::TrimBlocks(std::uint64_t lba, std::uint32_t count,
-                                            SimTime issue) {
-  if (lba + count > logical_pages_) {
+Result<SimTime> ConventionalSsd::TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (l2p_[lba + i] != kUnmapped) {
-      InvalidatePage(lba + i);
+    if (l2p_[lba.value() + i] != kUnmapped) {
+      InvalidatePage(lba.value() + i);
       stats_.pages_trimmed++;
     }
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/block/block_device.h"
+#include "src/core/strong_id.h"
 #include "src/flash/flash_device.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
@@ -87,17 +88,16 @@ class ConventionalSsd final : public BlockDevice {
   ~ConventionalSsd() override;  // Publishes final metrics and unhooks if attached.
 
   // BlockDevice interface. Lba unit = one flash page.
-  Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  Result<SimTime> ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                              std::span<std::uint8_t> out = {}) override;
-  Result<SimTime> WriteBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  Result<SimTime> WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                               std::span<const std::uint8_t> data = {}) override;
   // Multi-stream write: like WriteBlocks but labeled with a stream ID (clamped to
   // num_streams - 1). Streams share the logical address space but get separate flash
   // frontiers.
-  Result<SimTime> WriteBlocksStream(std::uint64_t lba, std::uint32_t count,
-                                    std::uint32_t stream, SimTime issue,
-                                    std::span<const std::uint8_t> data = {});
-  Result<SimTime> TrimBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue) override;
+  Result<SimTime> WriteBlocksStream(Lba lba, std::uint32_t count, std::uint32_t stream,
+                                    SimTime issue, std::span<const std::uint8_t> data = {});
+  Result<SimTime> TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) override;
   std::uint64_t num_blocks() const override { return logical_pages_; }
   std::uint32_t block_size() const override { return flash_.geometry().page_size; }
 

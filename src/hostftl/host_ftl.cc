@@ -63,7 +63,7 @@ Status HostFtlBlockDevice::EnsureFrontier(bool relocation, SimTime now) {
   std::uint32_t& frontier = relocation ? reloc_zone_ : host_zone_;
   while (true) {
     if (frontier != kNoZone) {
-      const ZoneDescriptor d = device_->zone(frontier);
+      const ZoneDescriptor d = device_->zone(ZoneId{frontier});
       if (d.state != ZoneState::kFull && d.state != ZoneState::kOffline &&
           d.write_pointer < d.capacity_pages) {
         return Status::Ok();
@@ -75,7 +75,7 @@ Status HostFtlBlockDevice::EnsureFrontier(bool relocation, SimTime now) {
     }
     frontier = free_zones_.back();
     free_zones_.pop_back();
-    const ZoneDescriptor d = device_->zone(frontier);
+    const ZoneDescriptor d = device_->zone(ZoneId{frontier});
     if (d.state == ZoneState::kOffline || d.capacity_pages == 0) {
       frontier = kNoZone;  // Worn-out zone: drop it permanently.
       continue;
@@ -88,18 +88,18 @@ Status HostFtlBlockDevice::EnsureFrontier(bool relocation, SimTime now) {
 Result<SimTime> HostFtlBlockDevice::AppendPage(std::uint64_t lpn, SimTime issue,
                                                std::span<const std::uint8_t> data) {
   BLOCKHEAD_RETURN_IF_ERROR(EnsureFrontier(/*relocation=*/false, issue));
-  const ZoneDescriptor d = device_->zone(host_zone_);
-  std::uint64_t dev_lba = d.start_lba + d.write_pointer;
+  const ZoneDescriptor d = device_->zone(ZoneId{host_zone_});
+  std::uint64_t dev_lba = (d.start_lba + d.write_pointer).value();
   SimTime done = 0;
   if (config_.use_append) {
-    Result<AppendResult> r = device_->Append(host_zone_, 1, issue, data);
+    Result<AppendResult> r = device_->Append(ZoneId{host_zone_}, 1, issue, data);
     if (!r.ok()) {
       return r.status();
     }
-    dev_lba = r->assigned_lba;
+    dev_lba = r->assigned_lba.value();
     done = r->completion;
   } else {
-    Result<SimTime> r = device_->Write(host_zone_, d.write_pointer, 1, issue, data);
+    Result<SimTime> r = device_->Write(ZoneId{host_zone_}, d.write_pointer, 1, issue, data);
     if (!r.ok()) {
       return r;
     }
@@ -119,7 +119,7 @@ std::uint32_t HostFtlBlockDevice::PickVictim(bool critical) const {
     if (z == host_zone_ || z == reloc_zone_ || z == gc_victim_) {
       continue;
     }
-    const ZoneDescriptor d = device_->zone(z);
+    const ZoneDescriptor d = device_->zone(ZoneId{z});
     if (d.state != ZoneState::kFull) {
       continue;
     }
@@ -159,13 +159,13 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
                                 gc_victim_, zone_live_[gc_victim_]);
     }
   }
-  const ZoneDescriptor vd = device_->zone(gc_victim_);
+  const ZoneDescriptor vd = device_->zone(ZoneId{gc_victim_});
   const std::uint32_t page_size = device_->page_size();
   SimTime t = now;
   std::uint32_t moved = 0;
 
   while (gc_offset_ < vd.capacity_pages && moved < max_pages) {
-    if (!DevicePageLive(vd.start_lba + gc_offset_)) {
+    if (!DevicePageLive((vd.start_lba + gc_offset_).value())) {
       gc_offset_++;
       continue;
     }
@@ -173,20 +173,20 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
     // across planes, so the copy pipelines instead of paying a full read+program round trip
     // per page.
     BLOCKHEAD_RETURN_IF_ERROR(EnsureFrontier(/*relocation=*/true, t));
-    const ZoneDescriptor rd = device_->zone(reloc_zone_);
+    const ZoneDescriptor rd = device_->zone(ZoneId{reloc_zone_});
     std::uint32_t run = 1;
     while (gc_offset_ + run < vd.capacity_pages && moved + run < max_pages &&
            run < rd.capacity_pages - rd.write_pointer &&
-           DevicePageLive(vd.start_lba + gc_offset_ + run)) {
+           DevicePageLive((vd.start_lba + gc_offset_ + run).value())) {
       ++run;
     }
-    const std::uint64_t src = vd.start_lba + gc_offset_;
-    const std::uint64_t dst = rd.start_lba + rd.write_pointer;
+    const std::uint64_t src = (vd.start_lba + gc_offset_).value();
+    const std::uint64_t dst = (rd.start_lba + rd.write_pointer).value();
     if (config_.use_simple_copy) {
       // Device-internal copy: no host-bus traffic (§2.3).
-      const CopyRange range{src, run};
+      const CopyRange range{Lba{src}, run};
       Result<SimTime> done =
-          device_->SimpleCopy(std::span<const CopyRange>(&range, 1), reloc_zone_, t);
+          device_->SimpleCopy(std::span<const CopyRange>(&range, 1), ZoneId{reloc_zone_}, t);
       if (!done.ok()) {
         return done;
       }
@@ -194,11 +194,12 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
     } else {
       // Host read + host write: the copy crosses PCIe twice.
       std::vector<std::uint8_t> buf(static_cast<std::size_t>(run) * page_size);
-      Result<SimTime> r = device_->Read(src, run, t, buf);
+      Result<SimTime> r = device_->Read(Lba{src}, run, t, buf);
       if (!r.ok()) {
         return r;
       }
-      Result<SimTime> w = device_->Write(reloc_zone_, rd.write_pointer, run, r.value(), buf);
+      Result<SimTime> w =
+          device_->Write(ZoneId{reloc_zone_}, rd.write_pointer, run, r.value(), buf);
       if (!w.ok()) {
         return w;
       }
@@ -225,11 +226,11 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
   }
 
   assert(zone_live_[gc_victim_] == 0);
-  Result<SimTime> reset = device_->ResetZone(gc_victim_, t);
+  Result<SimTime> reset = device_->ResetZone(ZoneId{gc_victim_}, t);
   if (!reset.ok()) {
     return reset;
   }
-  if (device_->zone(gc_victim_).state != ZoneState::kOffline) {
+  if (device_->zone(ZoneId{gc_victim_}).state != ZoneState::kOffline) {
     free_zones_.push_back(gc_victim_);
   }
   stats_.gc_cycles++;
@@ -271,10 +272,9 @@ std::uint32_t HostFtlBlockDevice::Pump(SimTime now, bool reads_pending,
   return ran;
 }
 
-Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t count,
-                                                SimTime issue,
+Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                                 std::span<const std::uint8_t> data) {
-  if (lba + count > logical_pages_) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   const std::uint32_t page_size = device_->page_size();
@@ -304,13 +304,13 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
     if (!data.empty()) {
       page_data = data.subspan(static_cast<std::size_t>(i) * page_size, page_size);
     }
-    Result<SimTime> done = AppendPage(lba + i, issue, page_data);
+    Result<SimTime> done = AppendPage(lba.value() + i, issue, page_data);
     if (!done.ok()) {
       return done;
     }
     stats_.host_pages_written++;
     if (provenance_ingress_ != nullptr) {
-      *provenance_ingress_ += page_size;
+      *provenance_ingress_ += Bytes{page_size};
     }
     ack = std::max(ack, done.value());
   }
@@ -321,9 +321,9 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(std::uint64_t lba, std::uint32_t
   return ack;
 }
 
-Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t count,
-                                               SimTime issue, std::span<std::uint8_t> out) {
-  if (lba + count > logical_pages_) {
+Result<SimTime> HostFtlBlockDevice::ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
+                                               std::span<std::uint8_t> out) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   const std::uint32_t page_size = device_->page_size();
@@ -341,7 +341,7 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
       page_out = out.subspan(static_cast<std::size_t>(i) * page_size, page_size);
     }
     stats_.host_pages_read++;
-    const std::uint64_t dev_lba = l2p_[lba + i];
+    const std::uint64_t dev_lba = l2p_[lba.value() + i];
     if (dev_lba == kUnmapped) {
       // Unmapped logical page: the host FTL itself serves zeros.
       if (!page_out.empty()) {
@@ -349,7 +349,7 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
       }
       continue;
     }
-    Result<SimTime> done = device_->Read(dev_lba, 1, issue, page_out);
+    Result<SimTime> done = device_->Read(Lba{dev_lba}, 1, issue, page_out);
     if (!done.ok()) {
       return done;
     }
@@ -362,14 +362,13 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(std::uint64_t lba, std::uint32_t 
   return done_all;
 }
 
-Result<SimTime> HostFtlBlockDevice::TrimBlocks(std::uint64_t lba, std::uint32_t count,
-                                               SimTime issue) {
-  if (lba + count > logical_pages_) {
+Result<SimTime> HostFtlBlockDevice::TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) {
+  if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (l2p_[lba + i] != kUnmapped) {
-      InvalidatePage(lba + i);
+    if (l2p_[lba.value() + i] != kUnmapped) {
+      InvalidatePage(lba.value() + i);
       stats_.pages_trimmed++;
     }
   }

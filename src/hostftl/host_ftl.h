@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/block/block_device.h"
+#include "src/core/strong_id.h"
 #include "src/sched/gc_scheduler.h"
 #include "src/util/status.h"
 #include "src/util/types.h"
@@ -63,11 +64,11 @@ class HostFtlBlockDevice final : public BlockDevice {
   HostFtlBlockDevice(ZnsDevice* device, const HostFtlConfig& config);
   ~HostFtlBlockDevice() override;  // Publishes final metrics and unhooks if attached.
 
-  Result<SimTime> ReadBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  Result<SimTime> ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                              std::span<std::uint8_t> out = {}) override;
-  Result<SimTime> WriteBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue,
+  Result<SimTime> WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                               std::span<const std::uint8_t> data = {}) override;
-  Result<SimTime> TrimBlocks(std::uint64_t lba, std::uint32_t count, SimTime issue) override;
+  Result<SimTime> TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) override;
   std::uint64_t num_blocks() const override { return logical_pages_; }
   std::uint32_t block_size() const override { return device_->page_size(); }
 
@@ -148,7 +149,7 @@ class HostFtlBlockDevice final : public BlockDevice {
   int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
   // Logical bytes accepted from the host, accumulated into the provenance ledger's domain
   // "<prefix>" as a link in the factorized-WA chain.
-  std::uint64_t* provenance_ingress_ = nullptr;
+  Bytes* provenance_ingress_ = nullptr;
 };
 
 }  // namespace blockhead

@@ -32,7 +32,7 @@ Result<SimTime> BlockEnv::MetadataUpdate(std::uint32_t pages, SimTime now) {
     // Deterministic scatter over the region (golden-ratio walk): hot in-place overwrites.
     metadata_cursor_ += 0x9E3779B97F4A7C15ULL;
     const std::uint64_t lba = (metadata_cursor_ >> 16) % region;
-    Result<SimTime> written = device_->WriteBlocks(lba, 1, t);
+    Result<SimTime> written = device_->WriteBlocks(Lba{lba}, 1, t);
     if (!written.ok()) {
       return written;
     }
@@ -127,7 +127,7 @@ Result<SimTime> BlockEnv::FlushTailPage(FileMeta& file, SimTime now, bool pad) {
 
   std::vector<std::uint8_t> page(page_size_, 0);
   std::memcpy(page.data(), file.tail.data(), static_cast<std::size_t>(bytes));
-  Result<SimTime> done = device_->WriteBlocks(lba, 1, now, page);
+  Result<SimTime> done = device_->WriteBlocks(Lba{lba}, 1, now, page);
   if (!done.ok()) {
     return done;
   }
@@ -192,7 +192,7 @@ Result<SimTime> BlockEnv::Read(std::string_view name, std::uint64_t offset,
       const std::uint64_t byte_in_page = cur % page_size_;
       const std::uint64_t chunk = std::min<std::uint64_t>(
           {page_size_ - byte_in_page, ext.bytes - cur, out.size() - out_pos});
-      Result<SimTime> done = device_->ReadBlocks(ext.lba + page_index, 1, now, page);
+      Result<SimTime> done = device_->ReadBlocks(Lba{ext.lba + page_index}, 1, now, page);
       if (!done.ok()) {
         return done;
       }
@@ -239,7 +239,7 @@ Result<SimTime> BlockEnv::DeleteFile(std::string_view name, SimTime now) {
       free_map_.Clear(ext.lba + p);
     }
     // Tell the device these pages are dead (discard).
-    Result<SimTime> trimmed = device_->TrimBlocks(ext.lba, ext.pages, t);
+    Result<SimTime> trimmed = device_->TrimBlocks(Lba{ext.lba}, ext.pages, t);
     if (!trimmed.ok()) {
       return trimmed;
     }

@@ -356,7 +356,7 @@ Result<SimTime> KvStore::ApplyWrite(std::string_view key, KvEntryType type,
   }
   stats_.user_bytes_written += key.size() + value.size();
   if (provenance_ingress_ != nullptr) {
-    *provenance_ingress_ += key.size() + value.size();
+    *provenance_ingress_ += Bytes{key.size() + value.size()};
   }
   if (memtable_bytes_ >= config_.memtable_bytes) {
     Result<SimTime> flushed = FlushMemtable(now);

@@ -157,7 +157,7 @@ class KvStore {
   std::string metric_prefix_;
   // User bytes accepted by Put/Delete, accumulated into the provenance ledger's domain
   // "<prefix>" as the top link of the factorized-WA chain.
-  std::uint64_t* provenance_ingress_ = nullptr;
+  Bytes* provenance_ingress_ = nullptr;
 };
 
 }  // namespace blockhead

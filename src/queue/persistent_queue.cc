@@ -17,7 +17,7 @@ PersistentQueue::PersistentQueue(ZnsDevice* device, const QueueConfig& config)
 std::uint64_t PersistentQueue::FreeRecordSlots() const {
   std::uint64_t slots = free_zones_.size() * records_per_zone_;
   if (tail_zone_ != kNoZone) {
-    const ZoneDescriptor d = device_->zone(tail_zone_);
+    const ZoneDescriptor d = device_->zone(ZoneId{tail_zone_});
     slots += (d.capacity_pages - d.write_pointer) / config_.record_pages;
   }
   return slots;
@@ -25,21 +25,21 @@ std::uint64_t PersistentQueue::FreeRecordSlots() const {
 
 Status PersistentQueue::EnsureTailZone(SimTime now) {
   if (tail_zone_ != kNoZone) {
-    const ZoneDescriptor d = device_->zone(tail_zone_);
+    const ZoneDescriptor d = device_->zone(ZoneId{tail_zone_});
     if (d.state != ZoneState::kOffline &&
         d.write_pointer + config_.record_pages <= d.capacity_pages) {
       return Status::Ok();
     }
     // No room for a whole record: seal the remainder and rotate.
     if (d.state != ZoneState::kFull) {
-      (void)device_->FinishZone(tail_zone_, now);
+      (void)device_->FinishZone(ZoneId{tail_zone_}, now);
     }
     tail_zone_ = kNoZone;
   }
   while (!free_zones_.empty()) {
     const std::uint32_t z = free_zones_.front();
     free_zones_.pop_front();
-    const ZoneDescriptor d = device_->zone(z);
+    const ZoneDescriptor d = device_->zone(ZoneId{z});
     if (d.state != ZoneState::kEmpty || d.capacity_pages < config_.record_pages) {
       continue;  // Worn out or shrunk below one record; drop it.
     }
@@ -54,15 +54,16 @@ Result<SimTime> PersistentQueue::Enqueue(std::span<const std::uint8_t> payload, 
   BLOCKHEAD_RETURN_IF_ERROR(EnsureTailZone(now));
   SimTime done = 0;
   if (config_.use_append) {
-    Result<AppendResult> r = device_->Append(tail_zone_, config_.record_pages, now, payload);
+    Result<AppendResult> r =
+      device_->Append(ZoneId{tail_zone_}, config_.record_pages, now, payload);
     if (!r.ok()) {
       return r.status();
     }
     done = r->completion;
   } else {
-    const ZoneDescriptor d = device_->zone(tail_zone_);
+    const ZoneDescriptor d = device_->zone(ZoneId{tail_zone_});
     Result<SimTime> r =
-        device_->Write(tail_zone_, d.write_pointer, config_.record_pages, now, payload);
+        device_->Write(ZoneId{tail_zone_}, d.write_pointer, config_.record_pages, now, payload);
     if (!r.ok()) {
       return r;
     }
@@ -80,7 +81,7 @@ Result<PersistentQueue::DequeueResult> PersistentQueue::Dequeue(std::span<std::u
   // Drop fully-consumed head zones (never the live tail).
   while (!live_zones_.empty()) {
     const std::uint32_t head_zone = live_zones_.front();
-    const ZoneDescriptor d = device_->zone(head_zone);
+    const ZoneDescriptor d = device_->zone(ZoneId{head_zone});
     const std::uint64_t records_in_zone =
         (head_zone == tail_zone_ ? d.write_pointer : d.capacity_pages) / config_.record_pages;
     if (head_record_ < records_in_zone) {
@@ -90,25 +91,25 @@ Result<PersistentQueue::DequeueResult> PersistentQueue::Dequeue(std::span<std::u
       // Tail not rotated yet but everything in it is consumed; wait for new records.
       return ErrorCode::kNotFound;
     }
-    Result<SimTime> reset = device_->ResetZone(head_zone, now);
+    Result<SimTime> reset = device_->ResetZone(ZoneId{head_zone}, now);
     live_zones_.pop_front();
     head_record_ = 0;
-    if (reset.ok() && device_->zone(head_zone).state == ZoneState::kEmpty) {
+    if (reset.ok() && device_->zone(ZoneId{head_zone}).state == ZoneState::kEmpty) {
       free_zones_.push_back(head_zone);
       stats_.zones_recycled++;
     }
   }
   assert(!live_zones_.empty());
   const std::uint32_t head_zone = live_zones_.front();
-  const std::uint64_t lba = device_->zone(head_zone).start_lba +
-                            head_record_ * config_.record_pages;
+  const Lba lba = device_->zone(ZoneId{head_zone}).start_lba +
+                  head_record_ * config_.record_pages;
   Result<SimTime> r = device_->Read(lba, config_.record_pages, now, out);
   if (!r.ok()) {
     return r.status();
   }
   head_record_++;
   stats_.dequeued++;
-  return DequeueResult{r.value(), lba};
+  return DequeueResult{r.value(), lba.value()};
 }
 
 }  // namespace blockhead

@@ -196,7 +196,8 @@ std::string RenderTable1(const SurveyTable& table) {
                 table.CategoryTotal(SurveyCategory::kResults),
                 table.CategoryTotal(SurveyCategory::kOrthogonal));
   out += line;
-  std::snprintf(line, sizeof(line), "Classified: %u of %u publications (%.0f%% Simpl, %.0f%% Orth, %.0f%% Appr+Res)\n",
+  std::snprintf(line, sizeof(line),
+                "Classified: %u of %u publications (%.0f%% Simpl, %.0f%% Orth, %.0f%% Appr+Res)\n",
                 table.TotalClassified(), table.TotalPublications(),
                 100.0 * table.CategoryFraction(SurveyCategory::kSimplified),
                 100.0 * table.CategoryFraction(SurveyCategory::kOrthogonal),

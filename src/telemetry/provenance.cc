@@ -73,7 +73,7 @@ const char* StackLayerName(StackLayer layer) {
 WriteProvenance::DeviceLedger* WriteProvenance::RegisterDevice(std::string_view device,
                                                                std::uint64_t total_blocks,
                                                                std::uint64_t endurance_cycles,
-                                                               std::uint64_t page_size) {
+                                                               Bytes page_size) {
   DeviceLedger& ledger = devices_[std::string(device)];
   ledger.total_blocks = total_blocks;
   ledger.endurance_cycles = endurance_cycles;
@@ -81,7 +81,7 @@ WriteProvenance::DeviceLedger* WriteProvenance::RegisterDevice(std::string_view 
   return &ledger;
 }
 
-std::uint64_t* WriteProvenance::RegisterDomain(std::string_view domain) {
+Bytes* WriteProvenance::RegisterDomain(std::string_view domain) {
   return &domains_[std::string(domain)];
 }
 
@@ -91,9 +91,9 @@ const WriteProvenance::DeviceLedger* WriteProvenance::FindDevice(
   return it == devices_.end() ? nullptr : &it->second;
 }
 
-std::uint64_t WriteProvenance::DomainBytes(std::string_view domain) const {
+Bytes WriteProvenance::DomainBytes(std::string_view domain) const {
   const auto it = domains_.find(domain);
-  return it == domains_.end() ? 0 : it->second;
+  return it == domains_.end() ? Bytes{0} : it->second;
 }
 
 std::vector<std::string> WriteProvenance::DeviceNames() const {
@@ -130,10 +130,10 @@ WriteProvenance::FactorizedWa WriteProvenance::Factorize(
   std::vector<double> bytes;
   for (const std::string& d : domains) {
     labels.push_back(d);
-    bytes.push_back(static_cast<double>(DomainBytes(d)));
+    bytes.push_back(static_cast<double>(DomainBytes(d).value()));
   }
   const DeviceLedger* ledger = FindDevice(device);
-  const double page = ledger == nullptr ? 0.0 : static_cast<double>(ledger->page_size);
+  const double page = ledger == nullptr ? 0.0 : static_cast<double>(ledger->page_size.value());
   labels.push_back(std::string(device) + ":host");
   bytes.push_back(ledger == nullptr ? 0.0 : static_cast<double>(ledger->host_pages) * page);
   labels.push_back(std::string(device) + ":phys");
@@ -197,7 +197,7 @@ void WriteProvenance::PublishTo(MetricRegistry* registry) const {
     registry->GetGauge(prefix + ".endurance.projected_days")->Set(p.projected_days);
   }
   for (const auto& [name, bytes] : domains_) {
-    registry->GetCounter("provenance.domain." + name + ".bytes_in")->Set(bytes);
+    registry->GetCounter("provenance.domain." + name + ".bytes_in")->Set(bytes.value());
   }
 }
 
@@ -207,7 +207,7 @@ std::string WriteProvenance::Dump() const {
     AppendF(&out, "device %s\n", name.c_str());
     AppendF(&out,
             "  geometry blocks=%" PRIu64 " pe_budget=%" PRIu64 " page_size=%" PRIu64 "\n",
-            ledger.total_blocks, ledger.endurance_cycles, ledger.page_size);
+            ledger.total_blocks, ledger.endurance_cycles, ledger.page_size.value());
     AppendF(&out,
             "  programs total=%" PRIu64 " host=%" PRIu64 "\n", ledger.total_pages,
             ledger.host_pages);
@@ -236,7 +236,7 @@ std::string WriteProvenance::Dump() const {
             p.mean_erase_count, p.erases_per_block_per_day, p.projected_days);
   }
   for (const auto& [name, bytes] : domains_) {
-    AppendF(&out, "domain %s bytes_in=%" PRIu64 "\n", name.c_str(), bytes);
+    AppendF(&out, "domain %s bytes_in=%" PRIu64 "\n", name.c_str(), bytes.value());
   }
   return out;
 }

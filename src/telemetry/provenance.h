@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/strong_id.h"
 #include "src/telemetry/metric_registry.h"
 #include "src/util/types.h"
 
@@ -77,7 +78,7 @@ class WriteProvenance {
   struct DeviceLedger {
     std::uint64_t total_blocks = 0;
     std::uint64_t endurance_cycles = 0;  // P/E budget per block.
-    std::uint64_t page_size = 0;
+    Bytes page_size{0};
     std::uint64_t host_pages = 0;    // Host-class programs (the device's logical ingress).
     std::uint64_t total_pages = 0;   // All programs (host + internal).
     std::uint64_t total_erases = 0;
@@ -116,11 +117,11 @@ class WriteProvenance {
   // returned ledger pointer stays valid for this object's lifetime — the device caches it and
   // records through it without a map lookup per operation.
   DeviceLedger* RegisterDevice(std::string_view device, std::uint64_t total_blocks,
-                               std::uint64_t endurance_cycles, std::uint64_t page_size);
+                               std::uint64_t endurance_cycles, Bytes page_size);
 
   // Registers (or finds) a logical ingress domain for the factorized-WA chain and returns its
-  // bytes-in accumulator; stays valid for this object's lifetime.
-  std::uint64_t* RegisterDomain(std::string_view domain);
+  // bytes-in accumulator (checked Bytes arithmetic); stays valid for this object's lifetime.
+  Bytes* RegisterDomain(std::string_view domain);
 
   // Hot-path recording (called by the flash device on every program / erase).
   void RecordProgram(DeviceLedger* ledger, bool host_op, SimTime now) {
@@ -154,7 +155,7 @@ class WriteProvenance {
 
   // Lookups (nullptr / 0 when unknown).
   const DeviceLedger* FindDevice(std::string_view device) const;
-  std::uint64_t DomainBytes(std::string_view domain) const;
+  Bytes DomainBytes(std::string_view domain) const;
   std::vector<std::string> DeviceNames() const;
 
   // Per-cause sums over layers (for tests and tables).
@@ -222,7 +223,7 @@ class WriteProvenance {
 
   std::vector<OpenCause> stack_;
   std::map<std::string, DeviceLedger, std::less<>> devices_;
-  std::map<std::string, std::uint64_t, std::less<>> domains_;
+  std::map<std::string, Bytes, std::less<>> domains_;
 };
 
 // Publishes a factorized-WA report as gauges: <prefix>.wa.factor<i> per chain link plus

@@ -54,8 +54,11 @@ void TableSink::Render(std::string_view bench_name,
   for (const auto& e : snapshot) {
     width = std::max(width, e.name.size());
   }
-  out->append("[" + std::string(bench_name) + "] " + std::to_string(snapshot.size()) +
-              " metrics\n");
+  out->push_back('[');
+  out->append(bench_name);
+  out->append("] ");
+  out->append(std::to_string(snapshot.size()));
+  out->append(" metrics\n");
   for (const auto& e : snapshot) {
     out->append("  ");
     out->append(e.name);
@@ -125,7 +128,8 @@ void CsvSink::Render(std::string_view bench_name,
         break;
       case MetricKind::kHistogram: {
         const HistFields f = Summarize(*e.histogram);
-        out->append("," + FormatU64(f.count) + "," + FormatU64(f.min) + "," + FormatU64(f.max) +
+        out->push_back(',');
+        out->append(FormatU64(f.count) + "," + FormatU64(f.min) + "," + FormatU64(f.max) +
                     "," + FormatMetricDouble(f.mean) + "," + FormatU64(f.p50) + "," +
                     FormatU64(f.p90) + "," + FormatU64(f.p95) + "," + FormatU64(f.p99) + "," +
                     FormatU64(f.p999));

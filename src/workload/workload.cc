@@ -63,13 +63,13 @@ RunResult RunClosedLoop(BlockDevice& device, WorkloadGenerator& gen,
     Result<SimTime> done = 0;
     switch (req.type) {
       case IoType::kRead:
-        done = device.ReadBlocks(req.lba, req.pages, issue);
+        done = device.ReadBlocks(Lba{req.lba}, req.pages, issue);
         break;
       case IoType::kWrite:
-        done = device.WriteBlocks(req.lba, req.pages, issue);
+        done = device.WriteBlocks(Lba{req.lba}, req.pages, issue);
         break;
       case IoType::kTrim:
-        done = device.TrimBlocks(req.lba, req.pages, issue);
+        done = device.TrimBlocks(Lba{req.lba}, req.pages, issue);
         break;
     }
     if (!done.ok()) {
@@ -123,13 +123,13 @@ RunResult RunOpenLoop(BlockDevice& device, WorkloadGenerator& gen, const DriverO
     Result<SimTime> done = 0;
     switch (req.type) {
       case IoType::kRead:
-        done = device.ReadBlocks(req.lba, req.pages, issue);
+        done = device.ReadBlocks(Lba{req.lba}, req.pages, issue);
         break;
       case IoType::kWrite:
-        done = device.WriteBlocks(req.lba, req.pages, issue);
+        done = device.WriteBlocks(Lba{req.lba}, req.pages, issue);
         break;
       case IoType::kTrim:
-        done = device.TrimBlocks(req.lba, req.pages, issue);
+        done = device.TrimBlocks(Lba{req.lba}, req.pages, issue);
         break;
     }
     if (!done.ok()) {
@@ -165,7 +165,7 @@ Result<SimTime> SequentialFill(BlockDevice& device, double fraction, SimTime sta
       static_cast<std::uint64_t>(fraction * static_cast<double>(device.num_blocks()));
   SimTime t = start;
   for (std::uint64_t lba = 0; lba + io_pages <= pages; lba += io_pages) {
-    Result<SimTime> done = device.WriteBlocks(lba, io_pages, t);
+    Result<SimTime> done = device.WriteBlocks(Lba{lba}, io_pages, t);
     if (!done.ok()) {
       return done;
     }

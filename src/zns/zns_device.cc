@@ -61,9 +61,9 @@ ZnsDevice::ZnsDevice(const FlashConfig& flash_config, const ZnsConfig& zns_confi
       const std::uint32_t plane_index = group * width + i % width;
       const std::uint32_t slot = i / width;
       StripeUnit unit;
-      unit.channel = plane_index / g.planes_per_channel;
-      unit.plane = plane_index % g.planes_per_channel;
-      unit.block = row * config_.blocks_per_zone_per_plane + slot;
+      unit.channel = ChannelId{plane_index / g.planes_per_channel};
+      unit.plane = PlaneId{plane_index % g.planes_per_channel};
+      unit.block = BlockId{row * config_.blocks_per_zone_per_plane + slot};
       zone.units.push_back(unit);
     }
     zone.capacity_pages = zone_size_pages_;
@@ -139,24 +139,24 @@ std::uint64_t ZnsDevice::capacity_bytes() const {
          flash_.geometry().page_size;
 }
 
-ZoneDescriptor ZnsDevice::zone(std::uint32_t zone_id) const {
-  assert(zone_id < zones_.size());
-  const Zone& z = zones_[zone_id];
+ZoneDescriptor ZnsDevice::zone(ZoneId zone_id) const {
+  assert(zone_id.value() < zones_.size());
+  const Zone& z = zones_[zone_id.value()];
   ZoneDescriptor d;
   d.zone_id = zone_id;
   d.state = z.state;
-  d.start_lba = static_cast<std::uint64_t>(zone_id) * zone_size_pages_;
+  d.start_lba = Lba{static_cast<std::uint64_t>(zone_id.value()) * zone_size_pages_};
   d.capacity_pages = z.capacity_pages;
   d.write_pointer = z.write_pointer;
   return d;
 }
 
-Result<std::uint32_t> ZnsDevice::ZoneOfLba(std::uint64_t lba) const {
-  const std::uint64_t zone_id = lba / zone_size_pages_;
-  if (zone_id >= zones_.size()) {
+Result<ZoneId> ZnsDevice::ZoneOfLba(Lba lba) const {
+  const std::uint64_t zone_index = lba.value() / zone_size_pages_;
+  if (zone_index >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  return static_cast<std::uint32_t>(zone_id);
+  return ZoneId{static_cast<std::uint32_t>(zone_index)};
 }
 
 PhysAddr ZnsDevice::AddrOf(const Zone& z, std::uint64_t offset) const {
@@ -166,7 +166,7 @@ PhysAddr ZnsDevice::AddrOf(const Zone& z, std::uint64_t offset) const {
   a.channel = unit.channel;
   a.plane = unit.plane;
   a.block = unit.block;
-  a.page = static_cast<std::uint32_t>(offset / z.units.size());
+  a.page = PageId{static_cast<std::uint32_t>(offset / z.units.size())};
   return a;
 }
 
@@ -235,6 +235,10 @@ SimTime ZnsDevice::BufferAck(Zone& z, std::uint32_t pages, SimTime data_in,
   return ack;
 }
 
+// lint: provenance-passthrough — every flash op here executes a host-issued ZNS command
+// (Write/Append/Reset/SimpleCopy); attribution belongs to the scope the command issuer
+// holds open (e.g. the zone filesystem's kZoneCompaction during its GC), so this layer
+// must not override it with a scope of its own.
 Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime issue,
                                        std::span<const std::uint8_t> data, OpClass op_class) {
   const std::uint32_t page_size = flash_.geometry().page_size;
@@ -262,12 +266,12 @@ Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime iss
   return done_all;
 }
 
-Result<SimTime> ZnsDevice::Write(std::uint32_t zone_id, std::uint64_t offset, std::uint32_t pages,
+Result<SimTime> ZnsDevice::Write(ZoneId zone_id, std::uint64_t offset, std::uint32_t pages,
                                  SimTime issue, std::span<const std::uint8_t> data) {
-  if (zone_id >= zones_.size() || pages == 0) {
+  if (zone_id.value() >= zones_.size() || pages == 0) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   const std::uint32_t page_size = flash_.geometry().page_size;
   if (!data.empty() && data.size() != static_cast<std::size_t>(pages) * page_size) {
     return ErrorCode::kInvalidArgument;
@@ -310,12 +314,12 @@ Result<SimTime> ZnsDevice::Write(std::uint32_t zone_id, std::uint64_t offset, st
   return ack;
 }
 
-Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t pages, SimTime issue,
+Result<AppendResult> ZnsDevice::Append(ZoneId zone_id, std::uint32_t pages, SimTime issue,
                                        std::span<const std::uint8_t> data) {
-  if (zone_id >= zones_.size() || pages == 0) {
+  if (zone_id.value() >= zones_.size() || pages == 0) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   const std::uint32_t page_size = flash_.geometry().page_size;
   if (!data.empty() && data.size() != static_cast<std::size_t>(pages) * page_size) {
     return ErrorCode::kInvalidArgument;
@@ -330,8 +334,8 @@ Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t page
     return ErrorCode::kZoneFull;
   }
   BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/false, issue));
-  const std::uint64_t assigned =
-      static_cast<std::uint64_t>(zone_id) * zone_size_pages_ + z.write_pointer;
+  const Lba assigned{static_cast<std::uint64_t>(zone_id.value()) * zone_size_pages_ +
+                     z.write_pointer};
   // No host-side serialization: the device orders concurrent appends itself.
   Result<SimTime> done = ProgramAtWp(z, pages, issue, data, OpClass::kHost);
   if (!done.ok()) {
@@ -349,7 +353,7 @@ Result<AppendResult> ZnsDevice::Append(std::uint32_t zone_id, std::uint32_t page
   return AppendResult{ack, assigned};
 }
 
-Result<SimTime> ZnsDevice::Read(std::uint64_t lba, std::uint32_t pages, SimTime issue,
+Result<SimTime> ZnsDevice::Read(Lba lba, std::uint32_t pages, SimTime issue,
                                 std::span<std::uint8_t> out) {
   const std::uint32_t page_size = flash_.geometry().page_size;
   if (!out.empty() && out.size() != static_cast<std::size_t>(pages) * page_size) {
@@ -357,15 +361,15 @@ Result<SimTime> ZnsDevice::Read(std::uint64_t lba, std::uint32_t pages, SimTime 
   }
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < pages; ++i) {
-    Result<std::uint32_t> zone_id = ZoneOfLba(lba + i);
+    Result<ZoneId> zone_id = ZoneOfLba(lba + i);
     if (!zone_id.ok()) {
       return zone_id.status();
     }
-    Zone& z = zones_[zone_id.value()];
+    Zone& z = zones_[zone_id.value().value()];
     if (z.state == ZoneState::kOffline) {
       return ErrorCode::kZoneOffline;
     }
-    const std::uint64_t offset = (lba + i) % zone_size_pages_;
+    const std::uint64_t offset = (lba.value() + i) % zone_size_pages_;
     std::span<std::uint8_t> page_out;
     if (!out.empty()) {
       page_out = out.subspan(static_cast<std::size_t>(i) * page_size, page_size);
@@ -394,11 +398,11 @@ Result<SimTime> ZnsDevice::Read(std::uint64_t lba, std::uint32_t pages, SimTime 
   return done_all;
 }
 
-Result<SimTime> ZnsDevice::OpenZone(std::uint32_t zone_id, SimTime issue) {
-  if (zone_id >= zones_.size()) {
+Result<SimTime> ZnsDevice::OpenZone(ZoneId zone_id, SimTime issue) {
+  if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/true, issue));
   const ZoneState mid = z.state;  // ImplicitOpen -> ExplicitOpen is a loggable edge too.
   z.state = ZoneState::kExplicitOpen;
@@ -406,11 +410,11 @@ Result<SimTime> ZnsDevice::OpenZone(std::uint32_t zone_id, SimTime issue) {
   return issue + flash_.timing().channel_xfer;
 }
 
-Result<SimTime> ZnsDevice::CloseZone(std::uint32_t zone_id, SimTime issue) {
-  if (zone_id >= zones_.size()) {
+Result<SimTime> ZnsDevice::CloseZone(ZoneId zone_id, SimTime issue) {
+  if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   if (!IsOpen(z.state)) {
     return ErrorCode::kZoneNotOpen;
   }
@@ -422,11 +426,11 @@ Result<SimTime> ZnsDevice::CloseZone(std::uint32_t zone_id, SimTime issue) {
   return issue + flash_.timing().channel_xfer;
 }
 
-Result<SimTime> ZnsDevice::FinishZone(std::uint32_t zone_id, SimTime issue) {
-  if (zone_id >= zones_.size()) {
+Result<SimTime> ZnsDevice::FinishZone(ZoneId zone_id, SimTime issue) {
+  if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   switch (z.state) {
     case ZoneState::kFull:
       return issue;  // Idempotent.
@@ -446,11 +450,11 @@ Result<SimTime> ZnsDevice::FinishZone(std::uint32_t zone_id, SimTime issue) {
   return issue + flash_.timing().channel_xfer;
 }
 
-Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
-  if (zone_id >= zones_.size()) {
+Result<SimTime> ZnsDevice::ResetZone(ZoneId zone_id, SimTime issue) {
+  if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& z = zones_[zone_id];
+  Zone& z = zones_[zone_id.value()];
   if (z.state == ZoneState::kOffline) {
     return ErrorCode::kZoneOffline;
   }
@@ -492,9 +496,9 @@ Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
   NoteZoneTransition(z, prev, z.state, done_all);
   if (telemetry_ != nullptr) {
     telemetry_->events.Append(done_all, TimelineEventType::kZoneReset, metric_prefix_,
-                              "zone " + std::to_string(zone_id) + " reset capacity " +
+                              "zone " + std::to_string(zone_id.value()) + " reset capacity " +
                                   std::to_string(z.capacity_pages),
-                              zone_id, z.capacity_pages);
+                              zone_id.value(), z.capacity_pages);
     telemetry_->timeline.RecordMaintenance(metric_prefix_ + ".reset", "zone_reset", issue,
                                            done_all);
     telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
@@ -502,12 +506,12 @@ Result<SimTime> ZnsDevice::ResetZone(std::uint32_t zone_id, SimTime issue) {
   return done_all;
 }
 
-Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, std::uint32_t dst_zone,
+Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, ZoneId dst_zone,
                                       SimTime issue) {
-  if (dst_zone >= zones_.size()) {
+  if (dst_zone.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
-  Zone& dst = zones_[dst_zone];
+  Zone& dst = zones_[dst_zone.value()];
 
   std::uint64_t total_pages = 0;
   for (const CopyRange& r : sources) {
@@ -533,12 +537,12 @@ Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, std::u
   std::uint32_t in_batch = 0;
   for (const CopyRange& r : sources) {
     for (std::uint32_t i = 0; i < r.pages; ++i) {
-      Result<std::uint32_t> src_zone_id = ZoneOfLba(r.lba + i);
+      Result<ZoneId> src_zone_id = ZoneOfLba(r.lba + i);
       if (!src_zone_id.ok()) {
         return src_zone_id.status();
       }
-      Zone& src = zones_[src_zone_id.value()];
-      const std::uint64_t src_offset = (r.lba + i) % zone_size_pages_;
+      Zone& src = zones_[src_zone_id.value().value()];
+      const std::uint64_t src_offset = (r.lba.value() + i) % zone_size_pages_;
       if (src_offset >= src.programmed_pages) {
         return Status(ErrorCode::kOutOfRange, "simple-copy source beyond write pointer");
       }

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/strong_id.h"
 #include "src/flash/flash_device.h"
 #include "src/ftl/conventional_ssd.h"  // For DramUsage.
 #include "src/util/status.h"
@@ -64,11 +65,11 @@ struct ZnsConfig {
 };
 
 struct ZoneDescriptor {
-  std::uint32_t zone_id = 0;
+  ZoneId zone_id{0};
   ZoneState state = ZoneState::kEmpty;
-  std::uint64_t start_lba = 0;        // First LBA of the zone.
-  std::uint64_t capacity_pages = 0;   // Writable capacity (shrinks if blocks go bad).
-  std::uint64_t write_pointer = 0;    // Zone-relative, in pages.
+  Lba start_lba{0};                  // First LBA of the zone.
+  std::uint64_t capacity_pages = 0;  // Writable capacity (shrinks if blocks go bad).
+  std::uint64_t write_pointer = 0;   // Zone-relative, in pages.
 };
 
 struct ZnsStats {
@@ -84,12 +85,12 @@ struct ZnsStats {
 
 struct AppendResult {
   SimTime completion = 0;
-  std::uint64_t assigned_lba = 0;  // Device-assigned absolute LBA of the first page.
+  Lba assigned_lba{0};  // Device-assigned absolute LBA of the first page.
 };
 
 // A source range for SimpleCopy.
 struct CopyRange {
-  std::uint64_t lba = 0;
+  Lba lba{0};
   std::uint32_t pages = 0;
 };
 
@@ -119,51 +120,51 @@ class ZnsDevice {
   std::uint32_t page_size() const { return flash_.geometry().page_size; }
   std::uint64_t capacity_bytes() const;
 
-  ZoneDescriptor zone(std::uint32_t zone_id) const;
+  ZoneDescriptor zone(ZoneId zone_id) const;
   std::uint32_t active_zones() const { return active_count_; }
   std::uint32_t open_zones() const { return open_count_; }
 
   // Writes `pages` pages at `offset` (zone-relative, in pages), which must equal the write
   // pointer. Transitions Empty/Closed zones to ImplicitOpen. Concurrent writers to the same
   // zone serialize on the write pointer (see file comment).
-  Result<SimTime> Write(std::uint32_t zone_id, std::uint64_t offset, std::uint32_t pages,
+  Result<SimTime> Write(ZoneId zone_id, std::uint64_t offset, std::uint32_t pages,
                         SimTime issue, std::span<const std::uint8_t> data = {});
 
   // Appends `pages` pages at the device-chosen position; does not serialize on the host side.
-  Result<AppendResult> Append(std::uint32_t zone_id, std::uint32_t pages, SimTime issue,
+  Result<AppendResult> Append(ZoneId zone_id, std::uint32_t pages, SimTime issue,
                               std::span<const std::uint8_t> data = {});
 
   // Reads `pages` pages starting at absolute LBA. Reads beyond the write pointer return zeros.
-  Result<SimTime> Read(std::uint64_t lba, std::uint32_t pages, SimTime issue,
+  Result<SimTime> Read(Lba lba, std::uint32_t pages, SimTime issue,
                        std::span<std::uint8_t> out = {});
 
   // Explicitly opens a zone (consumes an open + active slot).
-  Result<SimTime> OpenZone(std::uint32_t zone_id, SimTime issue);
+  Result<SimTime> OpenZone(ZoneId zone_id, SimTime issue);
   // Closes an open zone (frees the open slot; the zone stays active).
-  Result<SimTime> CloseZone(std::uint32_t zone_id, SimTime issue);
+  Result<SimTime> CloseZone(ZoneId zone_id, SimTime issue);
   // Finishes a zone: write pointer jumps to capacity; frees its active slot.
-  Result<SimTime> FinishZone(std::uint32_t zone_id, SimTime issue);
+  Result<SimTime> FinishZone(ZoneId zone_id, SimTime issue);
   // Resets a zone to Empty, erasing its blocks. Worn-out blocks are dropped from the zone
   // (capacity shrinks); a zone with no usable blocks left goes Offline.
-  Result<SimTime> ResetZone(std::uint32_t zone_id, SimTime issue);
+  Result<SimTime> ResetZone(ZoneId zone_id, SimTime issue);
 
   // Device-controller-managed copy (NVMe simple copy): reads the source ranges and appends
   // them to dst_zone without any host-bus traffic. Sources must be below their zones' write
   // pointers.
-  Result<SimTime> SimpleCopy(std::span<const CopyRange> sources, std::uint32_t dst_zone,
+  Result<SimTime> SimpleCopy(std::span<const CopyRange> sources, ZoneId dst_zone,
                              SimTime issue);
 
   // DRAM footprint under the paper's 4 B-per-erasure-block model plus active-zone buffers.
   DramUsage ComputeDramUsage() const;
 
   // Translates an absolute LBA to its zone. Fails if out of range.
-  Result<std::uint32_t> ZoneOfLba(std::uint64_t lba) const;
+  Result<ZoneId> ZoneOfLba(Lba lba) const;
 
  private:
   struct StripeUnit {
-    std::uint32_t channel = 0;
-    std::uint32_t plane = 0;
-    std::uint32_t block = 0;
+    ChannelId channel{0};
+    PlaneId plane{0};
+    BlockId block{0};
   };
 
   struct Zone {

@@ -111,13 +111,13 @@ Result<std::unique_ptr<ZoneFileSystem>> ZoneFileSystem::Format(ZnsDevice* device
   auto fs = std::unique_ptr<ZoneFileSystem>(new ZoneFileSystem(device, config));
   // Wipe the device.
   for (std::uint32_t z = 0; z < device->num_zones(); ++z) {
-    Result<SimTime> reset = device->ResetZone(z, now);
+    Result<SimTime> reset = device->ResetZone(ZoneId{z}, now);
     if (!reset.ok() && reset.code() != ErrorCode::kZoneOffline) {
       return reset.status();
     }
   }
   for (std::uint32_t z = device->num_zones(); z > kFirstDataZone; --z) {
-    if (device->zone(z - 1).state == ZoneState::kEmpty) {
+    if (device->zone(ZoneId{z - 1}).state == ZoneState::kEmpty) {
       fs->free_zones_.push_back(z - 1);
     }
   }
@@ -151,8 +151,8 @@ double ZoneFileSystem::FreeFraction() const {
   return static_cast<double>(free_zones_.size()) / static_cast<double>(data_zones);
 }
 
-bool ZoneFileSystem::IsFrontier(std::uint32_t zone) const {
-  return std::find(frontier_.begin(), frontier_.end(), zone) != frontier_.end();
+bool ZoneFileSystem::IsFrontier(std::uint32_t zone_index) const {
+  return std::find(frontier_.begin(), frontier_.end(), zone_index) != frontier_.end();
 }
 
 Result<std::uint32_t> ZoneFileSystem::AllocateZone(SimTime now) {
@@ -171,7 +171,7 @@ Result<std::uint32_t> ZoneFileSystem::AllocateZone(SimTime now) {
   while (!free_zones_.empty()) {
     const std::uint32_t z = free_zones_.back();
     free_zones_.pop_back();
-    const ZoneDescriptor d = device_->zone(z);
+    const ZoneDescriptor d = device_->zone(ZoneId{z});
     if (d.state == ZoneState::kEmpty && d.capacity_pages > 0) {
       return z;
     }
@@ -181,8 +181,8 @@ Result<std::uint32_t> ZoneFileSystem::AllocateZone(SimTime now) {
 
 Result<std::uint32_t> ZoneFileSystem::FrontierFor(Lifetime hint, SimTime now) {
   const std::size_t idx = static_cast<std::size_t>(hint);
-  auto writable = [this](std::uint32_t zone) {
-    const ZoneDescriptor d = device_->zone(zone);
+  auto writable = [this](std::uint32_t zone_index) {
+    const ZoneDescriptor d = device_->zone(ZoneId{zone_index});
     return d.state != ZoneState::kFull && d.state != ZoneState::kOffline &&
            d.write_pointer < d.capacity_pages;
   };
@@ -220,12 +220,12 @@ Result<SimTime> ZoneFileSystem::FlushTailPage(FileMeta& file, SimTime now, bool 
     return frontier.status();
   }
   const std::uint32_t zone = frontier.value();
-  const ZoneDescriptor d = device_->zone(zone);
-  const std::uint64_t dev_lba = d.start_lba + d.write_pointer;
+  const ZoneDescriptor d = device_->zone(ZoneId{zone});
+  const std::uint64_t dev_lba = (d.start_lba + d.write_pointer).value();
 
   std::vector<std::uint8_t> page(page_size_, 0);
   std::memcpy(page.data(), file.tail.data(), static_cast<std::size_t>(bytes));
-  Result<SimTime> done = device_->Write(zone, d.write_pointer, 1, now, page);
+  Result<SimTime> done = device_->Write(ZoneId{zone}, d.write_pointer, 1, now, page);
   if (!done.ok()) {
     return done;
   }
@@ -293,7 +293,7 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
     file->size += take;
     stats_.bytes_appended += take;
     if (provenance_ingress_ != nullptr) {
-      *provenance_ingress_ += take;
+      *provenance_ingress_ += Bytes{take};
     }
     if (file->tail.size() >= page_size_) {
       Result<SimTime> flushed = FlushTailPage(*file, done, /*pad=*/false);
@@ -342,7 +342,7 @@ Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset
       const std::uint64_t byte_in_page = cur % page_size_;
       const std::uint64_t chunk = std::min<std::uint64_t>(
           {page_size_ - byte_in_page, ext.bytes - cur, out.size() - out_pos});
-      Result<SimTime> done = device_->Read(ext.dev_lba + page_index, 1, now, page);
+      Result<SimTime> done = device_->Read(Lba{ext.dev_lba + page_index}, 1, now, page);
       if (!done.ok()) {
         return done;
       }
@@ -390,11 +390,11 @@ Result<SimTime> ZoneFileSystem::Sync(std::string_view name, SimTime now) {
   if (config_.finish_remainder_pages > 0) {
     std::uint32_t& frontier = frontier_[static_cast<std::size_t>(file->hint)];
     if (frontier != kNoZone) {
-      const ZoneDescriptor d = device_->zone(frontier);
+      const ZoneDescriptor d = device_->zone(ZoneId{frontier});
       if (d.state != ZoneState::kFull && d.state != ZoneState::kOffline &&
           d.write_pointer > 0 &&
           d.capacity_pages - d.write_pointer <= config_.finish_remainder_pages) {
-        Result<SimTime> finished = device_->FinishZone(frontier, t);
+        Result<SimTime> finished = device_->FinishZone(ZoneId{frontier}, t);
         if (finished.ok()) {
           t = finished.value();
         }
@@ -462,7 +462,7 @@ std::uint32_t ZoneFileSystem::PickVictim(bool critical) const {
     if (IsFrontier(z)) {
       continue;
     }
-    const ZoneDescriptor d = device_->zone(z);
+    const ZoneDescriptor d = device_->zone(ZoneId{z});
     if (d.state != ZoneState::kFull) {
       continue;
     }
@@ -489,7 +489,7 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
     if (frontier == kNoZone) {
       continue;
     }
-    const ZoneState s = device_->zone(frontier).state;
+    const ZoneState s = device_->zone(ZoneId{frontier}).state;
     if (s == ZoneState::kFull || s == ZoneState::kOffline) {
       frontier = kNoZone;
     }
@@ -497,11 +497,11 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
   // Defensive sweep: any open/closed data zone that is not a current frontier is a stray
   // (e.g. after a crash-recovery mount). Seal it so its dead space becomes reclaimable.
   for (std::uint32_t z = kFirstDataZone; z < device_->num_zones(); ++z) {
-    const ZoneState s = device_->zone(z).state;
+    const ZoneState s = device_->zone(ZoneId{z}).state;
     if ((s == ZoneState::kImplicitOpen || s == ZoneState::kExplicitOpen ||
          s == ZoneState::kClosed) &&
         !IsFrontier(z)) {
-      (void)device_->FinishZone(z, now);
+      (void)device_->FinishZone(ZoneId{z}, now);
     }
   }
   const std::uint32_t victim = PickVictim(critical);
@@ -520,10 +520,11 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
                                   (critical ? " critical" : ""),
                               victim, zone_live_pages_[victim]);
   }
-  const ZoneDescriptor vd = device_->zone(victim);
+  const ZoneDescriptor vd = device_->zone(ZoneId{victim});
   for (const auto& [id, file] : files_) {
     for (const Extent& ext : file.extents) {
-      if (ext.dev_lba >= vd.start_lba && ext.dev_lba < vd.start_lba + vd.capacity_pages) {
+      if (ext.dev_lba >= vd.start_lba.value() &&
+          ext.dev_lba < vd.start_lba.value() + vd.capacity_pages) {
         gc_.items.push_back(GcWorkItem{id, ext.dev_lba, ext.pages, ext.bytes});
       }
     }
@@ -571,15 +572,15 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
       return fz.status();
     }
     const std::uint32_t dst_zone = fz.value();
-    const ZoneDescriptor dd = device_->zone(dst_zone);
+    const ZoneDescriptor dd = device_->zone(ZoneId{dst_zone});
     const std::uint32_t room = static_cast<std::uint32_t>(dd.capacity_pages - dd.write_pointer);
     const std::uint32_t chunk = std::min({item.pages, room, budget});
-    const std::uint64_t dst_lba = dd.start_lba + dd.write_pointer;
+    const std::uint64_t dst_lba = (dd.start_lba + dd.write_pointer).value();
     const std::uint64_t src_lba = item.dev_lba;
     if (config_.use_simple_copy) {
-      const CopyRange range{src_lba, chunk};
+      const CopyRange range{Lba{src_lba}, chunk};
       Result<SimTime> done =
-          device_->SimpleCopy(std::span<const CopyRange>(&range, 1), dst_zone, t);
+          device_->SimpleCopy(std::span<const CopyRange>(&range, 1), ZoneId{dst_zone}, t);
       if (!done.ok()) {
         in_gc_ = false;
         return done;
@@ -587,13 +588,13 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
       t = std::max(t, done.value());
     } else {
       for (std::uint32_t p = 0; p < chunk; ++p) {
-        Result<SimTime> r = device_->Read(src_lba + p, 1, t, page);
+        Result<SimTime> r = device_->Read(Lba{src_lba + p}, 1, t, page);
         if (!r.ok()) {
           in_gc_ = false;
           return r;
         }
-        const ZoneDescriptor cur = device_->zone(dst_zone);
-        Result<SimTime> w = device_->Write(dst_zone, cur.write_pointer, 1, r.value(), page);
+        const ZoneDescriptor cur = device_->zone(ZoneId{dst_zone});
+        Result<SimTime> w = device_->Write(ZoneId{dst_zone}, cur.write_pointer, 1, r.value(), page);
         if (!w.ok()) {
           in_gc_ = false;
           return w;
@@ -658,13 +659,13 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
     }
     t = logged.value();
   }
-  Result<SimTime> reset = device_->ResetZone(gc_.victim, t);
+  Result<SimTime> reset = device_->ResetZone(ZoneId{gc_.victim}, t);
   if (!reset.ok()) {
     in_gc_ = false;
     return reset;
   }
   t = reset.value();
-  if (device_->zone(gc_.victim).state != ZoneState::kOffline) {
+  if (device_->zone(ZoneId{gc_.victim}).state != ZoneState::kOffline) {
     free_zones_.push_back(gc_.victim);
   }
   stats_.gc_cycles++;
@@ -882,7 +883,7 @@ Result<SimTime> ZoneFileSystem::WriteMetaBlob(std::uint8_t type,
                                      (blob.size() + payload_cap - 1) / payload_cap));
 
   // Swap meta zones (writing a fresh checkpoint) if this blob would not fit.
-  const ZoneDescriptor md = device_->zone(meta_zone_);
+  const ZoneDescriptor md = device_->zone(ZoneId{meta_zone_});
   if (type != kRecCheckpoint && md.write_pointer + parts > md.capacity_pages) {
     Result<SimTime> swapped = WriteCheckpointAndSwap(now);
     if (!swapped.ok()) {
@@ -911,11 +912,11 @@ Result<SimTime> ZoneFileSystem::WriteMetaBlob(std::uint8_t type,
     if (len > 0) {
       std::memcpy(page.data() + kMetaHeaderBytes, blob.data() + off, len);
     }
-    const ZoneDescriptor d = device_->zone(meta_zone_);
+    const ZoneDescriptor d = device_->zone(ZoneId{meta_zone_});
     if (d.write_pointer >= d.capacity_pages) {
       return Status(ErrorCode::kNoFreeBlocks, "metadata zone overflow");
     }
-    Result<SimTime> done = device_->Write(meta_zone_, d.write_pointer, 1, t, page);
+    Result<SimTime> done = device_->Write(ZoneId{meta_zone_}, d.write_pointer, 1, t, page);
     if (!done.ok()) {
       return done;
     }
@@ -929,7 +930,7 @@ Result<SimTime> ZoneFileSystem::WriteCheckpointAndSwap(SimTime now) {
   const std::uint32_t old_zone = meta_zone_;
   const std::uint32_t new_zone = (meta_zone_ == kMetaZoneA) ? kMetaZoneB : kMetaZoneA;
   // The target must be clean.
-  Result<SimTime> reset = device_->ResetZone(new_zone, now);
+  Result<SimTime> reset = device_->ResetZone(ZoneId{new_zone}, now);
   if (!reset.ok()) {
     return reset;
   }
@@ -941,11 +942,11 @@ Result<SimTime> ZoneFileSystem::WriteCheckpointAndSwap(SimTime now) {
   }
   stats_.checkpoints++;
   // Only after the new checkpoint is durable can the old journal be destroyed.
-  return device_->ResetZone(old_zone, written.value());
+  return device_->ResetZone(ZoneId{old_zone}, written.value());
 }
 
 Status ZoneFileSystem::LoadFromZone(std::uint32_t meta_zone, SimTime now) {
-  const ZoneDescriptor d = device_->zone(meta_zone);
+  const ZoneDescriptor d = device_->zone(ZoneId{meta_zone});
   std::vector<std::uint8_t> page(page_size_);
   std::vector<std::uint8_t> blob;
   std::uint8_t blob_type = 0;
@@ -954,7 +955,7 @@ Status ZoneFileSystem::LoadFromZone(std::uint32_t meta_zone, SimTime now) {
   bool saw_checkpoint = false;
 
   for (std::uint64_t p = 0; p < d.write_pointer; ++p) {
-    Result<SimTime> r = device_->Read(d.start_lba + p, 1, now, page);
+    Result<SimTime> r = device_->Read(Lba{d.start_lba + p}, 1, now, page);
     if (!r.ok()) {
       return r.status();
     }
@@ -1023,10 +1024,10 @@ Result<std::unique_ptr<ZoneFileSystem>> ZoneFileSystem::Mount(ZnsDevice* device,
   std::uint32_t chosen = kNoZone;
   std::vector<std::uint8_t> page(fs->page_size_);
   for (const std::uint32_t z : {kMetaZoneA, kMetaZoneB}) {
-    if (device->zone(z).write_pointer == 0) {
+    if (device->zone(ZoneId{z}).write_pointer == 0) {
       continue;
     }
-    Result<SimTime> r = device->Read(device->zone(z).start_lba, 1, now, page);
+    Result<SimTime> r = device->Read(Lba{device->zone(ZoneId{z}).start_lba}, 1, now, page);
     if (!r.ok()) {
       continue;
     }
@@ -1047,12 +1048,12 @@ Result<std::unique_ptr<ZoneFileSystem>> ZoneFileSystem::Mount(ZnsDevice* device,
   }
   BLOCKHEAD_RETURN_IF_ERROR(fs->LoadFromZone(chosen, now));
   fs->meta_zone_ = chosen;
-  fs->meta_seq_ = best_seq + device->zone(chosen).write_pointer + 1;
+  fs->meta_seq_ = best_seq + device->zone(ZoneId{chosen}).write_pointer + 1;
 
   // Discard the stale metadata zone (possibly left over from a crash mid-swap).
   const std::uint32_t other = (chosen == kMetaZoneA) ? kMetaZoneB : kMetaZoneA;
-  if (device->zone(other).write_pointer > 0) {
-    Result<SimTime> reset = device->ResetZone(other, now);
+  if (device->zone(ZoneId{other}).write_pointer > 0) {
+    Result<SimTime> reset = device->ResetZone(ZoneId{other}, now);
     if (!reset.ok() && reset.code() != ErrorCode::kZoneOffline) {
       return reset.status();
     }
@@ -1067,7 +1068,7 @@ Result<std::unique_ptr<ZoneFileSystem>> ZoneFileSystem::Mount(ZnsDevice* device,
   }
   for (std::uint32_t z = device->num_zones(); z > kFirstDataZone; --z) {
     const std::uint32_t zone = z - 1;
-    const ZoneDescriptor d = device->zone(zone);
+    const ZoneDescriptor d = device->zone(ZoneId{zone});
     switch (d.state) {
       case ZoneState::kEmpty:
         fs->free_zones_.push_back(zone);
@@ -1076,12 +1077,12 @@ Result<std::unique_ptr<ZoneFileSystem>> ZoneFileSystem::Mount(ZnsDevice* device,
       case ZoneState::kExplicitOpen:
       case ZoneState::kClosed: {
         if (d.write_pointer == 0) {
-          Result<SimTime> reset = device->ResetZone(zone, now);
+          Result<SimTime> reset = device->ResetZone(ZoneId{zone}, now);
           if (reset.ok()) {
             fs->free_zones_.push_back(zone);
           }
         } else {
-          (void)device->FinishZone(zone, now);
+          (void)device->FinishZone(ZoneId{zone}, now);
         }
         break;
       }

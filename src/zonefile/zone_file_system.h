@@ -162,7 +162,7 @@ class ZoneFileSystem {
   // Picks/refreshes the write frontier for a lifetime class. May trigger forced compaction.
   Result<std::uint32_t> FrontierFor(Lifetime hint, SimTime now);
   Result<std::uint32_t> AllocateZone(SimTime now);
-  bool IsFrontier(std::uint32_t zone) const;
+  bool IsFrontier(std::uint32_t zone_index) const;
 
   // One incremental compaction step: starts a victim if none is pending, relocates up to
   // `max_pages` live pages, and finalizes (journal + reset) when the victim is drained.
@@ -223,7 +223,7 @@ class ZoneFileSystem {
   int sampler_group_ = -1;  // Timeline group for free-space / WA gauges.
   // Application bytes accepted by Append, accumulated into the provenance ledger's domain
   // "<prefix>" as a link in the factorized-WA chain.
-  std::uint64_t* provenance_ingress_ = nullptr;
+  Bytes* provenance_ingress_ = nullptr;
   // stats_.gc_pages_copied at victim selection (per-cycle copy count for the kGcCycle event).
   std::uint64_t gc_cycle_copied_base_ = 0;
 };

@@ -14,10 +14,10 @@ Result<SimTime> ZoneFs::Append(std::uint32_t file, std::span<const std::uint8_t>
     return Status(ErrorCode::kInvalidArgument, "zonefs writes must be whole pages");
   }
   const std::uint32_t pages = static_cast<std::uint32_t>(data.size() / page_size);
-  const ZoneDescriptor d = device_->zone(file);
+  const ZoneDescriptor d = device_->zone(ZoneId{file});
   // The device enforces the rest (sequential-only, capacity, zone state); errors surface
   // unchanged, exactly as zonefs surfaces zone errors to applications.
-  return device_->Write(file, d.write_pointer, pages, now, data);
+  return device_->Write(ZoneId{file}, d.write_pointer, pages, now, data);
 }
 
 Result<SimTime> ZoneFs::Read(std::uint32_t file, std::uint64_t offset,
@@ -26,14 +26,14 @@ Result<SimTime> ZoneFs::Read(std::uint32_t file, std::uint64_t offset,
     return ErrorCode::kNotFound;
   }
   const std::uint32_t page_size = device_->page_size();
-  const ZoneDescriptor d = device_->zone(file);
+  const ZoneDescriptor d = device_->zone(ZoneId{file});
   if (offset + out.size() > d.write_pointer * page_size) {
     return ErrorCode::kOutOfRange;
   }
   if (offset % page_size != 0 || out.size() % page_size != 0) {
     return Status(ErrorCode::kInvalidArgument, "zonefs reads must be page-aligned");
   }
-  return device_->Read(d.start_lba + offset / page_size,
+  return device_->Read(Lba{d.start_lba + offset / page_size},
                        static_cast<std::uint32_t>(out.size() / page_size), now, out);
 }
 
@@ -41,21 +41,23 @@ Result<SimTime> ZoneFs::Truncate(std::uint32_t file, SimTime now) {
   if (file >= device_->num_zones()) {
     return ErrorCode::kNotFound;
   }
-  return device_->ResetZone(file, now);
+  return device_->ResetZone(ZoneId{file}, now);
 }
 
 Result<std::uint64_t> ZoneFs::Size(std::uint32_t file) const {
   if (file >= device_->num_zones()) {
     return ErrorCode::kNotFound;
   }
-  return device_->zone(file).write_pointer * static_cast<std::uint64_t>(device_->page_size());
+  return device_->zone(ZoneId{file}).write_pointer *
+         static_cast<std::uint64_t>(device_->page_size());
 }
 
 Result<std::uint64_t> ZoneFs::MaxSize(std::uint32_t file) const {
   if (file >= device_->num_zones()) {
     return ErrorCode::kNotFound;
   }
-  return device_->zone(file).capacity_pages * static_cast<std::uint64_t>(device_->page_size());
+  return device_->zone(ZoneId{file}).capacity_pages *
+         static_cast<std::uint64_t>(device_->page_size());
 }
 
 }  // namespace blockhead

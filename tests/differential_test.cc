@@ -56,16 +56,16 @@ TEST_P(SsdDifferentialTest, RandomOpsMatchReferenceModel) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint64_t roll = rng.NextBelow(10);
     if (roll < 5) {  // Write.
-      auto w = ssd.WriteBlocks(lba, 1, t, Page(tag));
+      auto w = ssd.WriteBlocks(Lba{lba}, 1, t, Page(tag));
       ASSERT_TRUE(w.ok());
       t = w.value();
       reference[lba] = tag++;
     } else if (roll < 7) {  // Trim.
-      ASSERT_TRUE(ssd.TrimBlocks(lba, 1, t).ok());
+      ASSERT_TRUE(ssd.TrimBlocks(Lba{lba}, 1, t).ok());
       reference.erase(lba);
     } else {  // Read + verify.
       std::vector<std::uint8_t> out(4096);
-      auto r = ssd.ReadBlocks(lba, 1, t, out);
+      auto r = ssd.ReadBlocks(Lba{lba}, 1, t, out);
       ASSERT_TRUE(r.ok());
       auto it = reference.find(lba);
       const std::vector<std::uint8_t> expect =
@@ -97,16 +97,16 @@ TEST_P(HostFtlDifferentialTest, RandomOpsMatchReferenceModel) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint64_t roll = rng.NextBelow(10);
     if (roll < 5) {
-      auto w = ftl.WriteBlocks(lba, 1, t, Page(tag));
+      auto w = ftl.WriteBlocks(Lba{lba}, 1, t, Page(tag));
       ASSERT_TRUE(w.ok()) << w.status().ToString();
       t = w.value();
       reference[lba] = tag++;
     } else if (roll < 7) {
-      ASSERT_TRUE(ftl.TrimBlocks(lba, 1, t).ok());
+      ASSERT_TRUE(ftl.TrimBlocks(Lba{lba}, 1, t).ok());
       reference.erase(lba);
     } else {
       std::vector<std::uint8_t> out(4096);
-      auto r = ftl.ReadBlocks(lba, 1, t, out);
+      auto r = ftl.ReadBlocks(Lba{lba}, 1, t, out);
       ASSERT_TRUE(r.ok());
       auto it = reference.find(lba);
       const std::vector<std::uint8_t> expect =

@@ -36,12 +36,12 @@ TEST(GeometryTest, InvalidGeometryRejected) {
 TEST(GeometryTest, FlatIndexRoundTrip) {
   const FlashGeometry g = FlashGeometry::Small();
   for (std::uint64_t flat = 0; flat < g.total_pages(); flat += 97) {
-    const PhysAddr a = AddrFromFlatPage(g, flat);
-    EXPECT_EQ(FlatPageIndex(g, a), flat);
-    EXPECT_LT(a.channel, g.channels);
-    EXPECT_LT(a.plane, g.planes_per_channel);
-    EXPECT_LT(a.block, g.blocks_per_plane);
-    EXPECT_LT(a.page, g.pages_per_block);
+    const PhysAddr a = AddrFromFlatPage(g, Ppa{flat});
+    EXPECT_EQ(FlatPageIndex(g, a).value(), flat);
+    EXPECT_LT(a.channel.value(), g.channels);
+    EXPECT_LT(a.plane.value(), g.planes_per_channel);
+    EXPECT_LT(a.block.value(), g.blocks_per_plane);
+    EXPECT_LT(a.page.value(), g.pages_per_block);
   }
 }
 
@@ -69,7 +69,7 @@ TEST(FlashDeviceTest, ProgramThenReadReturnsData) {
   FlashDevice dev(TestConfig());
   std::vector<std::uint8_t> data(4096);
   std::iota(data.begin(), data.end(), 0);
-  const PhysAddr a{0, 0, 0, 0};
+  const PhysAddr a{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}};
   auto w = dev.ProgramPage(a, 0, data);
   ASSERT_TRUE(w.ok());
   std::vector<std::uint8_t> out(4096, 0xFF);
@@ -81,27 +81,33 @@ TEST(FlashDeviceTest, ProgramThenReadReturnsData) {
 TEST(FlashDeviceTest, UnwrittenPageReadsZeroes) {
   FlashDevice dev(TestConfig());
   std::vector<std::uint8_t> out(4096, 0xFF);
-  auto r = dev.ReadPage({0, 0, 0, 5}, 0, out);
+  auto r = dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{5}}, 0, out);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(out, std::vector<std::uint8_t>(4096, 0));
 }
 
 TEST(FlashDeviceTest, OutOfRangeAddressRejected) {
   FlashDevice dev(TestConfig());
-  EXPECT_EQ(dev.ReadPage({9, 0, 0, 0}, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(dev.ProgramPage({0, 9, 0, 0}, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(dev.ProgramPage({0, 0, 999, 0}, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(dev.EraseBlock(0, 0, 999, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.ReadPage(PhysAddr{ChannelId{9}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{9}, BlockId{0}, PageId{0}},
+      0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{999}, PageId{0}},
+      0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{999}, 0).code(),
+            ErrorCode::kOutOfRange);
 }
 
 TEST(FlashDeviceTest, ProgramOrderEnforced) {
   FlashDevice dev(TestConfig());
   // Skipping ahead within a block is a program-order violation.
-  EXPECT_EQ(dev.ProgramPage({0, 0, 0, 1}, 0).code(), ErrorCode::kProgramOrderViolation);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0).ok());
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{1}},
+      0).code(), ErrorCode::kProgramOrderViolation);
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0).ok());
   // Rewriting an already-programmed page requires an erase.
-  EXPECT_EQ(dev.ProgramPage({0, 0, 0, 0}, 0).code(), ErrorCode::kEraseBeforeProgram);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 1}, 0).ok());
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0).code(), ErrorCode::kEraseBeforeProgram);
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{1}}, 0).ok());
 }
 
 TEST(FlashDeviceTest, EraseRecyclesBlock) {
@@ -109,20 +115,23 @@ TEST(FlashDeviceTest, EraseRecyclesBlock) {
   const FlashGeometry g = dev.geometry();
   SimTime t = 0;
   for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-    auto w = dev.ProgramPage({0, 0, 3, p}, t);
+    auto w = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{3}, PageId{p}}, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
   // Block full: next program fails.
-  EXPECT_EQ(dev.ProgramPage({0, 0, 3, 0}, t).code(), ErrorCode::kEraseBeforeProgram);
-  auto e = dev.EraseBlock(0, 0, 3, t);
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{3}, PageId{0}},
+      t).code(), ErrorCode::kEraseBeforeProgram);
+  auto e = dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{3}, t);
   ASSERT_TRUE(e.ok());
-  EXPECT_EQ(dev.block_status(0, 0, 3).erase_count, 1u);
-  EXPECT_EQ(dev.block_status(0, 0, 3).next_page, 0u);
+  EXPECT_EQ(dev.block_status(ChannelId{0}, PlaneId{0}, BlockId{3}).erase_count, 1u);
+  EXPECT_EQ(dev.block_status(ChannelId{0}, PlaneId{0}, BlockId{3}).next_page, 0u);
   // Reprogram from page 0 works, and the old data is gone.
   std::vector<std::uint8_t> out(4096, 0xFF);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 3, 0}, e.value()).ok());
-  ASSERT_TRUE(dev.ReadPage({0, 0, 3, 0}, e.value(), out).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{3}, PageId{0}},
+      e.value()).ok());
+  ASSERT_TRUE(dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{3}, PageId{0}},
+      e.value(), out).ok());
   EXPECT_EQ(out, std::vector<std::uint8_t>(4096, 0));
 }
 
@@ -130,8 +139,8 @@ TEST(FlashDeviceTest, TimingSerializesWithinPlane) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
   // Two programs to the same plane must serialize on the plane.
-  auto w1 = dev.ProgramPage({0, 0, 0, 0}, 0);
-  auto w2 = dev.ProgramPage({0, 0, 1, 0}, 0);
+  auto w1 = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0);
+  auto w2 = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{1}, PageId{0}}, 0);
   ASSERT_TRUE(w1.ok());
   ASSERT_TRUE(w2.ok());
   EXPECT_GE(w2.value(), w1.value() + c.timing.page_program);
@@ -140,8 +149,8 @@ TEST(FlashDeviceTest, TimingSerializesWithinPlane) {
 TEST(FlashDeviceTest, TimingParallelAcrossChannels) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
-  auto w1 = dev.ProgramPage({0, 0, 0, 0}, 0);
-  auto w2 = dev.ProgramPage({1, 0, 0, 0}, 0);
+  auto w1 = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0);
+  auto w2 = dev.ProgramPage(PhysAddr{ChannelId{1}, PlaneId{0}, BlockId{0}, PageId{0}}, 0);
   ASSERT_TRUE(w1.ok());
   ASSERT_TRUE(w2.ok());
   // Different channels: full overlap, completions within one op time of each other.
@@ -151,8 +160,8 @@ TEST(FlashDeviceTest, TimingParallelAcrossChannels) {
 TEST(FlashDeviceTest, TimingParallelAcrossPlanesSharesChannel) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
-  auto w1 = dev.ProgramPage({0, 0, 0, 0}, 0);
-  auto w2 = dev.ProgramPage({0, 1, 0, 0}, 0);
+  auto w1 = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0);
+  auto w2 = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{1}, BlockId{0}, PageId{0}}, 0);
   ASSERT_TRUE(w1.ok());
   ASSERT_TRUE(w2.ok());
   // Same channel: transfers serialize (one xfer offset), but cell programs overlap.
@@ -162,12 +171,12 @@ TEST(FlashDeviceTest, TimingParallelAcrossPlanesSharesChannel) {
 TEST(FlashDeviceTest, ReadWaitsForBusyPlane) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0).ok());
   // Erase occupies the plane...
-  auto e = dev.EraseBlock(0, 0, 1, 0);
+  auto e = dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{1}, 0);
   ASSERT_TRUE(e.ok());
   // ...so a read issued at t=0 to that plane completes only after the erase.
-  auto r = dev.ReadPage({0, 0, 0, 0}, 0);
+  auto r = dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0);
   ASSERT_TRUE(r.ok());
   EXPECT_GE(r.value(), e.value());
 }
@@ -175,10 +184,11 @@ TEST(FlashDeviceTest, ReadWaitsForBusyPlane) {
 TEST(FlashDeviceTest, InternalOpsSkipHostBus) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0).ok());
   const std::uint64_t bus_after_host = dev.stats().host_bus_bytes;
   EXPECT_EQ(bus_after_host, 4096u);
-  auto cp = dev.CopyPage({0, 0, 0, 0}, {0, 0, 1, 0}, 0);
+  auto cp = dev.CopyPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{1}, PageId{0}}, 0);
   ASSERT_TRUE(cp.ok());
   EXPECT_EQ(dev.stats().host_bus_bytes, bus_after_host);  // Unchanged.
   EXPECT_EQ(dev.stats().internal_pages_read, 1u);
@@ -189,10 +199,13 @@ TEST(FlashDeviceTest, InternalOpsSkipHostBus) {
 TEST(FlashDeviceTest, CopyPagePreservesData) {
   FlashDevice dev(TestConfig());
   std::vector<std::uint8_t> data(4096, 0xAB);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0, data).ok());
-  ASSERT_TRUE(dev.CopyPage({0, 0, 0, 0}, {1, 1, 5, 0}, 0).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0, data).ok());
+  ASSERT_TRUE(dev.CopyPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      PhysAddr{ChannelId{1}, PlaneId{1}, BlockId{5}, PageId{0}}, 0).ok());
   std::vector<std::uint8_t> out(4096);
-  ASSERT_TRUE(dev.ReadPage({1, 1, 5, 0}, 1 * kSecond, out).ok());
+  ASSERT_TRUE(dev.ReadPage(PhysAddr{ChannelId{1}, PlaneId{1}, BlockId{5}, PageId{0}},
+      1 * kSecond, out).ok());
   EXPECT_EQ(out, data);
 }
 
@@ -200,14 +213,16 @@ TEST(FlashDeviceTest, EnduranceExhaustionMarksBlockBad) {
   FlashConfig c = TestConfig();
   c.timing.endurance_cycles = 3;
   FlashDevice dev(c);
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  EXPECT_FALSE(dev.block_status(0, 0, 0).bad);
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  EXPECT_TRUE(dev.block_status(0, 0, 0).bad);
-  EXPECT_EQ(dev.ProgramPage({0, 0, 0, 0}, 0).code(), ErrorCode::kBlockBad);
-  EXPECT_EQ(dev.ReadPage({0, 0, 0, 0}, 0).code(), ErrorCode::kBlockBad);
-  EXPECT_EQ(dev.EraseBlock(0, 0, 0, 0).code(), ErrorCode::kBlockBad);
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  EXPECT_FALSE(dev.block_status(ChannelId{0}, PlaneId{0}, BlockId{0}).bad);
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  EXPECT_TRUE(dev.block_status(ChannelId{0}, PlaneId{0}, BlockId{0}).bad);
+  EXPECT_EQ(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0).code(), ErrorCode::kBlockBad);
+  EXPECT_EQ(dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0).code(), ErrorCode::kBlockBad);
+  EXPECT_EQ(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).code(), ErrorCode::kBlockBad);
   EXPECT_EQ(dev.ComputeWear().bad_blocks, 1u);
 }
 
@@ -215,16 +230,16 @@ TEST(FlashDeviceTest, EarlyFailureProbability) {
   FlashConfig c = TestConfig();
   c.early_failure_prob = 1.0;  // Every erase fails the block.
   FlashDevice dev(c);
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  EXPECT_TRUE(dev.block_status(0, 0, 0).bad);
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  EXPECT_TRUE(dev.block_status(ChannelId{0}, PlaneId{0}, BlockId{0}).bad);
 }
 
 TEST(FlashDeviceTest, StatsCountOps) {
   FlashDevice dev(TestConfig());
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0).ok());
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 1}, 0).ok());
-  ASSERT_TRUE(dev.ReadPage({0, 0, 0, 0}, 0).ok());
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{1}}, 0).ok());
+  ASSERT_TRUE(dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0).ok());
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
   const FlashStats& s = dev.stats();
   EXPECT_EQ(s.host_pages_programmed, 2u);
   EXPECT_EQ(s.host_pages_read, 1u);
@@ -235,9 +250,9 @@ TEST(FlashDeviceTest, StatsCountOps) {
 
 TEST(FlashDeviceTest, WearSummaryStatistics) {
   FlashDevice dev(TestConfig());
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  ASSERT_TRUE(dev.EraseBlock(0, 0, 0, 0).ok());
-  ASSERT_TRUE(dev.EraseBlock(1, 1, 5, 0).ok());
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
+  ASSERT_TRUE(dev.EraseBlock(ChannelId{1}, PlaneId{1}, BlockId{5}, 0).ok());
   const WearSummary w = dev.ComputeWear();
   EXPECT_EQ(w.min_erase_count, 0u);
   EXPECT_EQ(w.max_erase_count, 2u);
@@ -250,20 +265,21 @@ TEST(FlashDeviceTest, StoreDataOffReadsZeroes) {
   c.store_data = false;
   FlashDevice dev(c);
   std::vector<std::uint8_t> data(4096, 0x5A);
-  ASSERT_TRUE(dev.ProgramPage({0, 0, 0, 0}, 0, data).ok());
+  ASSERT_TRUE(dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}},
+      0, data).ok());
   std::vector<std::uint8_t> out(4096, 0xFF);
-  ASSERT_TRUE(dev.ReadPage({0, 0, 0, 0}, 0, out).ok());
+  ASSERT_TRUE(dev.ReadPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 0, out).ok());
   EXPECT_EQ(out, std::vector<std::uint8_t>(4096, 0));
 }
 
 TEST(FlashDeviceTest, PlaneBusyUntilAdvances) {
   FlashConfig c = TestConfig();
   FlashDevice dev(c);
-  EXPECT_EQ(dev.PlaneBusyUntil(0, 0), 0u);
-  auto w = dev.ProgramPage({0, 0, 0, 0}, 100);
+  EXPECT_EQ(dev.PlaneBusyUntil(ChannelId{0}, PlaneId{0}), 0u);
+  auto w = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}}, 100);
   ASSERT_TRUE(w.ok());
-  EXPECT_EQ(dev.PlaneBusyUntil(0, 0), w.value());
-  EXPECT_EQ(dev.PlaneBusyUntil(1, 0), 0u);
+  EXPECT_EQ(dev.PlaneBusyUntil(ChannelId{0}, PlaneId{0}), w.value());
+  EXPECT_EQ(dev.PlaneBusyUntil(ChannelId{1}, PlaneId{0}), 0u);
 }
 
 // Property sweep: filling a whole plane sequentially always succeeds and counts correctly,
@@ -279,7 +295,7 @@ TEST_P(FillPlaneTest, FillAndEraseWholePlane) {
   SimTime t = 0;
   for (std::uint32_t b = 0; b < g.blocks_per_plane; ++b) {
     for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
-      auto w = dev.ProgramPage({0, 0, b, p}, t);
+      auto w = dev.ProgramPage(PhysAddr{ChannelId{0}, PlaneId{0}, BlockId{b}, PageId{p}}, t);
       ASSERT_TRUE(w.ok()) << "block " << b << " page " << p;
       t = w.value();
     }
@@ -287,7 +303,7 @@ TEST_P(FillPlaneTest, FillAndEraseWholePlane) {
   EXPECT_EQ(dev.stats().host_pages_programmed,
             static_cast<std::uint64_t>(g.blocks_per_plane) * g.pages_per_block);
   for (std::uint32_t b = 0; b < g.blocks_per_plane; ++b) {
-    ASSERT_TRUE(dev.EraseBlock(0, 0, b, t).ok());
+    ASSERT_TRUE(dev.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{b}, t).ok());
   }
   EXPECT_EQ(dev.stats().blocks_erased, g.blocks_per_plane);
 }

@@ -54,10 +54,10 @@ TEST(ConventionalSsdTest, ZeroOpStillLeavesHardReserve) {
 TEST(ConventionalSsdTest, ReadYourWrite) {
   ConventionalSsd ssd(SmallFlash(), DefaultFtl());
   const auto data = Pattern(4096, 7);
-  auto w = ssd.WriteBlocks(42, 1, 0, data);
+  auto w = ssd.WriteBlocks(Lba{42}, 1, 0, data);
   ASSERT_TRUE(w.ok());
   std::vector<std::uint8_t> out(4096);
-  auto r = ssd.ReadBlocks(42, 1, w.value(), out);
+  auto r = ssd.ReadBlocks(Lba{42}, 1, w.value(), out);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(out, data);
 }
@@ -66,19 +66,19 @@ TEST(ConventionalSsdTest, OverwriteReturnsNewestData) {
   ConventionalSsd ssd(SmallFlash(), DefaultFtl());
   SimTime t = 0;
   for (std::uint8_t tag = 0; tag < 5; ++tag) {
-    auto w = ssd.WriteBlocks(10, 1, t, Pattern(4096, tag));
+    auto w = ssd.WriteBlocks(Lba{10}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
   std::vector<std::uint8_t> out(4096);
-  ASSERT_TRUE(ssd.ReadBlocks(10, 1, t, out).ok());
+  ASSERT_TRUE(ssd.ReadBlocks(Lba{10}, 1, t, out).ok());
   EXPECT_EQ(out, Pattern(4096, 4));
 }
 
 TEST(ConventionalSsdTest, UnwrittenLbaReadsZeros) {
   ConventionalSsd ssd(SmallFlash(), DefaultFtl());
   std::vector<std::uint8_t> out(4096, 0xEE);
-  auto r = ssd.ReadBlocks(100, 1, 0, out);
+  auto r = ssd.ReadBlocks(Lba{100}, 1, 0, out);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(out, std::vector<std::uint8_t>(4096, 0));
 }
@@ -86,9 +86,9 @@ TEST(ConventionalSsdTest, UnwrittenLbaReadsZeros) {
 TEST(ConventionalSsdTest, OutOfRangeRejected) {
   ConventionalSsd ssd(SmallFlash(), DefaultFtl());
   const std::uint64_t n = ssd.num_blocks();
-  EXPECT_EQ(ssd.WriteBlocks(n, 1, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(ssd.ReadBlocks(n - 1, 2, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(ssd.TrimBlocks(n, 1, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ssd.WriteBlocks(Lba{n}, 1, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ssd.ReadBlocks(Lba{n - 1}, 2, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ssd.TrimBlocks(Lba{n}, 1, 0).code(), ErrorCode::kOutOfRange);
 }
 
 TEST(ConventionalSsdTest, MultiPageWriteAndRead) {
@@ -97,10 +97,10 @@ TEST(ConventionalSsdTest, MultiPageWriteAndRead) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<std::uint8_t>(i * 31);
   }
-  auto w = ssd.WriteBlocks(5, 4, 0, data);
+  auto w = ssd.WriteBlocks(Lba{5}, 4, 0, data);
   ASSERT_TRUE(w.ok());
   std::vector<std::uint8_t> out(4 * 4096);
-  ASSERT_TRUE(ssd.ReadBlocks(5, 4, w.value(), out).ok());
+  ASSERT_TRUE(ssd.ReadBlocks(Lba{5}, 4, w.value(), out).ok());
   EXPECT_EQ(out, data);
 }
 
@@ -111,7 +111,7 @@ TEST(ConventionalSsdTest, SequentialFillHasUnitWriteAmplification) {
   for (std::uint64_t lba = 0; lba < ssd.num_blocks(); lba += 8) {
     const std::uint32_t n = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         8, ssd.num_blocks() - lba));
-    auto w = ssd.WriteBlocks(lba, n, t);
+    auto w = ssd.WriteBlocks(Lba{lba}, n, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -128,7 +128,7 @@ TEST(ConventionalSsdTest, RandomOverwritesTriggerGcAndAmplify) {
   const std::uint64_t n = ssd.num_blocks();
   // Write 3x the logical capacity randomly: device must GC.
   for (std::uint64_t i = 0; i < 3 * n; ++i) {
-    auto w = ssd.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -151,7 +151,7 @@ TEST(ConventionalSsdTest, MoreOverprovisioningMeansLessWriteAmplification) {
     SimTime t = 0;
     const std::uint64_t n = ssd.num_blocks();
     for (std::uint64_t i = 0; i < 4 * n; ++i) {
-      auto w = ssd.WriteBlocks(rng.NextBelow(n), 1, t);
+      auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
       ASSERT_TRUE(w.ok());
       t = w.value();
     }
@@ -172,12 +172,12 @@ TEST(ConventionalSsdTest, TrimReducesGcWork) {
     const std::uint64_t n = ssd.num_blocks();
     for (int round = 0; round < 4; ++round) {
       for (std::uint64_t i = 0; i < n; ++i) {
-        auto w = ssd.WriteBlocks(rng.NextBelow(n), 1, t);
+        auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
         EXPECT_TRUE(w.ok());
         t = w.value();
       }
       if (trim_between_rounds) {
-        EXPECT_TRUE(ssd.TrimBlocks(0, static_cast<std::uint32_t>(n / 2), t).ok());
+        EXPECT_TRUE(ssd.TrimBlocks(Lba{0}, static_cast<std::uint32_t>(n / 2), t).ok());
       }
     }
     return ssd.WriteAmplification();
@@ -197,7 +197,7 @@ TEST(ConventionalSsdTest, GcPreservesAllLiveData) {
   for (std::uint64_t i = 0; i < 2 * n; ++i) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint8_t tag = static_cast<std::uint8_t>(rng.Next());
-    auto w = ssd.WriteBlocks(lba, 1, t, Pattern(4096, tag));
+    auto w = ssd.WriteBlocks(Lba{lba}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok());
     t = w.value();
     truth[lba] = tag;
@@ -205,7 +205,7 @@ TEST(ConventionalSsdTest, GcPreservesAllLiveData) {
   ASSERT_GT(ssd.ftl_stats().gc_runs, 0u) << "test needs GC to actually run";
   std::vector<std::uint8_t> out(4096);
   for (const auto& [lba, tag] : truth) {
-    ASSERT_TRUE(ssd.ReadBlocks(lba, 1, t, out).ok());
+    ASSERT_TRUE(ssd.ReadBlocks(Lba{lba}, 1, t, out).ok());
     ASSERT_EQ(out, Pattern(4096, tag)) << "lba " << lba;
   }
   EXPECT_TRUE(ssd.CheckConsistency().ok());
@@ -224,16 +224,16 @@ TEST(ConventionalSsdTest, ForegroundGcDelaysColocatedReads) {
   SimTime t = 0;
   const std::uint64_t n = ssd.num_blocks();
 
-  auto idle_read = ssd.ReadBlocks(0, 1, 0);
+  auto idle_read = ssd.ReadBlocks(Lba{0}, 1, 0);
   ASSERT_TRUE(idle_read.ok());
   const SimTime idle_latency = idle_read.value();
 
   SimTime max_read_latency = 0;
   for (std::uint64_t i = 0; i < 3 * n; ++i) {
-    auto w = ssd.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok());
     if (i % 16 == 0) {
-      auto r = ssd.ReadBlocks(rng.NextBelow(n), 1, t);
+      auto r = ssd.ReadBlocks(Lba{rng.NextBelow(n)}, 1, t);
       ASSERT_TRUE(r.ok());
       max_read_latency = std::max(max_read_latency, r.value() - t);
     }
@@ -254,7 +254,7 @@ TEST(ConventionalSsdTest, BackgroundGcReducesForegroundStalls) {
     SimTime t = 0;
     const std::uint64_t n = ssd.num_blocks();
     for (std::uint64_t i = 0; i < 3 * n; ++i) {
-      auto w = ssd.WriteBlocks(rng.NextBelow(n), 1, t);
+      auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
       EXPECT_TRUE(w.ok());
       t = w.value();
       if (background && i % 8 == 0) {
@@ -281,12 +281,12 @@ TEST(ConventionalSsdTest, WearLevelingNarrowsEraseSpread) {
     SimTime t = 0;
     // Fill everything once (cold data), then hammer the hot set.
     for (std::uint64_t lba = 0; lba < n; ++lba) {
-      auto w = ssd.WriteBlocks(lba, 1, t);
+      auto w = ssd.WriteBlocks(Lba{lba}, 1, t);
       EXPECT_TRUE(w.ok());
       t = w.value();
     }
     for (std::uint64_t i = 0; i < 6 * n; ++i) {
-      auto w = ssd.WriteBlocks(rng.NextBelow(n / 10), 1, t);
+      auto w = ssd.WriteBlocks(Lba{rng.NextBelow(n / 10)}, 1, t);
       EXPECT_TRUE(w.ok());
       t = w.value();
     }
@@ -311,7 +311,7 @@ TEST(ConventionalSsdTest, WriteBufferAcksBeforeProgramCompletes) {
   FtlConfig f = DefaultFtl();
   f.write_buffer_pages = 64;
   ConventionalSsd ssd(fc, f);
-  auto w = ssd.WriteBlocks(0, 1, 0);
+  auto w = ssd.WriteBlocks(Lba{0}, 1, 0);
   ASSERT_TRUE(w.ok());
   // Ack at data-in (channel transfer), long before the ~660us cell program.
   EXPECT_LT(w.value(), fc.timing.page_program);
@@ -325,7 +325,7 @@ TEST(ConventionalSsdTest, WriteBufferBackpressuresWhenFull) {
   ConventionalSsd ssd(fc, f);
   SimTime last_ack = 0;
   for (int i = 0; i < 16; ++i) {
-    auto w = ssd.WriteBlocks(static_cast<std::uint64_t>(i), 1, 0);
+    auto w = ssd.WriteBlocks(Lba{static_cast<std::uint64_t>(i)}, 1, 0);
     ASSERT_TRUE(w.ok());
     last_ack = std::max(last_ack, w.value());
   }
@@ -345,7 +345,7 @@ TEST(ConventionalSsdTest, CostBenefitPolicyAlsoPreservesData) {
   for (std::uint64_t i = 0; i < 2 * n; ++i) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint8_t tag = static_cast<std::uint8_t>(rng.Next());
-    auto w = ssd.WriteBlocks(lba, 1, t, Pattern(4096, tag));
+    auto w = ssd.WriteBlocks(Lba{lba}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok());
     t = w.value();
     truth[lba] = tag;
@@ -353,7 +353,7 @@ TEST(ConventionalSsdTest, CostBenefitPolicyAlsoPreservesData) {
   EXPECT_GT(ssd.ftl_stats().gc_runs, 0u);
   std::vector<std::uint8_t> out(4096);
   for (const auto& [lba, tag] : truth) {
-    ASSERT_TRUE(ssd.ReadBlocks(lba, 1, t, out).ok());
+    ASSERT_TRUE(ssd.ReadBlocks(Lba{lba}, 1, t, out).ok());
     ASSERT_EQ(out, Pattern(4096, tag));
   }
   EXPECT_TRUE(ssd.CheckConsistency().ok());
@@ -375,10 +375,10 @@ TEST_P(OpSweepTest, ChurnKeepsInvariants) {
   for (std::uint64_t i = 0; i < 3 * n; ++i) {
     const std::uint64_t lba = rng.NextBelow(n);
     if (rng.NextBool(0.05)) {
-      ASSERT_TRUE(ssd.TrimBlocks(lba, 1, t).ok());
+      ASSERT_TRUE(ssd.TrimBlocks(Lba{lba}, 1, t).ok());
       continue;
     }
-    auto w = ssd.WriteBlocks(lba, 1, t);
+    auto w = ssd.WriteBlocks(Lba{lba}, 1, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }

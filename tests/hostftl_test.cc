@@ -49,12 +49,12 @@ TEST(HostFtlTest, ReadYourWriteAndOverwrite) {
   HostFtlBlockDevice ftl(&dev, HostFtlConfig{});
   SimTime t = 0;
   for (std::uint8_t tag = 0; tag < 4; ++tag) {
-    auto w = ftl.WriteBlocks(7, 1, t, Pattern(4096, tag));
+    auto w = ftl.WriteBlocks(Lba{7}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
   std::vector<std::uint8_t> out(4096);
-  ASSERT_TRUE(ftl.ReadBlocks(7, 1, t, out).ok());
+  ASSERT_TRUE(ftl.ReadBlocks(Lba{7}, 1, t, out).ok());
   EXPECT_EQ(out, Pattern(4096, 3));
 }
 
@@ -62,16 +62,16 @@ TEST(HostFtlTest, UnwrittenReadsZeros) {
   ZnsDevice dev(SmallFlash(), DeviceConfig());
   HostFtlBlockDevice ftl(&dev, HostFtlConfig{});
   std::vector<std::uint8_t> out(4096, 0xCC);
-  ASSERT_TRUE(ftl.ReadBlocks(3, 1, 0, out).ok());
+  ASSERT_TRUE(ftl.ReadBlocks(Lba{3}, 1, 0, out).ok());
   EXPECT_EQ(out, std::vector<std::uint8_t>(4096, 0));
 }
 
 TEST(HostFtlTest, OutOfRangeRejected) {
   ZnsDevice dev(SmallFlash(), DeviceConfig());
   HostFtlBlockDevice ftl(&dev, HostFtlConfig{});
-  EXPECT_EQ(ftl.WriteBlocks(ftl.num_blocks(), 1, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(ftl.ReadBlocks(ftl.num_blocks() - 1, 2, 0).code(), ErrorCode::kOutOfRange);
-  EXPECT_EQ(ftl.TrimBlocks(ftl.num_blocks(), 1, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ftl.WriteBlocks(Lba{ftl.num_blocks()}, 1, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ftl.ReadBlocks(Lba{ftl.num_blocks() - 1}, 2, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ftl.TrimBlocks(Lba{ftl.num_blocks()}, 1, 0).code(), ErrorCode::kOutOfRange);
 }
 
 TEST(HostFtlTest, ChurnPreservesAllData) {
@@ -84,7 +84,7 @@ TEST(HostFtlTest, ChurnPreservesAllData) {
   for (std::uint64_t i = 0; i < 3 * n; ++i) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint8_t tag = static_cast<std::uint8_t>(rng.Next());
-    auto w = ftl.WriteBlocks(lba, 1, t, Pattern(4096, tag));
+    auto w = ftl.WriteBlocks(Lba{lba}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok()) << w.status().ToString() << " at op " << i;
     t = w.value();
     truth[lba] = tag;
@@ -92,7 +92,7 @@ TEST(HostFtlTest, ChurnPreservesAllData) {
   ASSERT_GT(ftl.stats().gc_cycles, 0u) << "churn must trigger host GC";
   std::vector<std::uint8_t> out(4096);
   for (const auto& [lba, tag] : truth) {
-    ASSERT_TRUE(ftl.ReadBlocks(lba, 1, t, out).ok());
+    ASSERT_TRUE(ftl.ReadBlocks(Lba{lba}, 1, t, out).ok());
     ASSERT_EQ(out, Pattern(4096, tag)) << "lba " << lba;
   }
   EXPECT_TRUE(ftl.CheckConsistency().ok());
@@ -111,14 +111,14 @@ TEST(HostFtlTest, AppendModeAlsoPreservesData) {
   for (std::uint64_t i = 0; i < 2 * n; ++i) {
     const std::uint64_t lba = rng.NextBelow(n);
     const std::uint8_t tag = static_cast<std::uint8_t>(rng.Next());
-    auto w = ftl.WriteBlocks(lba, 1, t, Pattern(4096, tag));
+    auto w = ftl.WriteBlocks(Lba{lba}, 1, t, Pattern(4096, tag));
     ASSERT_TRUE(w.ok());
     t = w.value();
     truth[lba] = tag;
   }
   std::vector<std::uint8_t> out(4096);
   for (const auto& [lba, tag] : truth) {
-    ASSERT_TRUE(ftl.ReadBlocks(lba, 1, t, out).ok());
+    ASSERT_TRUE(ftl.ReadBlocks(Lba{lba}, 1, t, out).ok());
     ASSERT_EQ(out, Pattern(4096, tag));
   }
   EXPECT_GT(dev.stats().pages_appended, 0u);
@@ -138,7 +138,7 @@ TEST(HostFtlTest, SimpleCopyGcAvoidsHostBus) {
     SimTime t = 0;
     const std::uint64_t n = ftl.num_blocks();
     for (std::uint64_t i = 0; i < 3 * n; ++i) {
-      auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+      auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
       EXPECT_TRUE(w.ok());
       t = w.value();
     }
@@ -162,12 +162,12 @@ TEST(HostFtlTest, TrimFreesSpaceAndReducesGcWork) {
     const std::uint64_t n = ftl.num_blocks();
     for (int round = 0; round < 3; ++round) {
       for (std::uint64_t i = 0; i < n; ++i) {
-        auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+        auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
         EXPECT_TRUE(w.ok());
         t = w.value();
       }
       if (trim) {
-        EXPECT_TRUE(ftl.TrimBlocks(0, static_cast<std::uint32_t>(n / 2), t).ok());
+        EXPECT_TRUE(ftl.TrimBlocks(Lba{0}, static_cast<std::uint32_t>(n / 2), t).ok());
       }
     }
     return ftl.stats().gc_pages_copied;
@@ -189,7 +189,7 @@ TEST(HostFtlTest, PumpRunsBackgroundGc) {
   const std::uint64_t n = ftl.num_blocks();
   // Dirty most of the device.
   for (std::uint64_t i = 0; i < 2 * n; ++i) {
-    auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -212,7 +212,7 @@ TEST(HostFtlTest, ReadPriorityPumpDefersUnderReads) {
   SimTime t = 0;
   const std::uint64_t n = ftl.num_blocks();
   for (std::uint64_t i = 0; i < 2 * n; ++i) {
-    auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -236,10 +236,10 @@ TEST(HostFtlTest, MultiPageIo) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<std::uint8_t>(i * 7);
   }
-  auto w = ftl.WriteBlocks(100, 8, 0, data);
+  auto w = ftl.WriteBlocks(Lba{100}, 8, 0, data);
   ASSERT_TRUE(w.ok());
   std::vector<std::uint8_t> out(8 * 4096);
-  ASSERT_TRUE(ftl.ReadBlocks(100, 8, w.value(), out).ok());
+  ASSERT_TRUE(ftl.ReadBlocks(Lba{100}, 8, w.value(), out).ok());
   EXPECT_EQ(out, data);
 }
 
@@ -256,7 +256,7 @@ TEST(HostFtlTest, IncrementalGcResumesAcrossPumps) {
   SimTime t = 0;
   const std::uint64_t n = ftl.num_blocks();
   for (std::uint64_t i = 0; i < 3 * n; ++i) {
-    auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -283,7 +283,7 @@ TEST(HostFtlTest, OpportunisticGcSkipsNearlyLiveZones) {
   // Sequential fill only: every full zone is 100% live -> opportunistic GC has no victim.
   SimTime t = 0;
   for (std::uint64_t lba = 0; lba + 8 <= ftl.num_blocks(); lba += 8) {
-    auto w = ftl.WriteBlocks(lba, 8, t);
+    auto w = ftl.WriteBlocks(Lba{lba}, 8, t);
     ASSERT_TRUE(w.ok());
     t = w.value();
   }
@@ -306,7 +306,7 @@ TEST_P(HostFtlOpSweep, SustainedChurnStaysConsistent) {
   SimTime t = 0;
   const std::uint64_t n = ftl.num_blocks();
   for (std::uint64_t i = 0; i < 4 * n; ++i) {
-    auto w = ftl.WriteBlocks(rng.NextBelow(n), 1, t);
+    auto w = ftl.WriteBlocks(Lba{rng.NextBelow(n)}, 1, t);
     ASSERT_TRUE(w.ok()) << w.status().ToString();
     t = w.value();
   }

@@ -230,8 +230,8 @@ TEST(IntegrationTest, EnduranceExhaustionShrinksZnsStack) {
   // The device must show real wear damage.
   std::uint32_t offline = 0;
   for (std::uint32_t z = 0; z < device.num_zones(); ++z) {
-    if (device.zone(z).state == ZoneState::kOffline ||
-        device.zone(z).capacity_pages < device.zone_size_pages()) {
+    if (device.zone(ZoneId{z}).state == ZoneState::kOffline ||
+        device.zone(ZoneId{z}).capacity_pages < device.zone_size_pages()) {
       ++offline;
     }
   }

@@ -556,8 +556,8 @@ TEST_P(KvStoreTest, ManifestRollingReclaimsSpaceAndRecovers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, KvStoreTest, ::testing::Values(Backend::kBlock, Backend::kZns),
-                         [](const ::testing::TestParamInfo<Backend>& info) {
-                           return info.param == Backend::kBlock ? "BlockEnv" : "ZoneEnv";
+                         [](const ::testing::TestParamInfo<Backend>& param_info) {
+                           return param_info.param == Backend::kBlock ? "BlockEnv" : "ZoneEnv";
                          });
 
 TEST(KvLifetimeTest, LevelsMapToDistinctHints) {

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py (registered as the lint_rules ctest).
+
+Each rule is exercised directly on small in-memory fixtures: one snippet that must trigger
+the rule and a nearby negative that must not (the opt-outs and naming conventions are part
+of the contract). The header self-containment probe needs a compiler and is covered by
+running lint.py itself in ci.sh --lint; here the probe is skipped and the final test
+asserts the committed tree passes its own lint.
+"""
+
+import os
+import pathlib
+import sys
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint  # noqa: E402
+
+
+def findings_of(rule_fn, path, text, *extra):
+    return list(rule_fn(path, text.splitlines(), *extra))
+
+
+class WallClockRuleTest(unittest.TestCase):
+    def test_flags_system_clock(self):
+        out = findings_of(
+            lint.check_wall_clock,
+            os.path.join("src", "ftl", "x.cc"),
+            "auto t = std::chrono::system_clock::now();\n",
+        )
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0][2], "wall-clock")
+
+    def test_flags_time_header_include(self):
+        out = findings_of(
+            lint.check_wall_clock, os.path.join("src", "ftl", "x.cc"), "#include <ctime>\n")
+        self.assertEqual(len(out), 1)
+
+    def test_ignores_simtime_and_comment_mentions(self):
+        clean = "SimTime t{0};\n// runs synchronously with the event loop\n"
+        self.assertEqual(
+            findings_of(lint.check_wall_clock, os.path.join("src", "ftl", "x.cc"), clean), [])
+
+    def test_ignores_files_outside_src(self):
+        text = "auto t = std::chrono::steady_clock::now();\n"
+        self.assertEqual(
+            findings_of(lint.check_wall_clock, os.path.join("bench", "x.cc"), text), [])
+
+
+class CauseScopeRuleTest(unittest.TestCase):
+    PROGRAM = "dev->ProgramPage(addr, now);\n"
+
+    def test_flags_program_without_scope(self):
+        out = findings_of(lint.check_cause_scope, os.path.join("src", "kv", "x.cc"),
+                          self.PROGRAM)
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0][2], "cause-scope")
+
+    def test_scope_in_file_satisfies_rule(self):
+        text = "WriteProvenance::CauseScope scope(WriteCause::kLsmFlush);\n" + self.PROGRAM
+        self.assertEqual(
+            findings_of(lint.check_cause_scope, os.path.join("src", "kv", "x.cc"), text), [])
+
+    def test_passthrough_optout(self):
+        text = "// lint: provenance-passthrough -- host-commanded op\n" + self.PROGRAM
+        self.assertEqual(
+            findings_of(lint.check_cause_scope, os.path.join("src", "kv", "x.cc"), text), [])
+
+    def test_flash_layer_exempt(self):
+        self.assertEqual(
+            findings_of(lint.check_cause_scope, os.path.join("src", "flash", "x.cc"),
+                        self.PROGRAM), [])
+
+    def test_headers_exempt(self):
+        self.assertEqual(
+            findings_of(lint.check_cause_scope, os.path.join("src", "kv", "x.h"),
+                        self.PROGRAM), [])
+
+
+class NakedAddressRuleTest(unittest.TestCase):
+    def test_flags_naked_channel_and_block_params(self):
+        text = "void Erase(std::uint32_t channel, std::uint32_t block);\n"
+        out = findings_of(lint.check_naked_address_params,
+                          os.path.join("src", "flash", "x.h"), text)
+        self.assertEqual(len(out), 2)
+        self.assertIn("ChannelId", out[0][3])
+        self.assertIn("BlockId", out[1][3])
+
+    def test_flags_naked_lba_param(self):
+        text = "Result<SimTime> Read(std::uint64_t lba, SimTime now);\n"
+        out = findings_of(lint.check_naked_address_params,
+                          os.path.join("src", "zns", "x.h"), text)
+        self.assertEqual(len(out), 1)
+        self.assertIn("Lba", out[0][3])
+
+    def test_strong_types_and_index_names_pass(self):
+        text = ("void Erase(ChannelId channel, BlockId block);\n"
+                "void Drop(std::uint32_t zone_index);\n")
+        self.assertEqual(
+            findings_of(lint.check_naked_address_params,
+                        os.path.join("src", "flash", "x.h"), text), [])
+
+    def test_strong_id_header_exempt(self):
+        text = "void F(std::uint32_t channel);\n"
+        self.assertEqual(
+            findings_of(lint.check_naked_address_params,
+                        os.path.join("src", "core", "strong_id.h"), text), [])
+
+
+class FormatRuleTest(unittest.TestCase):
+    def test_flags_tabs_trailing_ws_long_lines(self):
+        text = "\tint x;\nint y;  \n" + "z" * 101 + "\n"
+        out = findings_of(lint.check_format, os.path.join("src", "core", "x.h"), text, text)
+        self.assertEqual(sorted(f[3].split(" ")[0] for f in out),
+                         ["line", "tab", "trailing"])
+
+    def test_missing_final_newline(self):
+        out = findings_of(lint.check_format, os.path.join("src", "core", "x.h"),
+                          "int x;", "int x;")
+        self.assertEqual(len(out), 1)
+        self.assertIn("newline", out[0][3])
+
+    def test_clean_file_passes(self):
+        self.assertEqual(
+            findings_of(lint.check_format, os.path.join("src", "core", "x.h"),
+                        "int x;\n", "int x;\n"), [])
+
+
+class CommentStringHelperTest(unittest.TestCase):
+    def test_comment_and_string_are_masked(self):
+        self.assertTrue(lint.is_comment_or_string("// std::chrono::system_clock", 10))
+        self.assertTrue(lint.is_comment_or_string('auto s = "system_clock here";', 12))
+        self.assertFalse(lint.is_comment_or_string("auto t = my_clock();", 10))
+
+
+class SelfScanTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        """The committed tree must pass its own lint (sans compiler probe)."""
+        rc = lint.main(["--root", str(REPO_ROOT), "--skip-probe"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -69,7 +69,7 @@ TEST(ProvenanceTest, ScopeStackNestsAndToleratesNull) {
   EXPECT_EQ(p.current_cause(), WriteCause::kHostWrite);
 
   // Direct recording lands in the innermost scope's cell.
-  WriteProvenance::DeviceLedger* ledger = p.RegisterDevice("dev", 8, 100, 4096);
+  WriteProvenance::DeviceLedger* ledger = p.RegisterDevice("dev", 8, 100, Bytes{4096});
   {
     WriteProvenance::CauseScope gc(&p, WriteCause::kDeviceGC, StackLayer::kFtl);
     p.RecordProgram(ledger, /*host_op=*/false, 10);
@@ -97,7 +97,7 @@ TEST(ProvenanceTest, ConventionalGcAndWearMigrationAttribution) {
   SimTime t = 0;
   const std::uint64_t logical = ssd.num_blocks();
   for (std::uint64_t i = 0; i < logical * 3; ++i) {
-    auto w = ssd.WriteBlocks(rng.NextBelow(logical), 1, t);
+    auto w = ssd.WriteBlocks(Lba{rng.NextBelow(logical)}, 1, t);
     ASSERT_TRUE(w.ok()) << w.status().ToString();
     t = std::max(t, w.value());
   }
@@ -183,7 +183,7 @@ TEST(ProvenanceTest, HostFtlReclaimAttribution) {
   SimTime t = 0;
   const std::uint64_t logical = block.num_blocks();
   for (std::uint64_t i = 0; i < logical * 3; ++i) {
-    auto w = block.WriteBlocks(rng.NextBelow(logical), 1, t);
+    auto w = block.WriteBlocks(Lba{rng.NextBelow(logical)}, 1, t);
     ASSERT_TRUE(w.ok()) << w.status().ToString();
     t = std::max(t, w.value());
     block.Pump(t, false, 1);
@@ -197,7 +197,7 @@ TEST(ProvenanceTest, HostFtlReclaimAttribution) {
   ExpectFactorizationIdentity(tel.provenance, {"emul"}, "zns.flash");
 
   // The chain's domain counter matches the layer's own accounting exactly.
-  EXPECT_EQ(tel.provenance.DomainBytes("emul"),
+  EXPECT_EQ(tel.provenance.DomainBytes("emul").value(),
             block.stats().host_pages_written * device.page_size());
 }
 
@@ -304,7 +304,7 @@ TEST(ProvenanceTest, SameSeedLedgerDumpsAreByteIdentical) {
     SimTime t = 0;
     const std::uint64_t logical = block.num_blocks();
     for (std::uint64_t i = 0; i < logical * 2; ++i) {
-      auto w = block.WriteBlocks(rng.NextBelow(logical), 1, t);
+      auto w = block.WriteBlocks(Lba{rng.NextBelow(logical)}, 1, t);
       EXPECT_TRUE(w.ok());
       t = std::max(t, w.value());
       block.Pump(t, false, 1);

@@ -278,7 +278,7 @@ TEST(MultiStreamTest, StreamsSeparateLifetimesAndCutWa) {
       } else {
         lba = cold_space + rng.NextBelow(n - cold_space);
       }
-      auto w = ssd.WriteBlocksStream(lba, 1, is_cold ? 1 : 0, t);
+      auto w = ssd.WriteBlocksStream(Lba{lba}, 1, is_cold ? 1 : 0, t);
       EXPECT_TRUE(w.ok());
       t = w.value();
     }
@@ -297,12 +297,12 @@ TEST(MultiStreamTest, StreamIdsClampAndPreserveData) {
   ConventionalSsd ssd(SmallFlash(), ftl);
   std::vector<std::uint8_t> a(4096, 1);
   std::vector<std::uint8_t> b(4096, 2);
-  ASSERT_TRUE(ssd.WriteBlocksStream(0, 1, 0, 0, a).ok());
-  ASSERT_TRUE(ssd.WriteBlocksStream(1, 1, 99, 0, b).ok());  // Clamped to stream 1.
+  ASSERT_TRUE(ssd.WriteBlocksStream(Lba{0}, 1, 0, 0, a).ok());
+  ASSERT_TRUE(ssd.WriteBlocksStream(Lba{1}, 1, 99, 0, b).ok());  // Clamped to stream 1.
   std::vector<std::uint8_t> out(4096);
-  ASSERT_TRUE(ssd.ReadBlocks(0, 1, 0, out).ok());
+  ASSERT_TRUE(ssd.ReadBlocks(Lba{0}, 1, 0, out).ok());
   EXPECT_EQ(out, a);
-  ASSERT_TRUE(ssd.ReadBlocks(1, 1, 0, out).ok());
+  ASSERT_TRUE(ssd.ReadBlocks(Lba{1}, 1, 0, out).ok());
   EXPECT_EQ(out, b);
   EXPECT_TRUE(ssd.CheckConsistency().ok());
 }

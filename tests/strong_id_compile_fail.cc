@@ -1,0 +1,74 @@
+// Compile-fail suite for the strong ID / quantity types: each EXPECT_FAIL_n block is a
+// distinct address-mixup bug that MUST be rejected by the compiler. The harness
+// (tests/compile_fail_test.sh, registered as the strong_id_compile_fail ctest) compiles
+// this file once per case with -DEXPECT_FAIL_n and asserts the compiler errors out, and
+// once with no case defined and asserts it compiles cleanly (so a broken baseline cannot
+// masquerade as passing failures).
+
+#include <cstdint>
+
+#include "src/core/strong_id.h"
+
+namespace blockhead {
+
+// Stand-in for a physical-op signature: argument order is enforced by type.
+inline std::uint64_t Erase(ChannelId c, PlaneId p, BlockId b) {
+  return c.value() + p.value() + b.value();
+}
+
+inline int Use() {
+  ChannelId channel{1};
+  PlaneId plane{2};
+  BlockId block{3};
+  Lba lba{4};
+  Ppa ppa{5};
+  Bytes bytes{6};
+  Pages pages{7};
+
+#ifdef EXPECT_FAIL_1
+  // Cross-ID assignment: a plane is not a channel.
+  channel = plane;
+#endif
+
+#ifdef EXPECT_FAIL_2
+  // Implicit construction from a raw integer: address spaces are opt-in.
+  ChannelId implicit = 1;
+  (void)implicit;
+#endif
+
+#ifdef EXPECT_FAIL_3
+  // Swapped argument order: (plane, channel, block) instead of (channel, plane, block).
+  (void)Erase(plane, channel, block);
+#endif
+
+#ifdef EXPECT_FAIL_4
+  // Logical/physical confusion: an LBA is not a physical page address.
+  lba = Lba{ppa};
+#endif
+
+#ifdef EXPECT_FAIL_5
+  // Adding two addresses is meaningless (ID + distance and ID - ID are the only forms).
+  (void)(lba + Lba{1});
+#endif
+
+#ifdef EXPECT_FAIL_6
+  // Unit mismatch: bytes and pages only convert through PagesToBytes/BytesToPagesCeil.
+  (void)(bytes + pages);
+#endif
+
+#ifdef EXPECT_FAIL_7
+  // Narrowing brace-construction: a 64-bit value cannot silently become a 32-bit zone id.
+  std::uint64_t wide = 1;
+  (void)ZoneId{wide};
+#endif
+
+#ifdef EXPECT_FAIL_8
+  // A zone id is not interchangeable with a flash block id, even explicitly.
+  block = BlockId{ZoneId{1}};
+#endif
+
+  return static_cast<int>(Erase(channel, plane, block) + lba.value() + ppa.value() +
+                          bytes.value() + pages.value());
+}
+
+}  // namespace blockhead

@@ -1,0 +1,107 @@
+// Unit tests for the strong ID / quantity types: construction, comparison, hashing,
+// arithmetic, checked-overflow behavior, and the named unit conversions. The negative space
+// — what must NOT compile — is proven by tests/strong_id_compile_fail.cc via the
+// strong_id_compile_fail ctest harness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/strong_id.h"
+
+namespace blockhead {
+namespace {
+
+TEST(StrongIdTest, ConstructionAndValue) {
+  constexpr ChannelId c{3};
+  static_assert(c.value() == 3u);
+  EXPECT_EQ(Lba{}.value(), 0u);  // Default: zero.
+  EXPECT_EQ(Ppa{7}.value(), 7u);
+}
+
+TEST(StrongIdTest, ComparisonIsTotalOrder) {
+  EXPECT_EQ(BlockId{4}, BlockId{4});
+  EXPECT_NE(BlockId{4}, BlockId{5});
+  EXPECT_LT(BlockId{4}, BlockId{5});
+  EXPECT_GE(BlockId{5}, BlockId{5});
+  static_assert(ZoneId{1} < ZoneId{2});
+}
+
+TEST(StrongIdTest, IncrementAndOffsetArithmetic) {
+  Lba lba{10};
+  EXPECT_EQ((++lba).value(), 11u);
+  EXPECT_EQ((lba++).value(), 11u);
+  EXPECT_EQ(lba.value(), 12u);
+  EXPECT_EQ((lba + 8).value(), 20u);
+  EXPECT_EQ((lba - 2).value(), 10u);
+  // ID - ID -> integer distance, not an ID.
+  const std::uint64_t distance = Lba{20} - Lba{12};
+  EXPECT_EQ(distance, 8u);
+}
+
+TEST(StrongIdTest, OffsetWidensSmallerIntegers) {
+  // Lba's representation is uint64; adding a uint32 offset must widen, not truncate.
+  const std::uint32_t small_offset = 5;
+  EXPECT_EQ((Lba{1} + small_offset).value(), 6u);
+}
+
+TEST(StrongIdTest, HashMatchesRepresentation) {
+  EXPECT_EQ(std::hash<PageId>{}(PageId{42}), std::hash<std::uint32_t>{}(42u));
+  std::unordered_set<ZoneId> zones{ZoneId{1}, ZoneId{2}, ZoneId{1}};
+  EXPECT_EQ(zones.size(), 2u);
+  std::unordered_map<Lba, int> map;
+  map[Lba{9}] = 1;
+  EXPECT_EQ(map.count(Lba{9}), 1u);
+  EXPECT_EQ(map.count(Lba{10}), 0u);
+}
+
+TEST(StrongIdTest, StreamInsertionPrintsValue) {
+  std::ostringstream os;
+  os << ChannelId{2} << "/" << Lba{17};
+  EXPECT_EQ(os.str(), "2/17");
+}
+
+TEST(QuantityTest, ArithmeticGroup) {
+  EXPECT_EQ((Bytes{4096} + Bytes{4096}).value(), 8192u);
+  EXPECT_EQ((Bytes{8192} - Bytes{4096}).value(), 4096u);
+  EXPECT_EQ((Pages{3} * 4).value(), 12u);
+  EXPECT_EQ((4 * Pages{3}).value(), 12u);
+  Bytes b{10};
+  b += Bytes{5};
+  b -= Bytes{3};
+  EXPECT_EQ(b.value(), 12u);
+}
+
+TEST(QuantityTest, ComparisonAndHash) {
+  EXPECT_LT(Bytes{1}, Bytes{2});
+  EXPECT_EQ(Pages{7}, Pages{7});
+  EXPECT_EQ(std::hash<Bytes>{}(Bytes{99}), std::hash<std::uint64_t>{}(99u));
+}
+
+TEST(QuantityTest, OverflowAborts) {
+  const Bytes max{~0ULL};
+  EXPECT_DEATH((void)(max + Bytes{1}), "overflow in operator\\+");
+  EXPECT_DEATH((void)(Bytes{0} - Bytes{1}), "overflow in operator-");
+  EXPECT_DEATH((void)(max * 2), "overflow in operator\\*");
+}
+
+TEST(QuantityTest, NamedUnitConversions) {
+  EXPECT_EQ(PagesToBytes(Pages{3}, 4096).value(), 3u * 4096);
+  EXPECT_EQ(BytesToPagesCeil(Bytes{1}, 4096).value(), 1u);
+  EXPECT_EQ(BytesToPagesCeil(Bytes{4096}, 4096).value(), 1u);
+  EXPECT_EQ(BytesToPagesCeil(Bytes{4097}, 4096).value(), 2u);
+  EXPECT_EQ(BytesToPagesCeil(Bytes{0}, 4096).value(), 0u);
+}
+
+TEST(StrongIdTest, ZeroOverheadRepresentation) {
+  static_assert(sizeof(ChannelId) == sizeof(std::uint32_t));
+  static_assert(sizeof(Lba) == sizeof(std::uint64_t));
+  static_assert(sizeof(Bytes) == sizeof(std::uint64_t));
+  static_assert(std::is_trivially_copyable_v<Lba>);
+  static_assert(std::is_trivially_destructible_v<Bytes>);
+}
+
+}  // namespace
+}  // namespace blockhead

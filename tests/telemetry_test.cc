@@ -162,13 +162,13 @@ TEST(FlashTelemetryTest, HostReadBehindEraseChargesGcTime) {
   FlashDevice flash(SmallFlash());
   flash.AttachTelemetry(&tel, "flash");
 
-  PhysAddr addr{/*channel=*/0, /*plane=*/0, /*block=*/0, /*page=*/0};
+  PhysAddr addr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}};
   ASSERT_TRUE(flash.ProgramPage(addr, 0).ok());
-  const SimTime t0 = flash.PlaneBusyUntil(0, 0);
+  const SimTime t0 = flash.PlaneBusyUntil(ChannelId{0}, PlaneId{0});
 
   // Start maintenance (an erase of another block on the same plane), then issue a host read
   // while the plane is still busy erasing.
-  ASSERT_TRUE(flash.EraseBlock(0, 0, /*block=*/1, t0).ok());
+  ASSERT_TRUE(flash.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{1}, t0).ok());
   Tracer::Span span = tel.tracer.Start("probe", t0);
   Result<SimTime> read = flash.ReadPage(addr, t0);
   ASSERT_TRUE(read.ok());
@@ -188,9 +188,9 @@ TEST(FlashTelemetryTest, HostReadBehindHostProgramChargesQueueTime) {
   FlashDevice flash(SmallFlash());
   flash.AttachTelemetry(&tel, "flash");
 
-  PhysAddr addr{0, 0, 0, 0};
+  PhysAddr addr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}};
   ASSERT_TRUE(flash.ProgramPage(addr, 0).ok());
-  PhysAddr next{0, 0, 0, 1};
+  PhysAddr next{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{1}};
   ASSERT_TRUE(flash.ProgramPage(next, 0).ok());  // Plane busy with host work.
 
   Tracer::Span span = tel.tracer.Start("probe", 0);
@@ -206,10 +206,10 @@ TEST(FlashTelemetryTest, ProviderExportsStatsAndWear) {
   Telemetry tel;
   FlashDevice flash(SmallFlash());
   flash.AttachTelemetry(&tel, "flash");
-  PhysAddr addr{0, 0, 0, 0};
+  PhysAddr addr{ChannelId{0}, PlaneId{0}, BlockId{0}, PageId{0}};
   ASSERT_TRUE(flash.ProgramPage(addr, 0).ok());
   ASSERT_TRUE(flash.ReadPage(addr, 0).ok());
-  ASSERT_TRUE(flash.EraseBlock(0, 0, 0, 0).ok());
+  ASSERT_TRUE(flash.EraseBlock(ChannelId{0}, PlaneId{0}, BlockId{0}, 0).ok());
 
   (void)tel.registry.Snapshot();  // Runs the provider.
   EXPECT_EQ(tel.registry.GetCounter("flash.host_pages_programmed")->value(), 1u);
@@ -229,12 +229,12 @@ std::string RunSsdAndDump(const char* bench_name) {
   ssd.AttachTelemetry(&tel, "conv");
   SimTime t = 0;
   for (std::uint64_t i = 0; i < 400; ++i) {
-    Result<SimTime> done = ssd.WriteBlocks((i * 37) % ssd.num_blocks(), 1, t);
+    Result<SimTime> done = ssd.WriteBlocks(Lba{(i * 37) % ssd.num_blocks()}, 1, t);
     EXPECT_TRUE(done.ok());
     t = done.value();
   }
   for (std::uint64_t i = 0; i < 100; ++i) {
-    Result<SimTime> done = ssd.ReadBlocks((i * 53) % ssd.num_blocks(), 1, t);
+    Result<SimTime> done = ssd.ReadBlocks(Lba{(i * 53) % ssd.num_blocks()}, 1, t);
     EXPECT_TRUE(done.ok());
     t = done.value();
   }

@@ -339,14 +339,14 @@ StackArtifacts RunMatchedStacks(std::uint64_t seed) {
     ssd.AttachTelemetry(&tel, "conv");
     SimTime t = 0;
     for (std::uint64_t lba = 0; lba < ssd.num_blocks(); ++lba) {
-      auto w = ssd.WriteBlocks(lba, 1, t);
+      auto w = ssd.WriteBlocks(Lba{lba}, 1, t);
       if (w.ok()) {
         t = std::max(t, w.value());
       }
     }
     Rng rng(seed);
     for (std::uint64_t i = 0; i < 2 * ssd.num_blocks(); ++i) {
-      auto w = ssd.WriteBlocks(rng.NextBelow(ssd.num_blocks()), 1, t);
+      auto w = ssd.WriteBlocks(Lba{rng.NextBelow(ssd.num_blocks())}, 1, t);
       if (w.ok()) {
         t = std::max(t, w.value());
       }
@@ -363,7 +363,7 @@ StackArtifacts RunMatchedStacks(std::uint64_t seed) {
     SimTime t = 0;
     Rng rng(seed + 1);
     for (std::uint64_t i = 0; i < 3 * ftl.num_blocks(); ++i) {
-      auto w = ftl.WriteBlocks(rng.NextBelow(ftl.num_blocks()), 1, t);
+      auto w = ftl.WriteBlocks(Lba{rng.NextBelow(ftl.num_blocks())}, 1, t);
       if (w.ok()) {
         t = std::max(t, w.value());
       }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: project lint, format check, and (when installed) clang-tidy.
+#
+#   tools/check.sh            # lint + format; clang-tidy if available
+#   tools/check.sh --no-tidy  # lint + format only
+#
+# The container this repo builds in has g++ and python3 but not always clang-format or
+# clang-tidy, so both are availability-gated: the committed .clang-format / .clang-tidy
+# configs apply wherever those tools exist, and tools/lint.py carries fallback format rules
+# (tabs, trailing whitespace, 100-column limit, final newline) that always run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+if [[ "${1:-}" == "--no-tidy" ]]; then
+  run_tidy=0
+fi
+
+echo "=== project lint (tools/lint.py) ==="
+python3 tools/lint.py
+
+if command -v clang-format > /dev/null 2>&1; then
+  echo "=== clang-format check ==="
+  mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+    'examples/*.cpp')
+  clang-format --dry-run --Werror "${files[@]}"
+else
+  echo "clang-format not installed; lint.py format rules served as the fallback"
+fi
+
+if [[ "$run_tidy" == 1 ]] && command -v clang-tidy > /dev/null 2>&1; then
+  echo "=== clang-tidy (diff-aware) ==="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # Diff-aware: only files changed relative to the merge base with main; falls back to the
+  # whole tree when the merge base is unavailable (fresh clone of a single commit).
+  base=$(git merge-base HEAD origin/main 2> /dev/null || git merge-base HEAD main \
+    2> /dev/null || true)
+  if [[ -n "$base" ]]; then
+    mapfile -t changed < <(git diff --name-only "$base" -- 'src/**/*.cc' 'src/**/*.h')
+  else
+    mapfile -t changed < <(git ls-files 'src/**/*.cc')
+  fi
+  if [[ "${#changed[@]}" -gt 0 ]]; then
+    clang-tidy -p build --warnings-as-errors='*' "${changed[@]}"
+  else
+    echo "no changed src/ files to tidy"
+  fi
+elif [[ "$run_tidy" == 1 ]]; then
+  echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
+fi
+
+echo "check.sh: all static-analysis checks passed"

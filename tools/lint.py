@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Project lint for the blockhead repo.
+
+Enforces invariants that the compiler cannot (or that we want flagged before it does):
+
+  wall-clock     src/ must stay deterministic: no std::chrono clocks, time(), gettimeofday,
+                 clock_gettime, localtime/gmtime/strftime, or <chrono>/<ctime> includes.
+                 Simulated time (SimTime) is the only clock.
+  cause-scope    Any src/ file (outside src/flash/, which implements the recording) that
+                 calls FlashDevice::ProgramPage or ::EraseBlock must open a
+                 WriteProvenance::CauseScope, so write-provenance attribution stays
+                 conserved. Pass-through layers whose flash ops are host-commanded (the
+                 attribution belongs to the command issuer's scope) may opt out with a
+                 `lint: provenance-passthrough` comment explaining why.
+  naked-address  No raw `uint32_t channel/plane/block/page` or `uint64_t lba/ppa`
+                 function parameters outside src/core/strong_id.h: address-like arguments
+                 must use the strong ID types so swapped arguments cannot compile. Raw
+                 dense-table *indexes* are fine when named `*_index` / `*_offset`.
+  self-contained Every header in src/ must compile on its own (include-what-you-use probe:
+                 a TU containing only `#include "<header>"`).
+  format         No tabs, no trailing whitespace, lines <= 100 columns, final newline.
+                 (Fallback formatter checks for machines without clang-format.)
+
+Usage:
+  tools/lint.py [--root DIR] [--skip-probe] [files...]
+
+With no file arguments, lints the whole tree (src/, tests/, bench/, tools/, examples/).
+Exits 1 if any finding is reported. Findings print as `path:line: [rule] message`.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+FORMAT_DIRS = ("src", "tests", "bench", "tools", "examples")
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+MAX_COLUMNS = 100
+
+# Determinism: the simulation must produce byte-identical output for a given seed, so
+# wall-clock access in src/ is banned outright.
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"), "std::chrono clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\b(localtime|gmtime|strftime|mktime)(_r)?\s*\("), "calendar-time call"),
+    (re.compile(r"(^|[^\w.:])std::time\s*\("), "std::time()"),
+    (re.compile(r"(^|[^\w.:])time\s*\(\s*(NULL|nullptr|0|&)"), "time()"),
+    (re.compile(r"#include\s*<(chrono|ctime|time\.h|sys/time\.h)>"), "wall-clock header"),
+]
+
+PROVENANCE_CALL_RE = re.compile(r"[.\->]\s*(ProgramPage|EraseBlock)\s*\(")
+PROVENANCE_OPTOUT = "lint: provenance-passthrough"
+
+# Address-like parameter names that must be strong types in signatures. Raw dense-table
+# indexes stay allowed under `*_index` / `*_offset` / `*_count` style names.
+NAKED_PARAM_RE = re.compile(
+    r"\b(?:std::)?uint32_t\s+(channel|plane|block|page|zone)\s*[,)]"
+    r"|\b(?:std::)?uint64_t\s+(lba|ppa)\s*[,)]"
+)
+
+
+def is_comment_or_string(line, pos):
+    """Cheap check: is `pos` inside a // comment or a string literal on this line?"""
+    comment = line.find("//")
+    if 0 <= comment <= pos:
+        return True
+    return line.count('"', 0, pos) % 2 == 1
+
+
+def check_wall_clock(path, lines):
+    if not path.startswith("src" + os.sep):
+        return
+    for i, line in enumerate(lines, 1):
+        for pattern, label in WALL_CLOCK_PATTERNS:
+            m = pattern.search(line)
+            if m and not is_comment_or_string(line, m.start()):
+                yield (path, i, "wall-clock", f"{label} breaks simulation determinism; "
+                       "use SimTime")
+
+
+def check_cause_scope(path, lines):
+    if not path.startswith("src" + os.sep) or path.startswith(os.path.join("src", "flash")):
+        return
+    if not path.endswith(".cc"):
+        return
+    text = "\n".join(lines)
+    if PROVENANCE_OPTOUT in text:
+        return
+    if "CauseScope" in text:
+        return
+    for i, line in enumerate(lines, 1):
+        m = PROVENANCE_CALL_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            yield (path, i, "cause-scope",
+                   f"{m.group(1)}() caller must open a WriteProvenance::CauseScope (or "
+                   f"document pass-through attribution with `{PROVENANCE_OPTOUT}`)")
+
+
+def check_naked_address_params(path, lines):
+    if not path.startswith("src" + os.sep):
+        return
+    if path == os.path.join("src", "core", "strong_id.h"):
+        return
+    for i, line in enumerate(lines, 1):
+        for m in NAKED_PARAM_RE.finditer(line):
+            if is_comment_or_string(line, m.start()):
+                continue
+            name = m.group(1) or m.group(2)
+            strong = {"channel": "ChannelId", "plane": "PlaneId", "block": "BlockId",
+                      "page": "PageId", "zone": "ZoneId", "lba": "Lba", "ppa": "Ppa"}[name]
+            yield (path, i, "naked-address",
+                   f"raw integer parameter `{name}` — use {strong} (src/core/strong_id.h)")
+
+
+def check_format(path, lines, raw_text):
+    for i, line in enumerate(lines, 1):
+        if "\t" in line:
+            yield (path, i, "format", "tab character (use spaces)")
+        if line != line.rstrip():
+            yield (path, i, "format", "trailing whitespace")
+        if len(line) > MAX_COLUMNS:
+            yield (path, i, "format", f"line is {len(line)} columns (max {MAX_COLUMNS})")
+    if raw_text and not raw_text.endswith("\n"):
+        yield (path, len(lines), "format", "missing final newline")
+
+
+def check_headers_self_contained(root, headers, compiler):
+    """Probe-compiles each header alone; a header that needs prior includes fails."""
+    findings = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for header in headers:
+            probe = os.path.join(tmp, "probe.cc")
+            with open(probe, "w") as f:
+                f.write(f'#include "{header}"\n')
+            result = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only", "-I", root, probe],
+                capture_output=True, text=True)
+            if result.returncode != 0:
+                first = result.stderr.strip().splitlines()
+                detail = first[0] if first else "compile failed"
+                findings.append((header, 1, "self-contained",
+                                 f"header does not compile alone: {detail}"))
+    return findings
+
+
+def iter_files(root, explicit):
+    if explicit:
+        for path in explicit:
+            yield os.path.relpath(path, root) if os.path.isabs(path) else path
+        return
+    for base in FORMAT_DIRS:
+        base_dir = os.path.join(root, base)
+        if not os.path.isdir(base_dir):
+            continue
+        for dirpath, _, names in os.walk(base_dir):
+            for name in sorted(names):
+                if name.endswith(CXX_EXTENSIONS) or name.endswith((".py", ".sh")):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def lint_file(root, rel_path):
+    full = os.path.join(root, rel_path)
+    try:
+        with open(full, encoding="utf-8") as f:
+            raw_text = f.read()
+    except (OSError, UnicodeDecodeError) as err:
+        return [(rel_path, 1, "io", str(err))]
+    lines = raw_text.splitlines()
+    findings = []
+    findings.extend(check_format(rel_path, lines, raw_text))
+    if rel_path.endswith(CXX_EXTENSIONS):
+        findings.extend(check_wall_clock(rel_path, lines))
+        findings.extend(check_cause_scope(rel_path, lines))
+        findings.extend(check_naked_address_params(rel_path, lines))
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), help="repository root (default: parent of tools/)")
+    parser.add_argument("--skip-probe", action="store_true",
+                        help="skip the header self-containment probe compile")
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"),
+                        help="compiler for the header probe (default: $CXX or c++)")
+    parser.add_argument("files", nargs="*", help="lint only these files")
+    args = parser.parse_args(argv)
+
+    findings = []
+    for rel_path in iter_files(args.root, args.files):
+        findings.extend(lint_file(args.root, rel_path))
+
+    if not args.skip_probe and not args.files:
+        if shutil.which(args.compiler):
+            headers = [p for p in iter_files(args.root, None)
+                       if p.startswith("src" + os.sep) and p.endswith(".h")]
+            findings.extend(check_headers_self_contained(args.root, headers, args.compiler))
+        else:
+            print(f"lint.py: note: compiler `{args.compiler}` not found; "
+                  "skipping header probe", file=sys.stderr)
+
+    findings.sort()
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
