@@ -49,10 +49,23 @@ benches=(
   "bench_lifetime_hints 3"
   "bench_multistream 3"
   "bench_block_emulation 23"
+  "bench_fleet 42"
 )
 
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
+
+# Fail fast with a clear message when a bench binary is missing (a stale build tree would
+# otherwise die mid-suite on a confusing exec error, or silently drop metrics from the
+# baseline if the loop were ever made lenient).
+for entry in "${benches[@]}"; do
+  read -r bench _ <<< "$entry"
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "run_suite.sh: FAIL — missing bench binary $build_dir/bench/$bench;" \
+         "rebuild first (cmake --build build)" >&2
+    exit 1
+  fi
+done
 
 for entry in "${benches[@]}"; do
   read -r bench seed <<< "$entry"

@@ -127,7 +127,8 @@ with open(sys.argv[1]) as f:
             values[rec["metric"]] = rec["value"]
 
 causes = ("host_write", "device_gc", "wear_migration", "block_emulation_reclaim",
-          "zone_compaction", "lsm_flush", "lsm_compaction", "cache_eviction", "padding")
+          "zone_compaction", "lsm_flush", "lsm_compaction", "cache_eviction", "padding",
+          "fleet_migration")
 devices = {m[len("provenance."):-len(".programs.total")]
            for m in values if m.startswith("provenance.") and m.endswith(".programs.total")}
 assert devices, "no provenance.<device>.programs.total rows in --json output"
@@ -183,6 +184,48 @@ assert totals, "no device sections in ledger dump"
 assert saw_domain, "no domain lines in ledger dump"
 print(f"smoke: provenance ok ({len(devices)} devices, {len(wa_prefixes)} WA chains, "
       f"ledger {len(lines)} lines)")
+PY
+
+  echo "=== smoke: fleet bench JSON schema + same-seed determinism ==="
+  build/bench/bench_fleet --json "$smoke_dir/fleet.json" > /dev/null
+  build/bench/bench_fleet --json "$smoke_dir/fleet_again.json" > /dev/null
+  cmp "$smoke_dir/fleet.json" "$smoke_dir/fleet_again.json"
+  python3 - "$smoke_dir/fleet.json" <<'PY'
+import json, sys
+
+# bench_fleet --json schema: per-configuration fleet rows (admission, migration, wear, the
+# three WA gauges), merged cross-device latency histograms, and per-shard tail gauges. The
+# factorization identity e2e = replication x device WA must hold on the serialized gauges.
+values = {}
+hists = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if "value" in rec:
+            values[rec["metric"]] = rec["value"]
+        else:
+            hists[rec["metric"]] = rec
+
+prefixes = {m[:-len(".end_to_end_wa")] for m in values if m.endswith(".end_to_end_wa")}
+assert prefixes, "no fleet end_to_end_wa rows in --json output"
+for p in sorted(prefixes):
+    for metric in ("device_wa", "replication_factor", "wear.skew",
+                   "admission.admitted", "migration.pages_copied"):
+        assert f"{p}.{metric}" in values, f"missing {p}.{metric}"
+    e2e = values[f"{p}.end_to_end_wa"]
+    product = values[f"{p}.replication_factor"] * values[f"{p}.device_wa"]
+    assert abs(product - e2e) <= 1e-3 * max(1.0, e2e), \
+        f"{p}: replication x device WA = {product} != end-to-end {e2e}"
+    assert f"{p}.read.latency_ns" in hists, f"missing merged {p}.read.latency_ns"
+    assert f"{p}.shard00.p99_ns" in values, f"missing per-shard tails for {p}"
+
+eight = [p for p in prefixes if p == "wa.n08"]
+assert eight, "no 8-device fleet configuration in --json output"
+rebalanced = [p for p in prefixes if p.endswith(".rb1")]
+assert rebalanced, "no rebalancing-on ablation rows in --json output"
+assert any(values[f"{p}.migration.completed"] > 0 for p in rebalanced), \
+    "rebalancing-on ablations completed no migrations"
+print(f"smoke: fleet ok ({len(prefixes)} configurations, byte-identical reruns)")
 PY
 fi
 

@@ -94,6 +94,11 @@ using PageId = StrongId<struct PageIdTag, std::uint32_t>;
 // Zone index within a zoned namespace (src/zns).
 using ZoneId = StrongId<struct ZoneIdTag, std::uint32_t>;
 
+// Shard index in the fleet layer (src/fleet). Shards are routed onto devices, so a shard
+// index and a device index live side by side in the same code — keeping ShardId strong means
+// a shard used where a device ordinal (or zone) was meant cannot compile.
+using ShardId = StrongId<struct ShardIdTag, std::uint32_t>;
+
 // Logical block address: the host-visible flat page-granularity address space exported by
 // BlockDevice and by ZnsDevice reads. Never interchangeable with a physical page number.
 using Lba = StrongId<struct LbaTag, std::uint64_t>;

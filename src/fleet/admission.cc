@@ -1,0 +1,83 @@
+#include "src/fleet/admission.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blockhead {
+
+const char* AdmissionDecisionName(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kShedRate:
+      return "shed_rate";
+    case AdmissionDecision::kShedQueue:
+      return "shed_queue";
+  }
+  return "unknown";
+}
+
+ShardAdmission::ShardAdmission(const AdmissionConfig& config, std::uint32_t num_shards)
+    : config_(config) {
+  shards_.resize(num_shards);
+  for (ShardState& state : shards_) {
+    state.tokens = static_cast<double>(config_.burst_pages);
+  }
+}
+
+void ShardAdmission::Refill(ShardState* state, SimTime now) const {
+  if (config_.tokens_per_second == 0 || now <= state->last_refill) {
+    state->last_refill = std::max(state->last_refill, now);
+    return;
+  }
+  const double elapsed_sec =
+      static_cast<double>(now - state->last_refill) / static_cast<double>(kSecond);
+  state->tokens = std::min(
+      static_cast<double>(config_.burst_pages),
+      state->tokens + elapsed_sec * static_cast<double>(config_.tokens_per_second));
+  state->last_refill = now;
+}
+
+AdmissionDecision ShardAdmission::Admit(ShardId shard, SimTime now, std::uint64_t pages,
+                                        bool is_write) {
+  assert(shard.value() < shards_.size());
+  ShardState& state = shards_[shard.value()];
+  if (!config_.enabled) {
+    ++state.admitted;
+    ++state.outstanding;
+    ++total_admitted_;
+    return AdmissionDecision::kAdmit;
+  }
+  if (config_.max_queue_depth != 0 && state.outstanding >= config_.max_queue_depth) {
+    ++state.shed_queue;
+    ++total_shed_queue_;
+    return AdmissionDecision::kShedQueue;
+  }
+  if (is_write && config_.tokens_per_second != 0) {
+    Refill(&state, now);
+    if (state.tokens < static_cast<double>(pages)) {
+      ++state.shed_rate;
+      ++total_shed_rate_;
+      return AdmissionDecision::kShedRate;
+    }
+    state.tokens -= static_cast<double>(pages);
+  }
+  ++state.admitted;
+  ++state.outstanding;
+  ++total_admitted_;
+  return AdmissionDecision::kAdmit;
+}
+
+void ShardAdmission::RecordCompletion(ShardId shard) {
+  assert(shard.value() < shards_.size());
+  ShardState& state = shards_[shard.value()];
+  assert(state.outstanding > 0 && "completion without a matching admit");
+  --state.outstanding;
+}
+
+std::uint32_t ShardAdmission::outstanding(ShardId shard) const {
+  assert(shard.value() < shards_.size());
+  return shards_[shard.value()].outstanding;
+}
+
+}  // namespace blockhead

@@ -1,0 +1,87 @@
+// Per-shard admission control: a token bucket (sustained write-page rate with a burst
+// allowance) plus a queue-depth cap on outstanding ops, both enforced *before* an op is
+// issued to a device.
+//
+// Admission exists so one hot shard cannot monopolize its replica devices and drag the tail
+// of every co-located shard: an over-rate or over-depth request is shed at the fleet edge
+// (cheap, counted) instead of queuing behind the device (expensive, invisible). Sheds are
+// reported per shard and in total so benches can plot shed rate against offered load.
+//
+// Everything runs on SimTime: the bucket refills as a pure function of the issue timestamp,
+// and queue depth is maintained by the caller reporting completion times — no wall clock, no
+// background refill thread, deterministic for a fixed op sequence.
+
+#ifndef BLOCKHEAD_SRC_FLEET_ADMISSION_H_
+#define BLOCKHEAD_SRC_FLEET_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/strong_id.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+
+struct AdmissionConfig {
+  bool enabled = true;
+  // Token bucket, in pages. A write for k pages consumes k tokens; reads are exempt from the
+  // rate limit (they cost no flash endurance) but still count against queue depth.
+  std::uint64_t tokens_per_second = 0;  // 0 = unlimited rate.
+  std::uint64_t burst_pages = 256;      // Bucket capacity; also the initial fill.
+  // Outstanding (issued, not yet completed) ops allowed per shard. 0 = unlimited.
+  std::uint32_t max_queue_depth = 64;
+};
+
+// Why a request was admitted or shed.
+enum class AdmissionDecision {
+  kAdmit,
+  kShedRate,   // Token bucket empty (write rate above the sustained+burst budget).
+  kShedQueue,  // Shard already has max_queue_depth ops outstanding.
+};
+
+const char* AdmissionDecisionName(AdmissionDecision decision);
+
+class ShardAdmission {
+ public:
+  ShardAdmission(const AdmissionConfig& config, std::uint32_t num_shards);
+
+  // Decides whether an op for `pages` pages may issue on `shard` at time `now`. On kAdmit the
+  // tokens are consumed (writes only) and the op is counted outstanding; the caller MUST later
+  // call RecordCompletion(shard) exactly once. On a shed nothing is consumed or counted.
+  AdmissionDecision Admit(ShardId shard, SimTime now, std::uint64_t pages, bool is_write);
+
+  // Marks one previously admitted op on `shard` complete, freeing its queue-depth slot.
+  void RecordCompletion(ShardId shard);
+
+  std::uint32_t outstanding(ShardId shard) const;
+  std::uint64_t admitted(ShardId shard) const { return shards_[shard.value()].admitted; }
+  std::uint64_t shed_rate(ShardId shard) const { return shards_[shard.value()].shed_rate; }
+  std::uint64_t shed_queue(ShardId shard) const { return shards_[shard.value()].shed_queue; }
+
+  std::uint64_t total_admitted() const { return total_admitted_; }
+  std::uint64_t total_shed_rate() const { return total_shed_rate_; }
+  std::uint64_t total_shed_queue() const { return total_shed_queue_; }
+  std::uint64_t total_shed() const { return total_shed_rate_ + total_shed_queue_; }
+
+ private:
+  struct ShardState {
+    double tokens = 0.0;          // Fractional pages; refilled lazily from last_refill.
+    SimTime last_refill{0};
+    std::uint32_t outstanding = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_queue = 0;
+  };
+
+  void Refill(ShardState* state, SimTime now) const;
+
+  AdmissionConfig config_;
+  std::vector<ShardState> shards_;
+  std::uint64_t total_admitted_ = 0;
+  std::uint64_t total_shed_rate_ = 0;
+  std::uint64_t total_shed_queue_ = 0;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLEET_ADMISSION_H_

@@ -1,0 +1,671 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "src/telemetry/aggregate.h"
+
+namespace blockhead {
+
+namespace {
+
+// Zero-padded instrument-name fragments so registry order matches numeric order past 9.
+std::string DeviceLabel(std::uint32_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "dev%02u", index);
+  return buf;
+}
+
+std::string ShardLabel(std::uint32_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard%02u", index);
+  return buf;
+}
+
+}  // namespace
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kConventional:
+      return "conventional";
+    case DeviceKind::kZns:
+      return "zns";
+  }
+  return "unknown";
+}
+
+FleetConfig FleetConfig::Mixed(std::uint32_t num_devices, double zns_fraction,
+                               std::uint64_t seed, bool store_data) {
+  FleetConfig config;
+  config.router.seed = seed;
+  config.rebalancer.plan_interval = 100 * kMicrosecond;
+  for (std::uint32_t i = 0; i < num_devices; ++i) {
+    FleetDeviceConfig dev;
+    // Heterogeneous geometries: alternate 64/48 erasure blocks per plane so devices differ in
+    // capacity (and therefore in utilization and GC pressure) without differing in page size.
+    dev.flash.geometry.channels = 2;
+    dev.flash.geometry.planes_per_channel = 2;
+    dev.flash.geometry.blocks_per_plane = (i % 2 == 0) ? 64 : 48;
+    dev.flash.geometry.pages_per_block = 32;
+    dev.flash.geometry.page_size = 4096;
+    dev.flash.timing = FlashTiming::FastForTests();
+    // Finite budget so endurance projections (and thus the rebalancer) have signal.
+    dev.flash.timing.endurance_cycles = 3000;
+    dev.flash.store_data = store_data;
+    dev.flash.seed = seed + i;
+    // Even spread of ZNS devices across the ordinal range (Bresenham-style).
+    const auto zns_before = static_cast<std::uint64_t>(zns_fraction * i + 1e-9);
+    const auto zns_after = static_cast<std::uint64_t>(zns_fraction * (i + 1) + 1e-9);
+    if (zns_after > zns_before) {
+      dev.kind = DeviceKind::kZns;
+      dev.hostftl.op_fraction = 0.20;
+    } else {
+      dev.kind = DeviceKind::kConventional;
+      dev.ftl.op_fraction = 0.20;
+    }
+    config.devices.push_back(dev);
+  }
+  return config;
+}
+
+Fleet::Fleet(const FleetConfig& config)
+    : config_(config),
+      router_(
+          [&config] {
+            RouterConfig r = config.router;
+            // A shard cannot replicate across more devices than exist.
+            r.replicas = std::min<std::uint32_t>(
+                std::max<std::uint32_t>(r.replicas, 1),
+                static_cast<std::uint32_t>(config.devices.size()));
+            return r;
+          }(),
+          static_cast<std::uint32_t>(config.devices.size())),
+      admission_(config.admission, config.router.num_shards),
+      rebalancer_(config.rebalancer) {
+  assert(!config_.devices.empty() && "a fleet needs at least one device");
+  config_.router = router_.config();  // Keep the clamped replica count visible.
+  BuildDevices();
+  PlaceShards();
+  shard_inflight_.resize(config_.router.num_shards);
+  shard_latency_.resize(config_.router.num_shards);
+  shard_write_pages_.assign(config_.router.num_shards, 0);
+  copy_buffer_.resize(static_cast<std::size_t>(config_.migration_chunk_pages) * page_size());
+}
+
+Fleet::~Fleet() {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+}
+
+void Fleet::BuildDevices() {
+  devices_.reserve(config_.devices.size());
+  for (const FleetDeviceConfig& dev_config : config_.devices) {
+    auto dev = std::make_unique<FleetDevice>();
+    dev->kind = dev_config.kind;
+    dev->telemetry = std::make_unique<Telemetry>();
+    if (dev_config.kind == DeviceKind::kConventional) {
+      dev->conv = std::make_unique<ConventionalSsd>(dev_config.flash, dev_config.ftl);
+      dev->conv->AttachTelemetry(dev->telemetry.get(), "dev");
+      dev->block = dev->conv.get();
+      dev->ledger_name = "dev.flash";
+    } else {
+      dev->zns = std::make_unique<ZnsDevice>(dev_config.flash, dev_config.zns);
+      dev->zns->AttachTelemetry(dev->telemetry.get(), "dev.zns");
+      dev->hostftl = std::make_unique<HostFtlBlockDevice>(dev->zns.get(), dev_config.hostftl);
+      dev->hostftl->AttachTelemetry(dev->telemetry.get(), "dev");
+      dev->block = dev->hostftl.get();
+      dev->ledger_name = "dev.zns.flash";
+    }
+    const std::uint64_t slots = dev->block->num_blocks() / config_.shard_pages;
+    dev->slot_used.assign(static_cast<std::size_t>(slots), false);
+    dev->read_latency = dev->telemetry->registry.GetHistogram("host.read.latency_ns");
+    dev->write_latency = dev->telemetry->registry.GetHistogram("host.write.latency_ns");
+    devices_.push_back(std::move(dev));
+  }
+  for (const auto& dev : devices_) {
+    assert(dev->block->block_size() == devices_[0]->block->block_size() &&
+           "fleet devices must share a logical block size");
+    (void)dev;
+  }
+}
+
+std::uint32_t Fleet::AllocateSlot(FleetDevice* device) {
+  for (std::size_t i = 0; i < device->slot_used.size(); ++i) {
+    if (!device->slot_used[i]) {
+      device->slot_used[i] = true;
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  assert(false && "fleet device has no free shard slot");
+  return 0;
+}
+
+void Fleet::PlaceShards() {
+  const std::uint32_t replicas = config_.router.replicas;
+  placement_.resize(static_cast<std::size_t>(config_.router.num_shards) * replicas);
+  for (std::uint32_t s = 0; s < config_.router.num_shards; ++s) {
+    const std::vector<std::uint32_t> prefs = router_.PreferenceOrder(ShardId{s});
+    std::uint32_t placed = 0;
+    for (std::uint32_t device_index : prefs) {
+      if (placed == replicas) {
+        break;
+      }
+      FleetDevice* dev = devices_[device_index].get();
+      const bool has_free =
+          std::find(dev->slot_used.begin(), dev->slot_used.end(), false) != dev->slot_used.end();
+      if (!has_free) {
+        continue;  // Capacity-aware: skip full devices and keep walking the ring.
+      }
+      placement_[static_cast<std::size_t>(s) * replicas + placed] =
+          ShardPlacement{device_index, AllocateSlot(dev)};
+      ++placed;
+    }
+    assert(placed == replicas && "fleet lacks capacity to place every shard replica");
+    (void)placed;
+  }
+}
+
+std::uint32_t Fleet::page_size() const { return devices_[0]->block->block_size(); }
+
+Telemetry* Fleet::device_telemetry(std::uint32_t device_index) {
+  return devices_[device_index]->telemetry.get();
+}
+
+MetricRegistry* Fleet::device_registry(std::uint32_t device_index) {
+  return &devices_[device_index]->telemetry->registry;
+}
+
+const std::string& Fleet::device_ledger_name(std::uint32_t device_index) const {
+  return devices_[device_index]->ledger_name;
+}
+
+DeviceKind Fleet::device_kind(std::uint32_t device_index) const {
+  return devices_[device_index]->kind;
+}
+
+std::span<const ShardPlacement> Fleet::placement(ShardId shard) const {
+  const std::uint32_t replicas = config_.router.replicas;
+  return std::span<const ShardPlacement>(
+      placement_.data() + static_cast<std::size_t>(shard.value()) * replicas, replicas);
+}
+
+void Fleet::DrainCompletions(SimTime now) {
+  for (const auto& dev : devices_) {
+    auto& q = dev->inflight;
+    q.erase(std::remove_if(q.begin(), q.end(), [now](SimTime t) { return t <= now; }), q.end());
+  }
+  for (std::uint32_t s = 0; s < shard_inflight_.size(); ++s) {
+    auto& q = shard_inflight_[s];
+    const std::size_t before = q.size();
+    q.erase(std::remove_if(q.begin(), q.end(), [now](SimTime t) { return t <= now; }), q.end());
+    for (std::size_t i = q.size(); i < before; ++i) {
+      admission_.RecordCompletion(ShardId{s});
+    }
+  }
+}
+
+bool Fleet::DeviceHoldsShard(std::uint32_t device_index, ShardId shard) const {
+  for (const ShardPlacement& p : placement(shard)) {
+    if (p.device_index == device_index) {
+      return true;
+    }
+  }
+  if (migration_.active && migration_.shard == shard &&
+      migration_.target_device == device_index) {
+    return true;
+  }
+  return false;
+}
+
+Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
+                            std::span<std::uint8_t> out) {
+  if (count == 0 || lba.value() + count > num_pages()) {
+    return ErrorCode::kOutOfRange;
+  }
+  const std::uint64_t offset = lba.value() % config_.shard_pages;
+  if (offset + count > config_.shard_pages) {
+    return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
+  }
+  const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
+  DrainCompletions(issue);
+  const AdmissionDecision decision = admission_.Admit(shard, issue, count, /*is_write=*/false);
+  if (decision != AdmissionDecision::kAdmit) {
+    return Status(ErrorCode::kBusy, AdmissionDecisionName(decision));
+  }
+  const std::span<const ShardPlacement> replicas = placement(shard);
+  std::vector<std::uint32_t> replica_devices;
+  replica_devices.reserve(replicas.size());
+  for (const ShardPlacement& p : replicas) {
+    replica_devices.push_back(p.device_index);
+  }
+  std::vector<std::uint32_t> pending(devices_.size(), 0);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    pending[d] = static_cast<std::uint32_t>(devices_[d]->inflight.size());
+  }
+  const std::uint32_t pick = router_.PickReadReplica(shard, replica_devices, pending);
+  const ShardPlacement& p = replicas[pick];
+  FleetDevice* dev = devices_[p.device_index].get();
+  const Lba dev_lba{static_cast<std::uint64_t>(p.slot_index) * config_.shard_pages + offset};
+  Result<SimTime> done = dev->block->ReadBlocks(dev_lba, count, issue, out);
+  if (!done.ok()) {
+    admission_.RecordCompletion(shard);
+    return done;
+  }
+  const SimTime completion = done.value();
+  const SimTime latency = completion > issue ? completion - issue : 0;
+  dev->read_latency->Record(latency);
+  dev->inflight.push_back(completion);
+  shard_inflight_[shard.value()].push_back(completion);
+  shard_latency_[shard.value()].Record(latency);
+  stats_.app_reads++;
+  stats_.app_pages_read += count;
+  return completion;
+}
+
+Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
+                             std::span<const std::uint8_t> data) {
+  if (count == 0 || lba.value() + count > num_pages()) {
+    return ErrorCode::kOutOfRange;
+  }
+  const std::uint64_t offset = lba.value() % config_.shard_pages;
+  if (offset + count > config_.shard_pages) {
+    return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
+  }
+  const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
+  DrainCompletions(issue);
+  const AdmissionDecision decision = admission_.Admit(shard, issue, count, /*is_write=*/true);
+  if (decision != AdmissionDecision::kAdmit) {
+    return Status(ErrorCode::kBusy, AdmissionDecisionName(decision));
+  }
+  SimTime completion = issue;
+  for (const ShardPlacement& p : placement(shard)) {
+    FleetDevice* dev = devices_[p.device_index].get();
+    const Lba dev_lba{static_cast<std::uint64_t>(p.slot_index) * config_.shard_pages + offset};
+    Result<SimTime> done = dev->block->WriteBlocks(dev_lba, count, issue, data);
+    if (!done.ok()) {
+      admission_.RecordCompletion(shard);
+      return done;
+    }
+    const SimTime replica_done = done.value();
+    dev->write_latency->Record(replica_done > issue ? replica_done - issue : 0);
+    dev->inflight.push_back(replica_done);
+    completion = std::max(completion, replica_done);
+  }
+  // Mirror foreground writes into an in-flight migration target so the copied shard image
+  // stays consistent with live data. Attributed to the migration, not the application.
+  if (migration_.active && migration_.shard == shard) {
+    FleetDevice* dst = devices_[migration_.target_device].get();
+    const Lba dst_lba{static_cast<std::uint64_t>(migration_.target_slot) * config_.shard_pages +
+                      offset};
+    WriteProvenance::CauseScope scope(ProvenanceOf(dst->telemetry.get()),
+                                      WriteCause::kFleetMigration, StackLayer::kFleet);
+    Result<SimTime> done = dst->block->WriteBlocks(dst_lba, count, issue, data);
+    if (done.ok()) {
+      stats_.dual_write_pages += count;
+      dst->inflight.push_back(done.value());
+      completion = std::max(completion, done.value());
+    }
+  }
+  shard_inflight_[shard.value()].push_back(completion);
+  const SimTime latency = completion > issue ? completion - issue : 0;
+  shard_latency_[shard.value()].Record(latency);
+  stats_.app_writes++;
+  stats_.app_pages_written += count;
+  shard_write_pages_[shard.value()] += count;
+  return completion;
+}
+
+Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
+  if (count == 0 || lba.value() + count > num_pages()) {
+    return ErrorCode::kOutOfRange;
+  }
+  const std::uint64_t offset = lba.value() % config_.shard_pages;
+  if (offset + count > config_.shard_pages) {
+    return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
+  }
+  const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
+  SimTime completion = issue;
+  for (const ShardPlacement& p : placement(shard)) {
+    FleetDevice* dev = devices_[p.device_index].get();
+    const Lba dev_lba{static_cast<std::uint64_t>(p.slot_index) * config_.shard_pages + offset};
+    Result<SimTime> done = dev->block->TrimBlocks(dev_lba, count, issue);
+    if (!done.ok()) {
+      return done;
+    }
+    completion = std::max(completion, done.value());
+  }
+  stats_.app_trims++;
+  return completion;
+}
+
+void Fleet::RunDeviceMaintenance(FleetDevice* device, SimTime now) {
+  if (device->kind == DeviceKind::kConventional) {
+    device->conv->RunBackgroundGc(now, 1);
+  } else {
+    device->hostftl->Pump(now, /*reads_pending=*/false, 1);
+  }
+}
+
+void Fleet::Step(SimTime now) {
+  RunDeviceMaintenance(devices_[step_cursor_].get(), now);
+  step_cursor_ = (step_cursor_ + 1) % static_cast<std::uint32_t>(devices_.size());
+
+  if (migration_.active) {
+    CopyMigrationChunk(now);
+    return;
+  }
+  if (!config_.rebalancer.enabled) {
+    return;
+  }
+  const std::vector<DeviceWearSnapshot> snapshots = WearSnapshots();
+  std::vector<std::vector<std::uint32_t>> shard_devices(config_.router.num_shards);
+  for (std::uint32_t s = 0; s < config_.router.num_shards; ++s) {
+    for (const ShardPlacement& p : placement(ShardId{s})) {
+      shard_devices[s].push_back(p.device_index);
+    }
+  }
+  const std::optional<MigrationPlan> plan =
+      rebalancer_.Plan(now, snapshots, shard_write_pages_, shard_devices);
+  if (!plan.has_value()) {
+    return;
+  }
+  // Resolve which replica of the shard sits on the plan's source device.
+  const std::span<const ShardPlacement> replicas = placement(plan->shard);
+  for (std::uint32_t r = 0; r < replicas.size(); ++r) {
+    if (replicas[r].device_index == plan->source_device) {
+      StartMigration(plan->shard, r, plan->target_device);  // Plan preconditions hold.
+      return;
+    }
+  }
+}
+
+Status Fleet::StartMigration(ShardId shard, std::uint32_t replica_index,
+                             std::uint32_t target_device) {
+  if (migration_.active) {
+    return Status(ErrorCode::kBusy, "a migration is already in flight");
+  }
+  if (shard.value() >= config_.router.num_shards ||
+      replica_index >= config_.router.replicas || target_device >= devices_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "bad shard/replica/device index");
+  }
+  if (DeviceHoldsShard(target_device, shard)) {
+    return Status(ErrorCode::kAlreadyExists, "target device already holds this shard");
+  }
+  FleetDevice* dst = devices_[target_device].get();
+  if (std::find(dst->slot_used.begin(), dst->slot_used.end(), false) == dst->slot_used.end()) {
+    return Status(ErrorCode::kDeviceFull, "target device has no free shard slot");
+  }
+  const ShardPlacement source =
+      placement_[static_cast<std::size_t>(shard.value()) * config_.router.replicas +
+                 replica_index];
+  migration_.active = true;
+  migration_.shard = shard;
+  migration_.replica_index = replica_index;
+  migration_.source_device = source.device_index;
+  migration_.source_slot = source.slot_index;
+  migration_.target_device = target_device;
+  migration_.target_slot = AllocateSlot(dst);
+  migration_.next_offset = 0;
+  stats_.migrations_started++;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(0, TimelineEventType::kShardMigration, metric_prefix_,
+                              "shard " + std::to_string(shard.value()) + " dev" +
+                                  std::to_string(source.device_index) + " -> dev" +
+                                  std::to_string(target_device) + " start",
+                              shard.value(), target_device);
+  }
+  return Status::Ok();
+}
+
+void Fleet::CopyMigrationChunk(SimTime now) {
+  assert(migration_.active);
+  FleetDevice* src = devices_[migration_.source_device].get();
+  FleetDevice* dst = devices_[migration_.target_device].get();
+  const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      config_.migration_chunk_pages, config_.shard_pages - migration_.next_offset));
+  const Lba src_lba{static_cast<std::uint64_t>(migration_.source_slot) * config_.shard_pages +
+                    migration_.next_offset};
+  const Lba dst_lba{static_cast<std::uint64_t>(migration_.target_slot) * config_.shard_pages +
+                    migration_.next_offset};
+  const std::span<std::uint8_t> buf(copy_buffer_.data(),
+                                    static_cast<std::size_t>(chunk) * page_size());
+  Result<SimTime> read_done = src->block->ReadBlocks(src_lba, chunk, now, buf);
+  if (!read_done.ok()) {
+    return;  // Transient device-side pressure; retry this chunk on the next Step.
+  }
+  SimTime write_done;
+  {
+    WriteProvenance::CauseScope scope(ProvenanceOf(dst->telemetry.get()),
+                                      WriteCause::kFleetMigration, StackLayer::kFleet);
+    Result<SimTime> wr = dst->block->WriteBlocks(dst_lba, chunk,
+                                                 std::max(now, read_done.value()), buf);
+    if (!wr.ok()) {
+      return;
+    }
+    write_done = wr.value();
+  }
+  stats_.migration_pages_copied += chunk;
+  migration_.next_offset += chunk;
+  if (migration_.next_offset < config_.shard_pages) {
+    return;
+  }
+  // Copy complete: flip the replica to the target, then trim and free the source slot so its
+  // stale image stops counting as live data (it would otherwise inflate source-device GC).
+  placement_[static_cast<std::size_t>(migration_.shard.value()) * config_.router.replicas +
+             migration_.replica_index] =
+      ShardPlacement{migration_.target_device, migration_.target_slot};
+  const Lba src_base{static_cast<std::uint64_t>(migration_.source_slot) * config_.shard_pages};
+  (void)src->block->TrimBlocks(src_base, static_cast<std::uint32_t>(config_.shard_pages),
+                               write_done);
+  src->slot_used[migration_.source_slot] = false;
+  stats_.migrations_completed++;
+  if (telemetry_ != nullptr) {
+    telemetry_->events.Append(write_done, TimelineEventType::kShardMigration, metric_prefix_,
+                              "shard " + std::to_string(migration_.shard.value()) + " dev" +
+                                  std::to_string(migration_.source_device) + " -> dev" +
+                                  std::to_string(migration_.target_device) + " done",
+                              migration_.shard.value(), migration_.target_device);
+  }
+  migration_.active = false;
+}
+
+std::vector<DeviceWearSnapshot> Fleet::WearSnapshots() const {
+  std::vector<DeviceWearSnapshot> snapshots;
+  snapshots.reserve(devices_.size());
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    const FleetDevice& dev = *devices_[d];
+    DeviceWearSnapshot snap;
+    snap.device_index = d;
+    const WriteProvenance::DeviceLedger* ledger =
+        dev.telemetry->provenance.FindDevice(dev.ledger_name);
+    if (ledger != nullptr && ledger->total_blocks > 0) {
+      snap.total_erases = ledger->total_erases;
+      snap.mean_erase_count = static_cast<double>(ledger->total_erases) /
+                              static_cast<double>(ledger->total_blocks);
+    }
+    snap.free_slots = static_cast<std::uint32_t>(
+        std::count(dev.slot_used.begin(), dev.slot_used.end(), false));
+    snapshots.push_back(snap);
+  }
+  return snapshots;
+}
+
+void Fleet::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
+  if (telemetry_ != nullptr) {
+    PublishMetrics();
+    telemetry_->registry.RemoveProvider(metric_prefix_);
+  }
+  telemetry_ = telemetry;
+  metric_prefix_ = std::string(prefix);
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+}
+
+void Fleet::PublishMetrics() {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  MetricRegistry& reg = telemetry_->registry;
+  const std::string& p = metric_prefix_;
+  reg.GetCounter(p + ".app.reads")->Set(stats_.app_reads);
+  reg.GetCounter(p + ".app.writes")->Set(stats_.app_writes);
+  reg.GetCounter(p + ".app.pages_read")->Set(stats_.app_pages_read);
+  reg.GetCounter(p + ".app.pages_written")->Set(stats_.app_pages_written);
+  reg.GetCounter(p + ".admission.admitted")->Set(admission_.total_admitted());
+  reg.GetCounter(p + ".admission.shed_rate")->Set(admission_.total_shed_rate());
+  reg.GetCounter(p + ".admission.shed_queue")->Set(admission_.total_shed_queue());
+  reg.GetCounter(p + ".migration.started")->Set(stats_.migrations_started);
+  reg.GetCounter(p + ".migration.completed")->Set(stats_.migrations_completed);
+  reg.GetCounter(p + ".migration.pages_copied")->Set(stats_.migration_pages_copied);
+  reg.GetCounter(p + ".migration.bytes_copied")
+      ->Set(stats_.migration_pages_copied * static_cast<std::uint64_t>(page_size()));
+  reg.GetCounter(p + ".migration.dual_write_pages")->Set(stats_.dual_write_pages);
+  const double total = static_cast<double>(admission_.total_admitted() +
+                                           admission_.total_shed());
+  reg.GetGauge(p + ".admission.shed_fraction")
+      ->Set(total > 0.0 ? static_cast<double>(admission_.total_shed()) / total : 0.0);
+
+  // Wear and WA, from the per-device ledgers.
+  std::uint64_t fleet_host_pages = 0;
+  std::uint64_t fleet_total_pages = 0;
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    const FleetDevice& dev = *devices_[d];
+    const std::string dp = p + "." + DeviceLabel(d);
+    const WriteProvenance::DeviceLedger* ledger =
+        dev.telemetry->provenance.FindDevice(dev.ledger_name);
+    if (ledger == nullptr) {
+      continue;
+    }
+    fleet_host_pages += ledger->host_pages;
+    fleet_total_pages += ledger->total_pages;
+    reg.GetCounter(dp + ".host_pages")->Set(ledger->host_pages);
+    reg.GetCounter(dp + ".total_pages")->Set(ledger->total_pages);
+    reg.GetCounter(dp + ".erases")->Set(ledger->total_erases);
+    reg.GetGauge(dp + ".mean_erase_count")
+        ->Set(ledger->total_blocks > 0 ? static_cast<double>(ledger->total_erases) /
+                                             static_cast<double>(ledger->total_blocks)
+                                       : 0.0);
+    const WriteProvenance::EnduranceProjection proj =
+        dev.telemetry->provenance.ProjectEndurance(dev.ledger_name);
+    reg.GetGauge(dp + ".projected_days")->Set(proj.valid ? proj.projected_days : 0.0);
+  }
+  reg.GetGauge(p + ".wear.skew")->Set(WearSkew());
+  reg.GetGauge(p + ".device_wa")
+      ->Set(fleet_host_pages > 0 ? static_cast<double>(fleet_total_pages) /
+                                       static_cast<double>(fleet_host_pages)
+                                 : 1.0);
+  reg.GetGauge(p + ".end_to_end_wa")
+      ->Set(stats_.app_pages_written > 0
+                ? static_cast<double>(fleet_total_pages) /
+                      static_cast<double>(stats_.app_pages_written)
+                : 1.0);
+  reg.GetGauge(p + ".replication_factor")
+      ->Set(stats_.app_pages_written > 0
+                ? static_cast<double>(fleet_host_pages) /
+                      static_cast<double>(stats_.app_pages_written)
+                : 0.0);
+
+  // Fleet-wide latency distributions: exact bucket-level merges of the per-device histograms.
+  std::vector<MetricRegistry*> sources;
+  sources.reserve(devices_.size());
+  for (const auto& dev : devices_) {
+    sources.push_back(&dev->telemetry->registry);
+  }
+  RefreshMergedHistogram(&reg, p + ".read.latency_ns", sources, "host.read.latency_ns");
+  RefreshMergedHistogram(&reg, p + ".write.latency_ns", sources, "host.write.latency_ns");
+
+  // Per-shard tails (gauges, not histograms, to keep snapshot size bounded).
+  for (std::uint32_t s = 0; s < config_.router.num_shards; ++s) {
+    const std::string sp = p + "." + ShardLabel(s);
+    const Histogram& h = shard_latency_[s];
+    reg.GetGauge(sp + ".p50_ns")->Set(static_cast<double>(h.P50()));
+    reg.GetGauge(sp + ".p99_ns")->Set(static_cast<double>(h.P99()));
+    reg.GetGauge(sp + ".p999_ns")->Set(static_cast<double>(h.P999()));
+    reg.GetCounter(sp + ".sheds")
+        ->Set(admission_.shed_rate(ShardId{s}) + admission_.shed_queue(ShardId{s}));
+  }
+}
+
+FleetRunResult RunFleetClosedLoop(Fleet& fleet, WorkloadGenerator& gen,
+                                  const FleetDriverOptions& options) {
+  FleetRunResult result;
+  result.start = options.start_time;
+  result.end = options.start_time;
+  const std::uint64_t num_pages = fleet.num_pages();
+  const std::uint64_t shard_pages = fleet.config().shard_pages;
+  std::deque<SimTime> outstanding;
+  SimTime clock = options.start_time;
+
+  for (std::uint64_t n = 0; n < options.ops; ++n) {
+    IoRequest req = gen.Next();
+    // Clamp into the fleet's page space and to the containing shard (fleet requests may not
+    // cross shard boundaries).
+    req.lba %= num_pages;
+    const std::uint64_t offset = req.lba % shard_pages;
+    req.pages = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(req.pages, shard_pages - offset));
+    if (req.pages == 0) {
+      continue;  // Zero-length records (e.g. an empty trace's no-op reads) cost nothing.
+    }
+
+    SimTime issue = clock;
+    if (outstanding.size() >= options.queue_depth) {
+      issue = std::max(issue, outstanding.front());
+      outstanding.pop_front();
+    }
+
+    if (options.step_interval != 0 && n % options.step_interval == 0) {
+      fleet.Step(issue);
+    }
+
+    Result<SimTime> done = 0;
+    switch (req.type) {
+      case IoType::kRead:
+        done = fleet.Read(Lba{req.lba}, req.pages, issue);
+        break;
+      case IoType::kWrite:
+        done = fleet.Write(Lba{req.lba}, req.pages, issue);
+        break;
+      case IoType::kTrim:
+        done = fleet.Trim(Lba{req.lba}, req.pages, issue);
+        break;
+    }
+    if (!done.ok()) {
+      if (done.code() == ErrorCode::kBusy) {
+        // Admission shed: back off and keep going (sheds are an expected outcome here).
+        result.sheds++;
+        clock = issue + options.shed_retry_delay;
+        result.end = std::max(result.end, clock);
+        continue;
+      }
+      result.status = done.status();
+      break;
+    }
+    const SimTime completion = done.value();
+    outstanding.push_back(completion);
+    clock = issue;
+    result.end = std::max(result.end, completion);
+    const SimTime latency = completion > issue ? completion - issue : 0;
+    switch (req.type) {
+      case IoType::kRead:
+        result.read_latency.Record(latency);
+        result.reads++;
+        break;
+      case IoType::kWrite:
+        result.write_latency.Record(latency);
+        result.writes++;
+        break;
+      case IoType::kTrim:
+        result.trims++;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace blockhead

@@ -1,0 +1,249 @@
+// Fleet: N simulated SSDs (mixed ZNS-backed and conventional, heterogeneous geometries)
+// behind one flat logical page space, sharded by a consistent-hash router with write-all /
+// read-one replication, guarded by per-shard admission control, and rebalanced by a
+// wear-skew-aware migrator.
+//
+// This is the serving layer the paper's argument ultimately lands on: once zoned devices make
+// per-device write amplification a host-controlled quantity, the interesting engineering moves
+// up a level — which device a shard lives on, how replica reads spread, and how wear (now
+// observable per cause through the provenance ledger) feeds back into placement. The fleet
+// therefore consumes the endurance projections the ledger computes and answers with shard
+// migrations, attributed on the target device as WriteCause::kFleetMigration so fleet-induced
+// writes stay separable from application writes in every WA breakdown.
+//
+// Determinism: everything runs on the single SimTime clock. Devices never block — they take an
+// issue time and return a completion time — and the fleet steps background work (GC pumps,
+// migration chunks, rebalancer planning) round-robin from an explicit Step(now) call driven by
+// the workload loop. Same seed, same fleet config → byte-identical metric dumps and ledgers.
+//
+// Layering: each device gets its own Telemetry bundle (registry + provenance ledger), so
+// per-device WA identities stay self-contained; fleet-level views (merged latency histograms,
+// summed counters) are folded from the per-device registries with src/telemetry/aggregate.h.
+// The fleet talks to devices exclusively through the BlockDevice host interface plus the
+// public maintenance pumps — never through device internals (enforced by tools/lint.py).
+
+#ifndef BLOCKHEAD_SRC_FLEET_FLEET_H_
+#define BLOCKHEAD_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/block/block_device.h"
+#include "src/core/strong_id.h"
+#include "src/fleet/admission.h"
+#include "src/fleet/rebalancer.h"
+#include "src/fleet/router.h"
+#include "src/ftl/conventional_ssd.h"
+#include "src/hostftl/host_ftl.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/histogram.h"
+#include "src/util/status.h"
+#include "src/util/types.h"
+#include "src/workload/workload.h"
+#include "src/zns/zns_device.h"
+
+namespace blockhead {
+
+enum class DeviceKind {
+  kConventional,  // ConventionalSsd: block interface native, GC in "firmware".
+  kZns,           // ZnsDevice + HostFtlBlockDevice: block interface emulated on the host.
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+// One device slot in the fleet. Geometry/timing may differ per device (heterogeneous fleet).
+struct FleetDeviceConfig {
+  DeviceKind kind = DeviceKind::kConventional;
+  FlashConfig flash;
+  FtlConfig ftl;          // Used when kind == kConventional.
+  ZnsConfig zns;          // Used when kind == kZns.
+  HostFtlConfig hostftl;  // Used when kind == kZns.
+};
+
+struct FleetConfig {
+  std::vector<FleetDeviceConfig> devices;
+  RouterConfig router;
+  AdmissionConfig admission;
+  RebalancerConfig rebalancer;
+  // Logical pages per shard. The fleet exports router.num_shards * shard_pages logical pages;
+  // a request may not cross a shard boundary.
+  std::uint64_t shard_pages = 256;
+  // Pages a migration copies per Step call (bounds how much background copy work can pile
+  // into one simulated instant).
+  std::uint32_t migration_chunk_pages = 32;
+
+  std::uint64_t num_pages() const {
+    return static_cast<std::uint64_t>(router.num_shards) * shard_pages;
+  }
+
+  // A mixed heterogeneous fleet for benches and tests: `num_devices` small devices with
+  // alternating geometries (48/64 blocks per plane), fast test timing with a finite
+  // endurance budget (so wear projections are meaningful), and `zns_fraction` of them
+  // ZNS-backed (spread evenly). `store_data` false keeps big benches cheap.
+  static FleetConfig Mixed(std::uint32_t num_devices, double zns_fraction, std::uint64_t seed,
+                           bool store_data = false);
+};
+
+struct FleetStats {
+  std::uint64_t app_reads = 0;
+  std::uint64_t app_writes = 0;
+  std::uint64_t app_trims = 0;
+  std::uint64_t app_pages_read = 0;
+  std::uint64_t app_pages_written = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migration_pages_copied = 0;
+  // Foreground writes mirrored to an in-flight migration target to keep it consistent.
+  std::uint64_t dual_write_pages = 0;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  const FleetConfig& config() const { return config_; }
+  std::uint32_t num_devices() const { return static_cast<std::uint32_t>(devices_.size()); }
+  std::uint64_t num_pages() const { return config_.num_pages(); }
+  std::uint32_t page_size() const;
+
+  // Fleet data path. `lba` addresses the fleet's flat logical page space; a request must lie
+  // within one shard (callers clamp — see RunFleetClosedLoop). Writes go to every replica
+  // (completion = slowest replica); reads go to one replica picked by the router policy.
+  // Admission-shed requests fail with kBusy and touch no device.
+  Result<SimTime> Read(Lba lba, std::uint32_t count, SimTime issue,
+                       std::span<std::uint8_t> out = {});
+  Result<SimTime> Write(Lba lba, std::uint32_t count, SimTime issue,
+                        std::span<const std::uint8_t> data = {});
+  Result<SimTime> Trim(Lba lba, std::uint32_t count, SimTime issue);
+
+  // One background round: pumps the next device's maintenance (round-robin), then advances
+  // the in-flight migration by one chunk, or (when idle) lets the rebalancer plan one.
+  void Step(SimTime now);
+
+  // Registers fleet-level metrics with `telemetry` under `<prefix>.*`: admission totals,
+  // migration counters, wear skew and per-device wear gauges, merged (cross-device) latency
+  // histograms, and per-shard latency percentile gauges. Migration start/completion is logged
+  // as kShardMigration events. Per-device telemetry stays in the per-device bundles.
+  void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "fleet");
+
+  // Starts migrating `shard`'s replica `replica_index` to `target_device` (which must not
+  // already hold the shard and must have a free slot). One migration at a time. The copy
+  // advances chunk-by-chunk in Step(); foreground writes to the shard are mirrored to the
+  // target meanwhile. Exposed publicly so tests can drive migrations without the rebalancer.
+  Status StartMigration(ShardId shard, std::uint32_t replica_index, std::uint32_t target_device);
+  bool MigrationActive() const { return migration_.active; }
+
+  // Wear views (from the per-device provenance ledgers).
+  std::vector<DeviceWearSnapshot> WearSnapshots() const;
+  double WearSkew() const { return Rebalancer::WearSkew(WearSnapshots()); }
+
+  const FleetStats& stats() const { return stats_; }
+  const ShardAdmission& admission() const { return admission_; }
+  const Rebalancer& rebalancer() const { return rebalancer_; }
+
+  // Per-device introspection for tests and aggregation.
+  Telemetry* device_telemetry(std::uint32_t device_index);
+  MetricRegistry* device_registry(std::uint32_t device_index);
+  // The provenance ledger key of the device's flash ("dev.flash" or "dev.zns.flash").
+  const std::string& device_ledger_name(std::uint32_t device_index) const;
+  DeviceKind device_kind(std::uint32_t device_index) const;
+  std::span<const ShardPlacement> placement(ShardId shard) const;
+
+ private:
+  struct FleetDevice {
+    DeviceKind kind = DeviceKind::kConventional;
+    std::unique_ptr<Telemetry> telemetry;  // Owns this device's registry + ledger.
+    std::unique_ptr<ConventionalSsd> conv;
+    std::unique_ptr<ZnsDevice> zns;
+    std::unique_ptr<HostFtlBlockDevice> hostftl;  // Declared after zns: destroyed first.
+    BlockDevice* block = nullptr;                 // conv.get() or hostftl.get().
+    std::string ledger_name;
+    std::vector<bool> slot_used;                // Shard-sized windows in the device's space.
+    std::deque<SimTime> inflight;               // Outstanding completion times (for routing).
+    Histogram* read_latency = nullptr;          // "host.read.latency_ns" in the device registry.
+    Histogram* write_latency = nullptr;         // "host.write.latency_ns".
+  };
+
+  struct MigrationState {
+    bool active = false;
+    ShardId shard{0};
+    std::uint32_t replica_index = 0;
+    std::uint32_t source_device = 0;
+    std::uint32_t source_slot = 0;
+    std::uint32_t target_device = 0;
+    std::uint32_t target_slot = 0;
+    std::uint64_t next_offset = 0;  // Pages copied so far.
+  };
+
+  void BuildDevices();
+  void PlaceShards();
+  std::uint32_t AllocateSlot(FleetDevice* device);  // Returns slot index; asserts one is free.
+  // Drops completions at or before `now` from the in-flight windows (admission queue depth
+  // and routing pending counts are both completion-time-based).
+  void DrainCompletions(SimTime now);
+  void CopyMigrationChunk(SimTime now);
+  bool DeviceHoldsShard(std::uint32_t device_index, ShardId shard) const;
+  void RunDeviceMaintenance(FleetDevice* device, SimTime now);
+  void PublishMetrics();
+
+  FleetConfig config_;
+  std::vector<std::unique_ptr<FleetDevice>> devices_;
+  ShardRouter router_;
+  ShardAdmission admission_;
+  Rebalancer rebalancer_;
+  // placement_[shard * replicas + r] = replica r of shard.
+  std::vector<ShardPlacement> placement_;
+  std::vector<std::deque<SimTime>> shard_inflight_;   // Per-shard outstanding completions.
+  std::vector<Histogram> shard_latency_;              // Per-shard combined op latency (ns).
+  std::vector<std::uint64_t> shard_write_pages_;      // Hotness input for the rebalancer.
+  MigrationState migration_;
+  std::uint32_t step_cursor_ = 0;
+  std::vector<std::uint8_t> copy_buffer_;  // Migration chunk staging (store_data fleets).
+
+  FleetStats stats_;
+  Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;
+};
+
+// Closed-loop driver for the fleet data path. Unlike RunClosedLoop (which aborts on the first
+// error), admission sheds (kBusy) are *expected* here: a shed is counted, the clock advances
+// by `shed_retry_delay`, and the loop continues — only non-shed errors stop the run. Requests
+// are clamped to the fleet's page space and to shard boundaries. Fleet::Step runs every
+// `step_interval` ops to drive maintenance, migrations, and rebalancer planning.
+struct FleetDriverOptions {
+  std::uint64_t ops = 10000;
+  std::uint32_t queue_depth = 4;
+  std::uint32_t step_interval = 8;
+  SimTime start_time = 0;
+  SimTime shed_retry_delay = 20 * kMicrosecond;
+};
+
+struct FleetRunResult {
+  Histogram read_latency;   // ns, fleet-observed (slowest replica for writes).
+  Histogram write_latency;  // ns
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t sheds = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  Status status;  // First non-shed error, if any (run stops there).
+
+  SimTime elapsed() const { return end > start ? end - start : 0; }
+};
+
+FleetRunResult RunFleetClosedLoop(Fleet& fleet, WorkloadGenerator& gen,
+                                  const FleetDriverOptions& options);
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLEET_FLEET_H_

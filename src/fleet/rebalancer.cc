@@ -1,0 +1,103 @@
+#include "src/fleet/rebalancer.h"
+
+#include <algorithm>
+
+namespace blockhead {
+
+double Rebalancer::WearSkew(std::span<const DeviceWearSnapshot> devices) {
+  if (devices.empty()) {
+    return 0.0;
+  }
+  double max_wear = 0.0;
+  double sum_wear = 0.0;
+  for (const DeviceWearSnapshot& d : devices) {
+    max_wear = std::max(max_wear, d.mean_erase_count);
+    sum_wear += d.mean_erase_count;
+  }
+  const double mean = sum_wear / static_cast<double>(devices.size());
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  return max_wear / mean;
+}
+
+std::optional<MigrationPlan> Rebalancer::Plan(
+    SimTime now, std::span<const DeviceWearSnapshot> devices,
+    std::span<const std::uint64_t> shard_write_pages,
+    std::span<const std::vector<std::uint32_t>> shard_devices) {
+  if (!config_.enabled || devices.size() < 2) {
+    return std::nullopt;
+  }
+  if (ever_planned_ && now < last_plan_time_ + config_.plan_interval) {
+    return std::nullopt;
+  }
+  ever_planned_ = true;
+  last_plan_time_ = now;
+
+  std::uint64_t total_erases = 0;
+  for (const DeviceWearSnapshot& d : devices) {
+    total_erases += d.total_erases;
+  }
+  if (total_erases < config_.min_erases) {
+    return std::nullopt;
+  }
+  if (WearSkew(devices) < config_.skew_threshold) {
+    return std::nullopt;
+  }
+
+  // Source: the most-worn device. Target candidates: less-worn devices with a free slot,
+  // tried from least worn up. Ties break on device index for determinism.
+  const DeviceWearSnapshot* source = &devices[0];
+  for (const DeviceWearSnapshot& d : devices) {
+    if (d.mean_erase_count > source->mean_erase_count) {
+      source = &d;
+    }
+  }
+  std::vector<const DeviceWearSnapshot*> targets;
+  for (const DeviceWearSnapshot& d : devices) {
+    if (d.device_index != source->device_index && d.free_slots > 0 &&
+        d.mean_erase_count < source->mean_erase_count) {
+      targets.push_back(&d);
+    }
+  }
+  if (targets.empty()) {
+    return std::nullopt;
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const DeviceWearSnapshot* a, const DeviceWearSnapshot* b) {
+              if (a->mean_erase_count != b->mean_erase_count) {
+                return a->mean_erase_count < b->mean_erase_count;
+              }
+              return a->device_index < b->device_index;
+            });
+
+  // Shard: the hottest (most host pages written) shard with a replica on the source device
+  // that is absent from the chosen target. Walk targets from least worn until one admits a
+  // shard; ties on hotness break on shard index.
+  for (const DeviceWearSnapshot* target : targets) {
+    std::optional<ShardId> best;
+    std::uint64_t best_pages = 0;
+    for (std::size_t s = 0; s < shard_devices.size(); ++s) {
+      const std::vector<std::uint32_t>& placed = shard_devices[s];
+      const bool on_source =
+          std::find(placed.begin(), placed.end(), source->device_index) != placed.end();
+      const bool on_target =
+          std::find(placed.begin(), placed.end(), target->device_index) != placed.end();
+      if (!on_source || on_target) {
+        continue;
+      }
+      const std::uint64_t pages = s < shard_write_pages.size() ? shard_write_pages[s] : 0;
+      if (!best.has_value() || pages > best_pages) {
+        best = ShardId(static_cast<std::uint32_t>(s));
+        best_pages = pages;
+      }
+    }
+    if (best.has_value()) {
+      ++plans_made_;
+      return MigrationPlan{*best, source->device_index, target->device_index};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace blockhead

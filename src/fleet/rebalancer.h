@@ -1,0 +1,83 @@
+// Wear-skew-aware shard rebalancer.
+//
+// Consistent hashing spreads *load* but not *wear*: a skewed key distribution concentrates
+// writes on the devices hosting hot shards, so those devices burn erase cycles faster and
+// retire earlier even while the fleet average looks healthy. The rebalancer watches per-device
+// wear (mean erase count and projected days-to-wearout, both derived from each device's
+// provenance ledger) and, when the skew crosses a threshold, plans one migration: move the
+// hottest shard replica off the most-worn device onto the least-worn device with a free slot.
+//
+// The rebalancer only *plans*; the Fleet executes the copy (in bounded chunks, attributed to
+// WriteCause::kFleetMigration on the target device's ledger), flips the placement, and trims
+// the source slot. One plan at a time keeps the control loop simple and the simulation
+// deterministic.
+
+#ifndef BLOCKHEAD_SRC_FLEET_REBALANCER_H_
+#define BLOCKHEAD_SRC_FLEET_REBALANCER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/strong_id.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+
+struct RebalancerConfig {
+  bool enabled = true;
+  SimTime plan_interval = 50 * kMillisecond;  // Minimum model time between planning passes.
+  double skew_threshold = 1.15;  // Plan only when max/mean device wear exceeds this ratio.
+  std::uint64_t min_erases = 64;  // Ignore wear skew until the fleet has at least this many
+                                  // total erases (early noise is not a signal).
+};
+
+// One device's wear, as seen by the planner. Filled by the Fleet from the device's ledger.
+struct DeviceWearSnapshot {
+  std::uint32_t device_index = 0;
+  double mean_erase_count = 0.0;  // total_erases / total_blocks for the device's flash.
+  std::uint64_t total_erases = 0;
+  std::uint32_t free_slots = 0;  // Shard-sized windows not currently holding a replica.
+};
+
+// A planned migration: move shard `shard`'s replica currently on `source_device` to
+// `target_device`. The Fleet resolves the replica/slot indices when it starts the copy.
+struct MigrationPlan {
+  ShardId shard{0};
+  std::uint32_t source_device = 0;
+  std::uint32_t target_device = 0;
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(const RebalancerConfig& config) : config_(config) {}
+
+  const RebalancerConfig& config() const { return config_; }
+
+  // Returns the wear skew (max mean erase count / fleet mean) for the given snapshots, or 0
+  // when no device has any erases.
+  static double WearSkew(std::span<const DeviceWearSnapshot> devices);
+
+  // Considers a planning pass at time `now`. Returns a plan when (a) enough model time has
+  // passed since the last pass, (b) wear skew exceeds the threshold, and (c) a shard on the
+  // most-worn device can move to a less-worn device with a free slot. `shard_write_pages` is
+  // indexed by shard and counts host pages written per shard (hotness); `shard_devices[s]`
+  // lists the device ordinals currently holding shard s (so the planner never proposes a
+  // target that already has a replica). Returns nullopt when no move is warranted.
+  std::optional<MigrationPlan> Plan(SimTime now, std::span<const DeviceWearSnapshot> devices,
+                                    std::span<const std::uint64_t> shard_write_pages,
+                                    std::span<const std::vector<std::uint32_t>> shard_devices);
+
+  std::uint64_t plans_made() const { return plans_made_; }
+
+ private:
+  RebalancerConfig config_;
+  SimTime last_plan_time_ = 0;
+  bool ever_planned_ = false;
+  std::uint64_t plans_made_ = 0;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLEET_REBALANCER_H_

@@ -1,0 +1,100 @@
+#include "src/fleet/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blockhead {
+
+const char* ReadReplicaPolicyName(ReadReplicaPolicy policy) {
+  switch (policy) {
+    case ReadReplicaPolicy::kPrimaryOnly:
+      return "primary_only";
+    case ReadReplicaPolicy::kRoundRobin:
+      return "round_robin";
+    case ReadReplicaPolicy::kLeastPending:
+      return "least_pending";
+  }
+  return "unknown";
+}
+
+std::uint64_t FleetHash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardRouter::ShardRouter(const RouterConfig& config, std::uint32_t num_devices)
+    : config_(config), num_devices_(num_devices) {
+  assert(num_devices_ > 0 && "a fleet needs at least one device");
+  ring_.reserve(static_cast<std::size_t>(num_devices_) * config_.virtual_nodes);
+  for (std::uint32_t d = 0; d < num_devices_; ++d) {
+    for (std::uint32_t v = 0; v < config_.virtual_nodes; ++v) {
+      const std::uint64_t h = FleetHash64(
+          config_.seed ^ (static_cast<std::uint64_t>(d) << 32 | (v + 1)));
+      ring_.push_back({h, d});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a, const RingPoint& b) {
+    if (a.hash != b.hash) {
+      return a.hash < b.hash;
+    }
+    return a.device_index < b.device_index;
+  });
+  round_robin_.assign(config_.num_shards, 0);
+}
+
+std::vector<std::uint32_t> ShardRouter::PreferenceOrder(ShardId shard) const {
+  const std::uint64_t point = FleetHash64(config_.seed ^ (0xf1ee7000ULL + shard.value()));
+  std::vector<std::uint32_t> order;
+  order.reserve(num_devices_);
+  std::vector<bool> seen(num_devices_, false);
+  // Walk clockwise from the shard's point, collecting first appearances of each device.
+  std::size_t start = std::lower_bound(ring_.begin(), ring_.end(), point,
+                                       [](const RingPoint& p, std::uint64_t h) {
+                                         return p.hash < h;
+                                       }) -
+                      ring_.begin();
+  for (std::size_t i = 0; i < ring_.size() && order.size() < num_devices_; ++i) {
+    const RingPoint& p = ring_[(start + i) % ring_.size()];
+    if (!seen[p.device_index]) {
+      seen[p.device_index] = true;
+      order.push_back(p.device_index);
+    }
+  }
+  return order;
+}
+
+std::uint32_t ShardRouter::PickReadReplica(ShardId shard,
+                                           std::span<const std::uint32_t> replica_devices,
+                                           std::span<const std::uint32_t> device_pending) {
+  assert(!replica_devices.empty());
+  assert(shard.value() < round_robin_.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(replica_devices.size());
+  switch (config_.read_policy) {
+    case ReadReplicaPolicy::kPrimaryOnly:
+      return 0;
+    case ReadReplicaPolicy::kRoundRobin: {
+      const std::uint32_t pick = round_robin_[shard.value()] % n;
+      round_robin_[shard.value()] = (round_robin_[shard.value()] + 1) % n;
+      return pick;
+    }
+    case ReadReplicaPolicy::kLeastPending: {
+      std::uint32_t best = 0;
+      std::uint32_t best_pending = ~0U;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t dev = replica_devices[i];
+        const std::uint32_t pending =
+            dev < device_pending.size() ? device_pending[dev] : 0;
+        if (pending < best_pending) {  // Ties go to the lowest replica slot.
+          best_pending = pending;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace blockhead

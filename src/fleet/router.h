@@ -1,0 +1,86 @@
+// Consistent-hash shard router for the fleet layer.
+//
+// The fleet exports one flat logical page space, split into fixed-size shards (contiguous LBA
+// ranges). Each shard is placed on `replicas` distinct devices (write-all / read-one). Initial
+// placement comes from a consistent-hash ring with virtual nodes — each device contributes
+// `virtual_nodes` ring points, a shard lands on the first distinct devices clockwise from its
+// own hash — so adding or removing a device moves only the shards that hash near its vnodes,
+// not the whole mapping. The wear-aware rebalancer (src/fleet/rebalancer.h) may later override
+// individual replica placements; the router only *proposes* placement (PreferenceOrder) and
+// picks read replicas, while the Fleet owns the live placement table (device + slot).
+//
+// Determinism: the ring is built from a seeded 64-bit mixer, ties break on (hash, device,
+// vnode), and the round-robin read cursor is plain per-shard state — same seed, same
+// decisions, byte-identical metric dumps.
+
+#ifndef BLOCKHEAD_SRC_FLEET_ROUTER_H_
+#define BLOCKHEAD_SRC_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/strong_id.h"
+
+namespace blockhead {
+
+// How a read chooses among a shard's replicas (writes always go to all of them).
+enum class ReadReplicaPolicy {
+  kPrimaryOnly,   // Always replica 0 (maximal cache locality, no load spreading).
+  kRoundRobin,    // Rotate per request (uniform spreading, ignores queue state).
+  kLeastPending,  // Replica whose device has the fewest outstanding ops (join-shortest-queue).
+};
+
+const char* ReadReplicaPolicyName(ReadReplicaPolicy policy);
+
+struct RouterConfig {
+  std::uint32_t num_shards = 16;
+  std::uint32_t replicas = 2;        // Distinct devices per shard (write-all / read-one).
+  std::uint32_t virtual_nodes = 64;  // Ring points contributed per device.
+  ReadReplicaPolicy read_policy = ReadReplicaPolicy::kRoundRobin;
+  std::uint64_t seed = 1;            // Hash salt for the ring and shard points.
+};
+
+// Where one replica of a shard lives: a device ordinal and a slot (shard-sized window) within
+// that device's logical space.
+struct ShardPlacement {
+  std::uint32_t device_index = 0;
+  std::uint32_t slot_index = 0;
+};
+
+class ShardRouter {
+ public:
+  ShardRouter(const RouterConfig& config, std::uint32_t num_devices);
+
+  const RouterConfig& config() const { return config_; }
+  std::uint32_t num_devices() const { return num_devices_; }
+
+  // Every device exactly once, in clockwise ring order starting at the shard's hash point.
+  // The fleet walks this list and takes the first `replicas` devices with a free slot.
+  std::vector<std::uint32_t> PreferenceOrder(ShardId shard) const;
+
+  // Picks the replica slot a read should use. `replica_devices` are the shard's current
+  // replica device ordinals (placement order); `device_pending` is indexed by device ordinal
+  // and holds outstanding-op counts (used by kLeastPending; may be empty otherwise). Returns
+  // an index into `replica_devices`. Round-robin state advances per call.
+  std::uint32_t PickReadReplica(ShardId shard, std::span<const std::uint32_t> replica_devices,
+                                std::span<const std::uint32_t> device_pending);
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash = 0;
+    std::uint32_t device_index = 0;
+  };
+
+  RouterConfig config_;
+  std::uint32_t num_devices_ = 0;
+  std::vector<RingPoint> ring_;               // Sorted by (hash, device).
+  std::vector<std::uint32_t> round_robin_;    // Per-shard read cursor.
+};
+
+// Deterministic 64-bit mixer (splitmix64 finalizer) shared by the ring and shard points.
+std::uint64_t FleetHash64(std::uint64_t x);
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_FLEET_ROUTER_H_

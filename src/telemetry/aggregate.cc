@@ -1,0 +1,57 @@
+#include "src/telemetry/aggregate.h"
+
+namespace blockhead {
+
+namespace {
+
+// Returns the histogram registered under `name`, or nullptr when absent or another kind.
+// Lookup-first keeps the helpers from materializing empty instruments in source registries.
+Histogram* FindHistogram(MetricRegistry* registry, std::string_view name) {
+  MetricKind kind;
+  if (!registry->Lookup(name, &kind) || kind != MetricKind::kHistogram) {
+    return nullptr;
+  }
+  return registry->GetHistogram(name);
+}
+
+}  // namespace
+
+std::size_t MergeHistogramAcross(std::span<MetricRegistry* const> sources,
+                                 std::string_view name, Histogram* out) {
+  std::size_t contributed = 0;
+  for (MetricRegistry* source : sources) {
+    const Histogram* h = FindHistogram(source, name);
+    if (h == nullptr) {
+      continue;
+    }
+    out->Merge(*h);
+    ++contributed;
+  }
+  return contributed;
+}
+
+std::uint64_t SumCounterAcross(std::span<MetricRegistry* const> sources,
+                               std::string_view name) {
+  std::uint64_t sum = 0;
+  for (MetricRegistry* source : sources) {
+    MetricKind kind;
+    if (!source->Lookup(name, &kind) || kind != MetricKind::kCounter) {
+      continue;
+    }
+    sum += source->GetCounter(name)->value();
+  }
+  return sum;
+}
+
+std::size_t RefreshMergedHistogram(MetricRegistry* target, std::string_view target_name,
+                                   std::span<MetricRegistry* const> sources,
+                                   std::string_view source_name) {
+  Histogram* merged = target->GetHistogram(target_name);
+  if (merged == nullptr) {  // Name collision with a non-histogram instrument.
+    return 0;
+  }
+  merged->Reset();
+  return MergeHistogramAcross(sources, source_name, merged);
+}
+
+}  // namespace blockhead

@@ -1,0 +1,46 @@
+// Cross-registry aggregation: fold instruments with the same name from many MetricRegistry
+// instances into one value.
+//
+// The fleet layer gives every simulated device its own Telemetry bundle (so per-device
+// registries, ledgers, and dumps stay self-contained), then needs fleet-level views: the
+// latency distribution across ALL devices, the total shed count, the summed migration bytes.
+// Histogram::Merge makes the histogram fold exact — bucket counts add, so percentiles of the
+// merged histogram equal percentiles of the concatenated sample streams (up to the shared
+// bucket resolution) — which a "merge the p99s" approach can never be.
+//
+// All helpers are read-only on instruments that exist and never create instruments in the
+// source registries; a source that lacks the name (or registered it with another kind) is
+// skipped and not counted.
+
+#ifndef BLOCKHEAD_SRC_TELEMETRY_AGGREGATE_H_
+#define BLOCKHEAD_SRC_TELEMETRY_AGGREGATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/telemetry/metric_registry.h"
+#include "src/util/histogram.h"
+
+namespace blockhead {
+
+// Merges the histogram named `name` from every source registry into `*out` (which is NOT
+// reset first — callers aggregating fresh call out->Reset() themselves). Returns the number
+// of source registries that contributed.
+std::size_t MergeHistogramAcross(std::span<MetricRegistry* const> sources,
+                                 std::string_view name, Histogram* out);
+
+// Sums the counter named `name` across the source registries (missing/mismatched sources
+// contribute 0).
+std::uint64_t SumCounterAcross(std::span<MetricRegistry* const> sources, std::string_view name);
+
+// Convenience for snapshot providers: resets the histogram named `target_name` in `target`
+// (creating it if needed) and re-merges `source_name` from every source into it, so repeated
+// snapshots stay idempotent. Returns the number of contributing sources.
+std::size_t RefreshMergedHistogram(MetricRegistry* target, std::string_view target_name,
+                                   std::span<MetricRegistry* const> sources,
+                                   std::string_view source_name);
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_TELEMETRY_AGGREGATE_H_

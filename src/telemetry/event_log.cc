@@ -22,6 +22,8 @@ const char* TimelineEventTypeName(TimelineEventType type) {
       return "cache_evict";
     case TimelineEventType::kFileLifecycle:
       return "file_lifecycle";
+    case TimelineEventType::kShardMigration:
+      return "shard_migration";
   }
   return "unknown";
 }

@@ -41,9 +41,10 @@ enum class TimelineEventType : std::uint8_t {
   kCompaction,      // LSM flush/compaction (arg0 = level, arg1 = input tables).
   kCacheEvict,      // Cache zone eviction (arg0 = zone id, arg1 = objects dropped).
   kFileLifecycle,   // Zonefile create/seal/delete (arg0 = file id).
+  kShardMigration,  // Fleet shard migration started/completed (arg0 = shard, arg1 = device).
 };
 
-inline constexpr std::size_t kNumTimelineEventTypes = 9;
+inline constexpr std::size_t kNumTimelineEventTypes = 10;
 
 const char* TimelineEventTypeName(TimelineEventType type);
 

@@ -44,6 +44,8 @@ const char* WriteCauseName(WriteCause cause) {
       return "cache_eviction";
     case WriteCause::kPadding:
       return "padding";
+    case WriteCause::kFleetMigration:
+      return "fleet_migration";
   }
   return "unknown";
 }
@@ -66,6 +68,8 @@ const char* StackLayerName(StackLayer layer) {
       return "zns";
     case StackLayer::kFlash:
       return "flash";
+    case StackLayer::kFleet:
+      return "fleet";
   }
   return "unknown";
 }

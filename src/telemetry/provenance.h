@@ -50,8 +50,9 @@ enum class WriteCause : std::uint8_t {
   kLsmCompaction,            // LSM level compaction.
   kCacheEviction,            // Flash-cache segment/zone recycling.
   kPadding,                  // Tail-page padding to reach a program unit.
+  kFleetMigration,           // Fleet rebalancer shard copy (wear-aware migration).
 };
-inline constexpr int kWriteCauseCount = 9;
+inline constexpr int kWriteCauseCount = 10;
 
 // Which layer of the stack opened the scope (the cause's originating layer).
 enum class StackLayer : std::uint8_t {
@@ -63,8 +64,9 @@ enum class StackLayer : std::uint8_t {
   kFtl,
   kZns,
   kFlash,
+  kFleet,  // Multi-device serving layer above the per-device stacks.
 };
-inline constexpr int kStackLayerCount = 8;
+inline constexpr int kStackLayerCount = 9;
 
 // Stable lowercase identifiers ("host_write", "device_gc", ...; "host", "kv", ...), used in
 // metric names and ledger dumps.

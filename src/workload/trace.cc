@@ -1,6 +1,5 @@
 #include "src/workload/trace.h"
 
-#include <cassert>
 #include <charconv>
 #include <cstdio>
 
@@ -8,16 +7,17 @@ namespace blockhead {
 
 namespace {
 
-// Parses one "<R|W|T>,<lba>,<pages>" line.
-Result<IoRequest> ParseLine(std::string_view line, std::size_t line_number) {
+// Parses one "<R|W|T>,<lba>,<pages>[,<t_ns>]" line.
+Result<TimedIoRequest> ParseLine(std::string_view line, std::size_t line_number) {
   auto fail = [line_number](const char* what) {
     return Status(ErrorCode::kInvalidArgument,
                   "trace line " + std::to_string(line_number) + ": " + what);
   };
   if (line.size() < 5 || line[1] != ',') {
-    return fail("expected '<R|W|T>,<lba>,<pages>'");
+    return fail("expected '<R|W|T>,<lba>,<pages>[,<t_ns>]'");
   }
-  IoRequest req;
+  TimedIoRequest timed;
+  IoRequest& req = timed.io;
   switch (line[0]) {
     case 'R':
     case 'r':
@@ -39,7 +39,13 @@ Result<IoRequest> ParseLine(std::string_view line, std::size_t line_number) {
     return fail("missing pages field");
   }
   const std::string_view lba_str = line.substr(2, comma - 2);
-  const std::string_view pages_str = line.substr(comma + 1);
+  std::string_view pages_str = line.substr(comma + 1);
+  std::string_view time_str;
+  const std::size_t time_comma = pages_str.find(',');
+  if (time_comma != std::string_view::npos) {
+    time_str = pages_str.substr(time_comma + 1);
+    pages_str = pages_str.substr(0, time_comma);
+  }
   auto lba_result =
       std::from_chars(lba_str.data(), lba_str.data() + lba_str.size(), req.lba);
   if (lba_result.ec != std::errc() || lba_result.ptr != lba_str.data() + lba_str.size()) {
@@ -51,13 +57,23 @@ Result<IoRequest> ParseLine(std::string_view line, std::size_t line_number) {
       pages_result.ptr != pages_str.data() + pages_str.size() || req.pages == 0) {
     return fail("bad pages");
   }
-  return req;
+  if (!time_str.empty()) {
+    auto time_result =
+        std::from_chars(time_str.data(), time_str.data() + time_str.size(), timed.at);
+    if (time_result.ec != std::errc() ||
+        time_result.ptr != time_str.data() + time_str.size()) {
+      return fail("bad timestamp");
+    }
+  } else if (time_comma != std::string_view::npos) {
+    return fail("bad timestamp");  // Trailing comma with nothing after it.
+  }
+  return timed;
 }
 
 }  // namespace
 
-Result<std::vector<IoRequest>> ParseTrace(std::string_view text) {
-  std::vector<IoRequest> requests;
+Result<std::vector<TimedIoRequest>> ParseTimedTrace(std::string_view text) {
+  std::vector<TimedIoRequest> requests;
   std::size_t line_number = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -76,11 +92,24 @@ Result<std::vector<IoRequest>> ParseTrace(std::string_view text) {
     if (line.empty() || line.front() == '#') {
       continue;
     }
-    Result<IoRequest> req = ParseLine(line, line_number);
+    Result<TimedIoRequest> req = ParseLine(line, line_number);
     if (!req.ok()) {
       return req.status();
     }
     requests.push_back(req.value());
+  }
+  return requests;
+}
+
+Result<std::vector<IoRequest>> ParseTrace(std::string_view text) {
+  Result<std::vector<TimedIoRequest>> timed = ParseTimedTrace(text);
+  if (!timed.ok()) {
+    return timed.status();
+  }
+  std::vector<IoRequest> requests;
+  requests.reserve(timed.value().size());
+  for (const TimedIoRequest& t : timed.value()) {
+    requests.push_back(t.io);
   }
   return requests;
 }
@@ -97,12 +126,62 @@ std::string FormatTrace(const std::vector<IoRequest>& requests) {
   return out;
 }
 
-TraceWorkload::TraceWorkload(std::vector<IoRequest> requests)
-    : requests_(std::move(requests)) {
-  assert(!requests_.empty());
+std::string FormatTimedTrace(const std::vector<TimedIoRequest>& requests) {
+  std::string out;
+  char buf[96];
+  for (const TimedIoRequest& timed : requests) {
+    const IoRequest& req = timed.io;
+    const char op = req.type == IoType::kRead ? 'R' : (req.type == IoType::kWrite ? 'W' : 'T');
+    std::snprintf(buf, sizeof(buf), "%c,%llu,%u,%llu\n", op,
+                  static_cast<unsigned long long>(req.lba), req.pages,
+                  static_cast<unsigned long long>(timed.at));
+    out += buf;
+  }
+  return out;
 }
 
+std::size_t NormalizeTraceTimes(std::vector<TimedIoRequest>* requests) {
+  std::size_t adjusted = 0;
+  SimTime high_water = 0;
+  for (TimedIoRequest& timed : *requests) {
+    if (timed.at < high_water) {
+      timed.at = high_water;
+      ++adjusted;
+    } else {
+      high_water = timed.at;
+    }
+  }
+  return adjusted;
+}
+
+TraceClampStats ClampTraceToCapacity(std::vector<IoRequest>* requests,
+                                     std::uint64_t num_pages) {
+  TraceClampStats stats;
+  std::vector<IoRequest> kept;
+  kept.reserve(requests->size());
+  for (IoRequest req : *requests) {
+    if (req.lba >= num_pages) {
+      ++stats.dropped;
+      continue;
+    }
+    const std::uint64_t room = num_pages - req.lba;
+    if (req.pages > room) {
+      req.pages = static_cast<std::uint32_t>(room);
+      ++stats.truncated;
+    }
+    kept.push_back(req);
+  }
+  *requests = std::move(kept);
+  return stats;
+}
+
+TraceWorkload::TraceWorkload(std::vector<IoRequest> requests)
+    : requests_(std::move(requests)) {}
+
 IoRequest TraceWorkload::Next() {
+  if (requests_.empty()) {
+    return IoRequest{IoType::kRead, 0, 0};  // Zero-length read: drivers treat it as a no-op.
+  }
   const IoRequest req = requests_[next_];
   next_ = (next_ + 1) % requests_.size();
   return req;

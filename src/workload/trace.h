@@ -2,8 +2,10 @@
 // ones) instead of synthetic generators — the "representative workloads" half of the paper's
 // §4.2 systematic-testing question.
 //
-// Text format, one request per line:  <R|W|T>,<lba>,<pages>
-// Blank lines and lines starting with '#' are ignored.
+// Text format, one request per line:  <R|W|T>,<lba>,<pages>[,<t_ns>]
+// The optional fourth field is an arrival timestamp in simulated nanoseconds (real trace
+// formats carry one; closed-loop replay ignores it). Blank lines and lines starting with '#'
+// are ignored.
 
 #ifndef BLOCKHEAD_SRC_WORKLOAD_TRACE_H_
 #define BLOCKHEAD_SRC_WORKLOAD_TRACE_H_
@@ -13,17 +15,48 @@
 #include <vector>
 
 #include "src/util/status.h"
+#include "src/util/types.h"
 #include "src/workload/workload.h"
 
 namespace blockhead {
 
-// Parses the text format above. Fails with kInvalidArgument on the first malformed line.
+// A trace record with its arrival timestamp (0 when the trace line carried none).
+struct TimedIoRequest {
+  IoRequest io;
+  SimTime at = 0;
+};
+
+// Parses the text format above, dropping timestamps. Fails with kInvalidArgument on the first
+// malformed line.
 Result<std::vector<IoRequest>> ParseTrace(std::string_view text);
+
+// Parses the text format above, keeping timestamps (0 for three-field lines).
+Result<std::vector<TimedIoRequest>> ParseTimedTrace(std::string_view text);
 
 // Renders requests back into the text format (round-trips with ParseTrace).
 std::string FormatTrace(const std::vector<IoRequest>& requests);
 
-// Replays a fixed request vector (wrapping around when exhausted).
+// Renders timed requests with the four-field format (round-trips with ParseTimedTrace).
+std::string FormatTimedTrace(const std::vector<TimedIoRequest>& requests);
+
+// Repairs out-of-order timestamps in place: any timestamp below the running maximum is lifted
+// to it, so the sequence becomes nondecreasing while the request order (the ground truth of
+// what the traced application issued) is preserved. Returns how many records were adjusted.
+std::size_t NormalizeTraceTimes(std::vector<TimedIoRequest>* requests);
+
+struct TraceClampStats {
+  std::size_t dropped = 0;    // Requests starting at or beyond the capacity (removed).
+  std::size_t truncated = 0;  // Requests shortened to stop at the capacity boundary.
+};
+
+// Fits a trace recorded against a larger device onto one with `num_pages` logical pages:
+// requests starting past the end are dropped, requests straddling it are truncated to the
+// in-range prefix. Zero-length results never survive. Returns what was changed, so replay
+// tooling can report coverage loss instead of silently shrinking the workload.
+TraceClampStats ClampTraceToCapacity(std::vector<IoRequest>* requests, std::uint64_t num_pages);
+
+// Replays a fixed request vector (wrapping around when exhausted). An empty trace is legal:
+// Next() then returns a zero-length read, which every driver treats as a no-op.
 class TraceWorkload final : public WorkloadGenerator {
  public:
   explicit TraceWorkload(std::vector<IoRequest> requests);

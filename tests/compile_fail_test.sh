@@ -11,7 +11,7 @@ set -u
 root="${1:?usage: compile_fail_test.sh <source-root> [compiler]}"
 cxx="${2:-${CXX:-c++}}"
 src="$root/tests/strong_id_compile_fail.cc"
-ncases=8
+ncases=9
 
 # -Werror=narrowing mirrors the BLOCKHEAD_WERROR CI build: GCC demotes narrowing inside
 # braced constructor calls to a warning by default, but the strict build makes it fatal.

@@ -109,6 +109,46 @@ class NakedAddressRuleTest(unittest.TestCase):
                         os.path.join("src", "core", "strong_id.h"), text), [])
 
 
+class FleetLayeringRuleTest(unittest.TestCase):
+    def test_flags_device_internal_calls(self):
+        text = ("zns->ResetZone(ZoneId{3}, now);\n"
+                "dev.flash().stats();\n")
+        out = findings_of(lint.check_fleet_layering,
+                          os.path.join("src", "fleet", "x.cc"), text)
+        self.assertEqual(len(out), 2)
+        self.assertTrue(all(f[2] == "fleet-layering" for f in out))
+        self.assertIn("ResetZone", out[0][3])
+        self.assertIn("flash()", out[1][3])
+
+    def test_flags_direct_flash_include(self):
+        text = '#include "src/flash/flash_device.h"\n'
+        out = findings_of(lint.check_fleet_layering,
+                          os.path.join("src", "fleet", "x.h"), text)
+        self.assertEqual(len(out), 1)
+        self.assertIn("include", out[0][3])
+
+    def test_host_interface_and_pumps_pass(self):
+        text = ("dev->block->WriteBlocks(lba, count, issue, data);\n"
+                "dev->conv->RunBackgroundGc(now, 1);\n"
+                "dev->hostftl->Pump(now, false, 1);\n"
+                "dev->conv->AttachTelemetry(telemetry, \"dev\");\n")
+        self.assertEqual(
+            findings_of(lint.check_fleet_layering,
+                        os.path.join("src", "fleet", "x.cc"), text), [])
+
+    def test_eventlog_append_is_not_zone_append(self):
+        text = "telemetry_->events.Append(now, TimelineEventType::kShardMigration, p, d);\n"
+        self.assertEqual(
+            findings_of(lint.check_fleet_layering,
+                        os.path.join("src", "fleet", "x.cc"), text), [])
+
+    def test_other_layers_exempt(self):
+        text = "zns->ResetZone(ZoneId{3}, now);\n"
+        self.assertEqual(
+            findings_of(lint.check_fleet_layering,
+                        os.path.join("src", "hostftl", "x.cc"), text), [])
+
+
 class FormatRuleTest(unittest.TestCase):
     def test_flags_tabs_trailing_ws_long_lines(self):
         text = "\tint x;\nint y;  \n" + "z" * 101 + "\n"

@@ -24,6 +24,7 @@ inline int Use() {
   Ppa ppa{5};
   Bytes bytes{6};
   Pages pages{7};
+  ShardId shard{8};
 
 #ifdef EXPECT_FAIL_1
   // Cross-ID assignment: a plane is not a channel.
@@ -67,8 +68,13 @@ inline int Use() {
   block = BlockId{ZoneId{1}};
 #endif
 
+#ifdef EXPECT_FAIL_9
+  // A fleet shard is not a device LBA: routing indices must not leak into the data path.
+  lba = Lba{shard};
+#endif
+
   return static_cast<int>(Erase(channel, plane, block) + lba.value() + ppa.value() +
-                          bytes.value() + pages.value());
+                          bytes.value() + pages.value() + shard.value());
 }
 
 }  // namespace blockhead

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "src/ftl/conventional_ssd.h"
+#include "src/telemetry/aggregate.h"
 #include "src/telemetry/metric_registry.h"
 #include "src/telemetry/sink.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/trace.h"
+#include "src/util/rng.h"
 
 namespace blockhead {
 namespace {
@@ -275,6 +277,55 @@ TEST(SinkTest, CsvHasHeaderAndOneRowPerMetric) {
   CsvSink().Render("b", reg.Snapshot(), &out);
   EXPECT_EQ(out.rfind("bench,metric,kind,value,", 0), 0u);  // Header first.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);   // Header + 2 rows.
+}
+
+
+TEST(AggregateTest, MergedHistogramPercentilesMatchConcatenatedStream) {
+  // Three registries record disjoint slices of one sample stream; merging their histograms
+  // must reproduce the percentiles of the full stream exactly (bucket counts add — this is
+  // what "merge the p99 gauges" can never do).
+  MetricRegistry a;
+  MetricRegistry b;
+  MetricRegistry c;
+  Histogram reference;
+  Rng rng(99);
+  std::vector<MetricRegistry*> regs = {&a, &b, &c};
+  std::vector<Histogram*> hists = {a.GetHistogram("lat_ns"), b.GetHistogram("lat_ns"),
+                                   c.GetHistogram("lat_ns")};
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t sample = 50 + rng.NextBelow(1u << (5 + i % 14));
+    hists[static_cast<std::size_t>(i) % 3]->Record(sample);
+    reference.Record(sample);
+  }
+
+  Histogram merged;
+  ASSERT_EQ(MergeHistogramAcross(regs, "lat_ns", &merged), 3u);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_EQ(merged.max(), reference.max());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.Percentile(q), reference.Percentile(q)) << "q=" << q;
+  }
+
+  // A registry lacking the name (or holding it as another kind) is skipped, not counted.
+  MetricRegistry d;
+  d.GetCounter("lat_ns");
+  std::vector<MetricRegistry*> with_bad = {&a, &d};
+  Histogram partial;
+  EXPECT_EQ(MergeHistogramAcross(with_bad, "lat_ns", &partial), 1u);
+  EXPECT_EQ(partial.count(), hists[0]->count());
+  // Sources were never mutated or grown by the merge.
+  EXPECT_EQ(a.size(), 1u);
+
+  // RefreshMergedHistogram is idempotent across repeated snapshots.
+  MetricRegistry target;
+  ASSERT_EQ(RefreshMergedHistogram(&target, "fleet.lat_ns", regs, "lat_ns"), 3u);
+  ASSERT_EQ(RefreshMergedHistogram(&target, "fleet.lat_ns", regs, "lat_ns"), 3u);
+  EXPECT_EQ(target.GetHistogram("fleet.lat_ns")->count(), reference.count());
+
+  // SumCounterAcross folds counters the same way.
+  a.GetCounter("sheds")->Add(3);
+  c.GetCounter("sheds")->Add(9);
+  EXPECT_EQ(SumCounterAcross(regs, "sheds"), 12u);
 }
 
 }  // namespace

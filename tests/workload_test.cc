@@ -205,5 +205,66 @@ TEST(TraceTest, ReplayAndRecord) {
   EXPECT_EQ(recorder.recorded()[3].lba, 0u);  // Wrap-around.
 }
 
+
+TEST(TraceTest, EmptyTraceReplaysAsNoOp) {
+  auto parsed = ParseTrace("# only comments and blanks\n\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->empty());
+  TraceWorkload trace(parsed.value());
+  EXPECT_EQ(trace.Next().pages, 0u);  // Zero-length read: the defined no-op.
+  ConventionalSsd ssd(SmallFlash(), FtlConfig{});
+  DriverOptions opts;
+  opts.ops = 5;
+  const RunResult result = RunClosedLoop(ssd, trace, opts);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.writes, 0u);
+  EXPECT_EQ(result.bytes_read, 0u);
+  EXPECT_EQ(result.bytes_written, 0u);
+}
+
+TEST(TraceTest, TimedParseAndNormalizeOutOfOrderTimestamps) {
+  auto parsed = ParseTimedTrace("W,0,1,100\nW,1,1,50\nR,0,1,200\nT,2,1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_EQ((*parsed)[0].at, 100u);
+  EXPECT_EQ((*parsed)[1].at, 50u);   // Out of order as recorded.
+  EXPECT_EQ((*parsed)[3].at, 0u);    // Three-field line: no timestamp.
+  const std::size_t adjusted = NormalizeTraceTimes(&parsed.value());
+  EXPECT_EQ(adjusted, 2u);           // The 50 and the trailing 0 are lifted.
+  EXPECT_EQ((*parsed)[1].at, 100u);  // Lifted to the running maximum...
+  EXPECT_EQ((*parsed)[2].at, 200u);  // ...later records untouched...
+  EXPECT_EQ((*parsed)[3].at, 200u);  // ...and the sequence ends nondecreasing.
+  // Round-trips through the four-field format.
+  auto again = ParseTimedTrace(FormatTimedTrace(parsed.value()));
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 4u);
+  EXPECT_EQ((*again)[3].at, 200u);
+  EXPECT_EQ((*again)[2].io.type, IoType::kRead);
+  // A trailing comma without a value (or a non-numeric timestamp) is malformed.
+  EXPECT_FALSE(ParseTimedTrace("W,0,1,\n").ok());
+  EXPECT_FALSE(ParseTimedTrace("W,0,1,xyz\n").ok());
+}
+
+TEST(TraceTest, ClampToCapacityDropsAndTruncatesWithDefinedBehavior) {
+  auto parsed = ParseTrace("W,0,4\nW,98,4\nR,200,2\nW,99,1\nR,100,1\n");
+  ASSERT_TRUE(parsed.ok());
+  const TraceClampStats stats = ClampTraceToCapacity(&parsed.value(), 100);
+  EXPECT_EQ(stats.dropped, 2u);    // R,200,2 and R,100,1 start at/past the capacity.
+  EXPECT_EQ(stats.truncated, 1u);  // W,98,4 shrinks to the in-range 2-page prefix.
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].lba, 98u);
+  EXPECT_EQ((*parsed)[1].pages, 2u);
+  EXPECT_EQ((*parsed)[2].lba, 99u);
+  // The clamped trace replays cleanly against a device no larger than the clamp target.
+  ConventionalSsd ssd(SmallFlash(), FtlConfig{});
+  ASSERT_GE(ssd.num_blocks(), 100u);
+  TraceWorkload trace(parsed.value());
+  DriverOptions opts;
+  opts.ops = parsed->size();
+  const RunResult result = RunClosedLoop(ssd, trace, opts);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.writes, 3u);
+}
+
 }  // namespace
 }  // namespace blockhead

@@ -16,6 +16,11 @@ Enforces invariants that the compiler cannot (or that we want flagged before it 
                  function parameters outside src/core/strong_id.h: address-like arguments
                  must use the strong ID types so swapped arguments cannot compile. Raw
                  dense-table *indexes* are fine when named `*_index` / `*_offset`.
+  fleet-layering src/fleet/ must talk to devices through the BlockDevice host interface and
+                 the public maintenance pumps only — no calls to flash/ZNS internals
+                 (ProgramPage, EraseBlock, ResetZone, Append, SimpleCopy, ...), no
+                 `.flash()` accessor use, and no direct `#include "src/flash/...` so the
+                 serving layer cannot grow a dependency on device internals.
   self-contained Every header in src/ must compile on its own (include-what-you-use probe:
                  a TU containing only `#include "<header>"`).
   format         No tabs, no trailing whitespace, lines <= 100 columns, final newline.
@@ -58,9 +63,21 @@ PROVENANCE_OPTOUT = "lint: provenance-passthrough"
 # Address-like parameter names that must be strong types in signatures. Raw dense-table
 # indexes stay allowed under `*_index` / `*_offset` / `*_count` style names.
 NAKED_PARAM_RE = re.compile(
-    r"\b(?:std::)?uint32_t\s+(channel|plane|block|page|zone)\s*[,)]"
+    r"\b(?:std::)?uint32_t\s+(channel|plane|block|page|zone|shard)\s*[,)]"
     r"|\b(?:std::)?uint64_t\s+(lba|ppa)\s*[,)]"
 )
+
+# Fleet layering: device-internal entry points the serving layer must never call. The fleet
+# owns device *objects* (it constructs them, attaches telemetry, and runs their public
+# maintenance pumps), but all data-path access goes through the BlockDevice host interface.
+# `Append` means zone append here; EventLog::Append (`events.Append`) is unrelated and allowed.
+FLEET_DEVICE_INTERNAL_RE = re.compile(
+    r"[.\->]\s*(ProgramPage|EraseBlock|CopyPage|ReadPage|SimpleCopy|ResetZone|OpenZone|"
+    r"CloseZone|FinishZone|Append|WriteBlocksStream)\s*\("
+    r"|[.\->]\s*flash\s*\(\s*\)"
+)
+FLEET_EVENTLOG_APPEND_RE = re.compile(r"events\s*([.]|->)\s*Append\s*\(")
+FLEET_FLASH_INCLUDE_RE = re.compile(r'#include\s*"src/flash/')
 
 
 def is_comment_or_string(line, pos):
@@ -111,9 +128,31 @@ def check_naked_address_params(path, lines):
                 continue
             name = m.group(1) or m.group(2)
             strong = {"channel": "ChannelId", "plane": "PlaneId", "block": "BlockId",
-                      "page": "PageId", "zone": "ZoneId", "lba": "Lba", "ppa": "Ppa"}[name]
+                      "page": "PageId", "zone": "ZoneId", "shard": "ShardId",
+                      "lba": "Lba", "ppa": "Ppa"}[name]
             yield (path, i, "naked-address",
                    f"raw integer parameter `{name}` — use {strong} (src/core/strong_id.h)")
+
+
+def check_fleet_layering(path, lines):
+    if not path.startswith(os.path.join("src", "fleet")):
+        return
+    for i, line in enumerate(lines, 1):
+        inc = FLEET_FLASH_INCLUDE_RE.search(line)
+        if inc and not is_comment_or_string(line, inc.start()):
+            yield (path, i, "fleet-layering",
+                   "src/fleet must not include flash internals directly; go through the "
+                   "BlockDevice host interface headers")
+        for m in FLEET_DEVICE_INTERNAL_RE.finditer(line):
+            if is_comment_or_string(line, m.start()):
+                continue
+            if m.group(1) == "Append" and FLEET_EVENTLOG_APPEND_RE.search(line):
+                continue  # EventLog::Append is telemetry, not a zone append.
+            what = m.group(1) or "flash()"
+            yield (path, i, "fleet-layering",
+                   f"src/fleet calls device internal `{what}` — the fleet must use the "
+                   "BlockDevice host interface (ReadBlocks/WriteBlocks/TrimBlocks) and "
+                   "public maintenance pumps only")
 
 
 def check_format(path, lines, raw_text):
@@ -176,6 +215,7 @@ def lint_file(root, rel_path):
         findings.extend(check_wall_clock(rel_path, lines))
         findings.extend(check_cause_scope(rel_path, lines))
         findings.extend(check_naked_address_params(rel_path, lines))
+        findings.extend(check_fleet_layering(rel_path, lines))
     return findings
 
 
