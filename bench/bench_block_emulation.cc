@@ -47,9 +47,7 @@ RunResult RunOn(BlockDevice& device, const WorkloadSpec& spec,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_block_emulation");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E13: Block interface emulated on ZNS vs native conventional SSD ===\n");
@@ -165,4 +163,8 @@ int main(int argc, char** argv) {
               "shrink it further. The block-on-ZNS path is a compatibility bridge, not the\n"
               "destination: ZNS-native stacks (E4/E6/E14) beat both columns.\n");
   return FinishBench(opts, "bench_block_emulation", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_block_emulation", RunBench);
 }

@@ -72,9 +72,7 @@ CacheRunResult Drive(FlashCache& cache, const FlashDevice& flash) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_cache_buffers");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E14: Flash-cache write staging — DRAM buffers vs zones (§4.1) ===\n");
@@ -129,4 +127,8 @@ int main(int argc, char** argv) {
               "design buys WA~1 with a DRAM buffer per writer; the ZNS design gets WA~1 with\n"
               "ZERO staging DRAM — the buffer the paper says can be reclaimed.\n");
   return FinishBench(opts, "bench_cache_buffers", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_cache_buffers", RunBench);
 }

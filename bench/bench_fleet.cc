@@ -108,9 +108,7 @@ std::string Us(std::uint64_t ns) { return TablePrinter::Fmt(static_cast<double>(
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_fleet");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== F1: Fleet serving layer — replication, admission, wear-aware placement ===\n");
@@ -197,4 +195,8 @@ int main(int argc, char** argv) {
               "comparable across devices.\n");
 
   return FinishBench(opts, "bench_fleet", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_fleet", RunBench);
 }

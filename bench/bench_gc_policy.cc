@@ -47,9 +47,7 @@ double RunConventional(GcVictimPolicy policy, AddressDistribution dist, double o
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions bench_opts = ParseBenchArgs(argc, argv, "bench_gc_policy");
-  Telemetry tel;
+int RunBench(const BenchOptions& bench_opts, Telemetry& tel) {
   MaybeEnableTimeline(bench_opts, tel);
   std::printf("=== A2 (ablation): GC victim selection — how far can the algorithm go without\n"
               "application information? ===\n\n");
@@ -90,4 +88,8 @@ int main(int argc, char** argv) {
               "its lifetime (§2.4: 'information about applications is the key\n"
               "bottleneck for near-optimal garbage collection').\n");
   return FinishBench(bench_opts, "bench_gc_policy", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_gc_policy", RunBench);
 }

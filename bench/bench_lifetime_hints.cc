@@ -144,9 +144,7 @@ HintResult RunPolicy(HintPolicy policy, Telemetry* tel) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_lifetime_hints");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E9: Write amplification vs lifetime-hint quality (zonefile on ZNS) ===\n");
@@ -193,4 +191,8 @@ int main(int argc, char** argv) {
               "zones expire wholesale and are reset without copying; the compaction column is\n"
               "where the difference lives.\n");
   return FinishBench(opts, "bench_lifetime_hints", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_lifetime_hints", RunBench);
 }

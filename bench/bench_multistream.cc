@@ -95,9 +95,7 @@ double RunZnsZonePerClass(Telemetry* tel) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_multistream");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E15: Multi-stream writes vs ZNS (§2.3) ===\n");
@@ -135,4 +133,8 @@ int main(int argc, char** argv) {
               "device still carries the OP flash pool and page-granular mapping DRAM — the\n"
               "$/GiB column only drops on the ZNS row.\n");
   return FinishBench(opts, "bench_multistream", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_multistream", RunBench);
 }

@@ -137,9 +137,7 @@ MixResult RunZnsNative(std::uint64_t ops, Telemetry* tel) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions bench_opts = ParseBenchArgs(argc, argv, "bench_read_latency");
-  Telemetry tel;
+int RunBench(const BenchOptions& bench_opts, Telemetry& tel) {
   MaybeEnableTimeline(bench_opts, tel);
 
   std::printf("=== E4: Mixed-load read latency & throughput, conventional vs ZNS-native ===\n");
@@ -174,4 +172,8 @@ int main(int argc, char** argv) {
   std::printf("\nShape check: ZNS average read latency well below conventional (GC-free), and\n"
               "total throughput several times higher (no WA consuming flash bandwidth).\n");
   return FinishBench(bench_opts, "bench_read_latency", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_read_latency", RunBench);
 }

@@ -63,9 +63,7 @@ CopyResult Run(bool use_simple_copy, Telemetry* tel) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_simple_copy");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E10: Host GC via read+write vs NVMe simple copy (block-on-ZNS) ===\n");
@@ -96,4 +94,8 @@ int main(int argc, char** argv) {
               "PCIe bandwidth (22 GiB here) is concurrent host I/O that no longer competes\n"
               "with GC, which is the paper's point.\n");
   return FinishBench(opts, "bench_simple_copy", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_simple_copy", RunBench);
 }

@@ -111,9 +111,7 @@ KvRun RunWorkload(Env* env, const FlashDevice& flash, Telemetry* tel,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_tail_latency");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);  // Sampler groups registered later still get grid clocks.
   std::printf("=== E5: KV-store read tail latency & write throughput, conventional vs ZNS ===\n");
   std::printf("Paper claims (§2.4): 2-4x lower read tail latency (up to 22x at extreme\n"
@@ -204,4 +202,8 @@ int main(int argc, char** argv) {
               "bandwidth is not consumed by GC copies. The attribution table shows the\n"
               "conventional gc-wait component directly; the ZNS column's is ~0.\n");
   return FinishBench(opts, "bench_tail_latency", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_tail_latency", RunBench);
 }

@@ -106,9 +106,7 @@ void RunZnsAppManaged(Telemetry* tel) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_wa_overprovisioning");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E2: Write amplification vs overprovisioning (uniform random 4K writes) ===\n");
@@ -187,4 +185,8 @@ int main(int argc, char** argv) {
               "relocations — per host byte the drive burns ~8x the P/E budget, paid for in\n"
               "foreground throughput rather than calendar time.\n");
   return FinishBench(opts, "bench_wa_overprovisioning", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_wa_overprovisioning", RunBench);
 }

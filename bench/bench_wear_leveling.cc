@@ -153,9 +153,7 @@ void ReportProvenance(TablePrinter& table, const WriteProvenance& provenance, co
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_wear_leveling");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== A1 (ablation): Wear leveling — FTL policy vs ZNS structural cycling ===\n");
@@ -187,4 +185,8 @@ int main(int argc, char** argv) {
               "shows who paid: wear-migration erases appear only in the WL-on column, and the\n"
               "projected lifetime tracks the erase overhead, not just the spread.\n");
   return FinishBench(opts, "bench_wear_leveling", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_wear_leveling", RunBench);
 }

@@ -54,9 +54,7 @@ MatchedConfig DeviceConfig() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_ycsb");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E18: YCSB A-F on the LSM store, conventional vs ZNS backends ===\n");
@@ -182,4 +180,8 @@ int main(int argc, char** argv) {
               "read-only C ties. This is the application-level view of the paper's §2.4\n"
               "claims.\n");
   return FinishBench(opts, "bench_ycsb", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_ycsb", RunBench);
 }

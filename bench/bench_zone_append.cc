@@ -80,9 +80,7 @@ double RunWriters(std::uint32_t writers, bool use_append, bool strict, Telemetry
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const BenchOptions opts = ParseBenchArgs(argc, argv, "bench_zone_append");
-  Telemetry tel;
+int RunBench(const BenchOptions& opts, Telemetry& tel) {
   MaybeEnableTimeline(opts, tel);
 
   std::printf("=== E7: Multi-writer single-zone throughput — write pointer vs zone append ===\n");
@@ -111,4 +109,8 @@ int main(int argc, char** argv) {
               "append the device orders concurrent records itself, so throughput scales with\n"
               "writers until the zone's plane parallelism (32 planes here) saturates.\n");
   return FinishBench(opts, "bench_zone_append", tel);
+}
+
+int main(int argc, char** argv) {
+  return RunBenchMain(argc, argv, "bench_zone_append", RunBench);
 }

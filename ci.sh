@@ -9,6 +9,9 @@
 #   ./ci.sh --lint     # static analysis only: tools/check.sh (lint.py + clang-format +
 #                      # clang-tidy where installed) and a -Werror strict build
 #   ./ci.sh --suite    # tier-1 build, then the bench suite checked against BENCH_baseline.json
+#   ./ci.sh --perf     # Release build, self-profiled bench subset (--perf --repeat 5) gated
+#                      # against BENCH_perf_baseline.json, plus a deliberate-slowdown check
+#                      # that proves the gate can fail (see bench/run_suite.sh for tolerance)
 #
 # The sanitizer passes build the whole tree (tests and benches) into build-asan/ or
 # build-tsan/ with -fsanitize=address,undefined (resp. thread) and run the test suite under
@@ -22,6 +25,7 @@ run_asan=1
 run_tsan=0
 run_lint=0
 run_suite=0
+run_perf=0
 case "${1:-}" in
   --tier1) run_asan=0 ;;
   --asan) run_tier1=0 ;;
@@ -39,9 +43,14 @@ case "${1:-}" in
     run_asan=0
     run_suite=1
     ;;
+  --perf)
+    run_tier1=0
+    run_asan=0
+    run_perf=1
+    ;;
   "") ;;
   *)
-    echo "usage: $0 [--tier1|--asan|--tsan|--lint|--suite]" >&2
+    echo "usage: $0 [--tier1|--asan|--tsan|--lint|--suite|--perf]" >&2
     exit 2
     ;;
 esac
@@ -227,11 +236,80 @@ assert any(values[f"{p}.migration.completed"] > 0 for p in rebalanced), \
     "rebalancing-on ablations completed no migrations"
 print(f"smoke: fleet ok ({len(prefixes)} configurations, byte-identical reruns)")
 PY
+
+  echo "=== smoke: self-profiler --perf --repeat + dual-clock trace ==="
+  # The binary itself asserts SimTime-domain byte-identity across the two repeats (exit 3 on
+  # divergence — a wall-clock leak into simulation state); the python below checks the
+  # published perf schema and the host-clock process track in the Chrome trace.
+  build/bench/bench_read_latency --perf --repeat 2 --json "$smoke_dir/perf.json" \
+    --trace "$smoke_dir/perf_trace.json" > /dev/null
+  python3 - "$smoke_dir/perf.json" "$smoke_dir/perf_trace.json" <<'PY'
+import json, sys
+
+values = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if "value" in rec:
+            values[rec["metric"]] = rec["value"]
+for metric in ("wall_elapsed_ns", "total_events", "flash_events", "repeats"):
+    assert values.get(f"selfprof.host.{metric}", 0) > 0, f"missing selfprof.host.{metric}"
+assert values["selfprof.host.repeats"] == 2, values["selfprof.host.repeats"]
+assert values["selfprof.host.ns_per_simulated_op"] > 0, "ns_per_simulated_op not derived"
+assert values["selfprof.host.sim_speedup"] > 0, "sim_speedup not derived"
+breakdown = [m for m in values if m.startswith("selfprof.host.") and m.endswith(".self_ns")]
+assert any(".flash." in m or m.endswith("flash.self_ns") for m in breakdown), breakdown
+# Exclusive attribution: per-cell self_ns must sum to no more than the wall total.
+self_sum = sum(v for m, v in values.items()
+               if m.startswith("selfprof.host.") and m.endswith(".self_ns")
+               and m.count(".") == 3)  # per-(subsystem, op) cells only
+assert self_sum <= values["selfprof.host.wall_elapsed_ns"], \
+    f"self_ns sum {self_sum} exceeds wall {values['selfprof.host.wall_elapsed_ns']}"
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+procs = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+assert "self-profile (host clock)" in procs, procs
+host_slices = [e for e in events if e.get("cat") == "selfprof"]
+assert host_slices, "no host-clock slices in dual-clock trace"
+for s in host_slices[:50]:
+    assert s["pid"] == 3 and s["ph"] == "X"
+    float(s["ts"]), float(s["dur"])
+sim_slices = [e for e in events if e.get("cat") in ("span", "maintenance")]
+assert sim_slices, "SimTime-domain slices missing from dual-clock trace"
+print(f"smoke: self-profile ok (ns/op {values['selfprof.host.ns_per_simulated_op']:.0f}, "
+      f"speedup {values['selfprof.host.sim_speedup']:.1f}x, "
+      f"{len(host_slices)} host slices alongside {len(sim_slices)} sim slices)")
+PY
 fi
 
 if [[ "$run_suite" == 1 ]]; then
   echo "=== bench suite vs committed baseline ==="
   bench/run_suite.sh --check
+fi
+
+if [[ "$run_perf" == 1 ]]; then
+  echo "=== perf: Release build ==="
+  # Wall-clock baselines are only comparable at a fixed optimization level, so the perf
+  # stage always measures a Release tree (the default build's numbers are ~4x slower and
+  # would either trip the gate or need their own baseline).
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf -j "$jobs"
+
+  echo "=== perf: self-profiled suite vs BENCH_perf_baseline.json ==="
+  BENCH_BUILD_DIR=build-perf bench/run_suite.sh --check-perf
+
+  echo "=== perf: deliberate flash-layer slowdown must trip the gate ==="
+  # Busy-wait 2000ns per flash scope — wall time only, SimTime untouched — which more than
+  # doubles ns_per_simulated_op. If the gate still passes, it isn't gating anything.
+  if BENCH_BUILD_DIR=build-perf PERF_BENCHES=bench_read_latency PERF_REPEATS=2 \
+     BLOCKHEAD_SELFPROF_SPIN_FLASH_NS=2000 bench/run_suite.sh --check-perf; then
+    echo "ci.sh: FAIL — perf gate did not catch the injected flash-layer slowdown" >&2
+    exit 1
+  fi
+  echo "ci.sh: OK — injected slowdown correctly failed the perf gate"
 fi
 
 if [[ "$run_asan" == 1 ]]; then

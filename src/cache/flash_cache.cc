@@ -98,6 +98,7 @@ void BlockFlashCache::DropSegmentObjects(std::uint32_t segment) {
 }
 
 Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kFlush);
   // Recycle the slot: its previous generation of objects is evicted, then the staged buffer
   // lands as one large sequential write (the RIPQ pattern). The overwrite is the eviction
   // mechanism, so its programs (and the device GC they displace) are cache-recycling work.
@@ -203,6 +204,7 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
 }
 
 Result<SimTime> BlockFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kWrite);
   stats_.puts++;
   stats_.bytes_admitted += size_bytes;
   NoteIngressBytes(size_bytes);
@@ -225,6 +227,7 @@ Result<SimTime> BlockFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes
 }
 
 Result<CacheGetResult> BlockFlashCache::Get(std::uint64_t key, SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kRead);
   CacheGetResult result;
   result.completion = now;
   auto it = index_.find(key);
@@ -285,6 +288,7 @@ void ZnsFlashCache::DropZoneObjects(std::uint32_t zone_index) {
 }
 
 Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kEviction);
   if (open_zone_ != kNoZone) {
     const ZoneDescriptor d = device_->zone(ZoneId{open_zone_});
     if (d.write_pointer + pages_needed <= d.capacity_pages) {
@@ -340,6 +344,7 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
 }
 
 Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kWrite);
   stats_.puts++;
   stats_.bytes_admitted += size_bytes;
   NoteIngressBytes(size_bytes);
@@ -370,6 +375,7 @@ Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, 
 }
 
 Result<CacheGetResult> ZnsFlashCache::Get(std::uint64_t key, SimTime now) {
+  SelfProfiler::Scope prof_scope(profiler(), ProfSubsystem::kCache, ProfOp::kRead);
   CacheGetResult result;
   result.completion = now;
   auto it = index_.find(key);

@@ -87,6 +87,9 @@ class FlashCache {
     return telemetry_ == nullptr ? nullptr : &telemetry_->provenance;
   }
 
+  // Host-side self-profiler for wall-clock scopes; nullptr when detached.
+  SelfProfiler* profiler() { return ProfilerOf(telemetry_); }
+
   // Derived Put implementations report admitted bytes here (the cache's logical ingress in
   // the factorized-WA chain); no-op when detached.
   void NoteIngressBytes(std::uint64_t bytes) {

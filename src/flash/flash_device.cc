@@ -15,6 +15,7 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config), rng_(conf
   plane_maintenance_busy_.assign(config_.geometry.total_planes(), 0);
   plane_busy_series_.assign(config_.geometry.total_planes(), BusySeries{});
   channel_busy_series_.assign(config_.geometry.channels, BusySeries{});
+  sharding_.Init(config_.geometry.channels, config_.geometry.total_planes());
 }
 
 FlashDevice::~FlashDevice() { AttachTelemetry(nullptr); }
@@ -86,6 +87,7 @@ void FlashDevice::PublishMetrics() {
   r.GetGauge(p + ".wear.mean_erase_count")->Set(w.mean_erase_count);
   r.GetGauge(p + ".wear.stddev_erase_count")->Set(w.stddev_erase_count);
   r.GetCounter(p + ".wear.bad_blocks")->Set(w.bad_blocks);
+  sharding_.PublishTo(r, p);
   // Full bucketed erase-count distribution (not just the moments): rebuilt from the current
   // per-block counts on every publish so the snapshot always reflects the live state.
   Histogram* wear = r.GetHistogram(p + ".wear.erase_count");
@@ -125,6 +127,7 @@ const FlashDevice::BlockState& FlashDevice::BlockAt(const PhysAddr& addr) const 
 
 Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
                                       std::span<std::uint8_t> out, OpClass op_class) {
+  SelfProfiler::Scope prof(ProfilerOf(telemetry_), ProfSubsystem::kFlash, ProfOp::kRead);
   BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
   const BlockState& block = BlockAt(addr);
   if (block.bad) {
@@ -186,11 +189,16 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
       std::memset(out.data(), 0, g.page_size);
     }
   }
+  sharding_.RecordOp(addr.channel.value(), plane_index);
+  if (telemetry_ != nullptr) {
+    telemetry_->selfprof.NoteSimTime(done);
+  }
   return done;
 }
 
 Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
                                          std::span<const std::uint8_t> data, OpClass op_class) {
+  SelfProfiler::Scope prof(ProfilerOf(telemetry_), ProfSubsystem::kFlash, ProfOp::kWrite);
   BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
   BlockState& block = BlockAt(addr);
   if (block.bad) {
@@ -277,11 +285,16 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
   }
 
   block.next_page++;
+  sharding_.RecordOp(addr.channel.value(), plane_index);
+  if (telemetry_ != nullptr) {
+    telemetry_->selfprof.NoteSimTime(done);
+  }
   return done;
 }
 
 Result<SimTime> FlashDevice::EraseBlock(ChannelId channel, PlaneId plane, BlockId block,
                                         SimTime issue) {
+  SelfProfiler::Scope prof(ProfilerOf(telemetry_), ProfSubsystem::kFlash, ProfOp::kErase);
   PhysAddr addr{channel, plane, block, PageId{0}};
   BLOCKHEAD_RETURN_IF_ERROR(CheckAddr(addr));
   BlockState& state = BlockAt(addr);
@@ -324,6 +337,10 @@ Result<SimTime> FlashDevice::EraseBlock(ChannelId channel, PlaneId plane, BlockI
   if (state.erase_count >= config_.timing.endurance_cycles ||
       (config_.early_failure_prob > 0.0 && rng_.NextBool(config_.early_failure_prob))) {
     state.bad = true;
+  }
+  sharding_.RecordOp(channel.value(), plane_index);
+  if (telemetry_ != nullptr) {
+    telemetry_->selfprof.NoteSimTime(done);
   }
   return done;
 }

@@ -21,6 +21,7 @@
 #include "src/core/strong_id.h"
 #include "src/flash/geometry.h"
 #include "src/flash/timing.h"
+#include "src/telemetry/selfprof/sharding_stats.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -129,6 +130,11 @@ class FlashDevice {
 
   WearSummary ComputeWear() const;
 
+  // Sharding feasibility report: per-channel/per-plane event occupancy and cross-channel
+  // dependency counts, recorded for every flash operation (SimTime-domain, deterministic).
+  // Published under "<prefix>.sharding.*" while telemetry is attached.
+  const ShardingStats& sharding() const { return sharding_; }
+
  private:
   struct BlockState {
     std::uint32_t next_page = 0;
@@ -160,6 +166,7 @@ class FlashDevice {
   std::vector<BusySeries> plane_busy_series_;
   std::vector<BusySeries> channel_busy_series_;
   FlashStats stats_;
+  ShardingStats sharding_;
   Rng rng_;
 
   Telemetry* telemetry_ = nullptr;

@@ -222,6 +222,7 @@ bool Fleet::DeviceHoldsShard(std::uint32_t device_index, ShardId shard) const {
 
 Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
                             std::span<std::uint8_t> out) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kRead);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
   }
@@ -267,6 +268,7 @@ Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
 
 Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
                              std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kWrite);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
   }
@@ -319,6 +321,7 @@ Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
 }
 
 Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kOther);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
   }
@@ -342,6 +345,8 @@ Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
 }
 
 void Fleet::RunDeviceMaintenance(FleetDevice* device, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_),
+                                 ProfSubsystem::kFleet, ProfOp::kMaintenance);
   if (device->kind == DeviceKind::kConventional) {
     device->conv->RunBackgroundGc(now, 1);
   } else {
@@ -350,6 +355,7 @@ void Fleet::RunDeviceMaintenance(FleetDevice* device, SimTime now) {
 }
 
 void Fleet::Step(SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kDispatch);
   RunDeviceMaintenance(devices_[step_cursor_].get(), now);
   step_cursor_ = (step_cursor_ + 1) % static_cast<std::uint32_t>(devices_.size());
 
@@ -421,6 +427,7 @@ Status Fleet::StartMigration(ShardId shard, std::uint32_t replica_index,
 }
 
 void Fleet::CopyMigrationChunk(SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kMigration);
   assert(migration_.active);
   FleetDevice* src = devices_[migration_.source_device].get();
   FleetDevice* dst = devices_[migration_.target_device].get();
@@ -500,6 +507,13 @@ void Fleet::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   }
   telemetry_ = telemetry;
   metric_prefix_ = std::string(prefix);
+  // Device bundles keep their own registries/ledgers, but wall-clock self-profiling is a
+  // per-process concern: forward every device's profiler to the fleet-level one so flash/FTL
+  // scopes inside devices nest under the fleet's dispatch scopes in one attribution.
+  for (const std::unique_ptr<FleetDevice>& dev : devices_) {
+    dev->telemetry->selfprof.DelegateTo(telemetry_ == nullptr ? nullptr
+                                                              : &telemetry_->selfprof);
+  }
   if (telemetry_ == nullptr) {
     return;
   }

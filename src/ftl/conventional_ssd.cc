@@ -229,6 +229,7 @@ std::uint64_t ConventionalSsd::PickVictim(SimTime now, bool wear_migration) {
 }
 
 Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kGc);
   const bool wear_migration =
       config_.wear_leveling && config_.wear_migrate_interval != 0 &&
       ++gc_cycles_since_wear_check_ % config_.wear_migrate_interval == 0;
@@ -339,6 +340,7 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
 }
 
 SimTime ConventionalSsd::MaybeForegroundGc(SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kGc);
   if (free_block_count_ >= gc_trigger_blocks_) {
     return now;
   }
@@ -372,6 +374,7 @@ SimTime ConventionalSsd::MaybeForegroundGc(SimTime now) {
 }
 
 std::uint32_t ConventionalSsd::RunBackgroundGc(SimTime now, std::uint32_t max_cycles) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kGc);
   std::uint32_t ran = 0;
   while (ran < max_cycles && free_block_count_ < gc_target_blocks_) {
     Result<SimTime> done = GcCycle(now);
@@ -396,6 +399,7 @@ SimTime ConventionalSsd::BufferAck(SimTime data_in, SimTime program_done) {
 
 Result<SimTime> ConventionalSsd::WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                              std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kWrite);
   return WriteBlocksStream(lba, count, /*stream=*/0, issue, data);
 }
 
@@ -450,6 +454,7 @@ void ConventionalSsd::PublishMetrics() {
 Result<SimTime> ConventionalSsd::WriteBlocksStream(Lba lba, std::uint32_t count,
                                                    std::uint32_t stream, SimTime issue,
                                                    std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kWrite);
   stream = std::min(stream, config_.num_streams - 1);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
@@ -488,6 +493,7 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(Lba lba, std::uint32_t count,
 
 Result<SimTime> ConventionalSsd::ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                             std::span<std::uint8_t> out) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kRead);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
@@ -531,6 +537,7 @@ Result<SimTime> ConventionalSsd::ReadBlocks(Lba lba, std::uint32_t count, SimTim
 }
 
 Result<SimTime> ConventionalSsd::TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFtl, ProfOp::kOther);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }

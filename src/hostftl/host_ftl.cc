@@ -140,6 +140,7 @@ std::uint32_t HostFtlBlockDevice::PickVictim(bool critical) const {
 
 Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
                                            std::uint32_t max_pages) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kHostFtl, ProfOp::kGc);
   // Relocation copies and the victim reset are block-emulation reclaim, not host data: the
   // doubling the paper attributes to dm-zoned-style translation shows up under this cause.
   WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_),
@@ -255,6 +256,8 @@ Result<SimTime> HostFtlBlockDevice::GcRunToCompletion(SimTime now, bool critical
 
 std::uint32_t HostFtlBlockDevice::Pump(SimTime now, bool reads_pending,
                                        std::uint32_t max_cycles) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_),
+                                 ProfSubsystem::kHostFtl, ProfOp::kMaintenance);
   std::uint32_t ran = 0;
   while (ran < max_cycles) {
     const bool pending = gc_victim_ != kNoZone;
@@ -274,6 +277,7 @@ std::uint32_t HostFtlBlockDevice::Pump(SimTime now, bool reads_pending,
 
 Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                                 std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kHostFtl, ProfOp::kWrite);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
@@ -323,6 +327,7 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, Si
 
 Result<SimTime> HostFtlBlockDevice::ReadBlocks(Lba lba, std::uint32_t count, SimTime issue,
                                                std::span<std::uint8_t> out) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kHostFtl, ProfOp::kRead);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
@@ -363,6 +368,7 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(Lba lba, std::uint32_t count, Sim
 }
 
 Result<SimTime> HostFtlBlockDevice::TrimBlocks(Lba lba, std::uint32_t count, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kHostFtl, ProfOp::kOther);
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }

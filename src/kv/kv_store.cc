@@ -368,6 +368,7 @@ Result<SimTime> KvStore::ApplyWrite(std::string_view key, KvEntryType type,
 }
 
 Result<SimTime> KvStore::Put(std::string_view key, std::string_view value, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kWrite);
   stats_.puts++;
   Tracer::Span span;
   if (telemetry_ != nullptr) {
@@ -381,11 +382,13 @@ Result<SimTime> KvStore::Put(std::string_view key, std::string_view value, SimTi
 }
 
 Result<SimTime> KvStore::Delete(std::string_view key, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kOther);
   stats_.deletes++;
   return ApplyWrite(key, KvEntryType::kTombstone, {}, now);
 }
 
 Result<SimTime> KvStore::FlushMemtable(SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kFlush);
   if (memtable_.empty()) {
     return now;
   }
@@ -510,6 +513,7 @@ Result<SimTime> KvStore::MaybeCompact(SimTime now) {
 }
 
 Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kCompaction);
   const std::uint32_t out_level = level + 1;
   assert(out_level < config_.max_levels);
   // Everything the merge writes (output tables + manifest updates) is compaction work.
@@ -667,6 +671,7 @@ Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
 }
 
 Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kRead);
   stats_.gets++;
   Tracer::Span span;
   if (telemetry_ != nullptr) {
@@ -753,6 +758,7 @@ Result<KvStore::GetResult> KvStore::Get(std::string_view key, SimTime now) {
 
 Result<KvStore::ScanResult> KvStore::Scan(std::string_view start_key, std::size_t limit,
                                           SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kKv, ProfOp::kRead);
   ScanResult result;
   result.completion = now;
   if (limit == 0) {

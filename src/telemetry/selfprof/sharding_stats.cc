@@ -1,0 +1,59 @@
+#include "src/telemetry/selfprof/sharding_stats.h"
+
+#include <algorithm>
+
+namespace blockhead {
+
+void ShardingStats::Init(std::uint32_t channels, std::uint32_t planes) {
+  per_channel_.assign(channels, 0);
+  per_plane_.assign(planes, 0);
+  total_events_ = 0;
+  cross_channel_deps_ = 0;
+  same_channel_deps_ = 0;
+  last_channel_ = 0;
+  has_last_ = false;
+}
+
+double ShardingStats::CrossDepFraction() const {
+  const std::uint64_t pairs = cross_channel_deps_ + same_channel_deps_;
+  if (pairs == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cross_channel_deps_) / static_cast<double>(pairs);
+}
+
+double ShardingStats::ParallelSpeedupBound() const {
+  std::uint64_t max_channel = 0;
+  for (const std::uint64_t n : per_channel_) {
+    max_channel = std::max(max_channel, n);
+  }
+  if (max_channel == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_events_) / static_cast<double>(max_channel);
+}
+
+void ShardingStats::PublishTo(MetricRegistry& registry, std::string_view prefix) const {
+  const std::string p = std::string(prefix) + ".sharding.";
+  registry.GetCounter(p + "events")->Set(total_events_);
+  registry.GetCounter(p + "cross_channel_deps")->Set(cross_channel_deps_);
+  registry.GetCounter(p + "same_channel_deps")->Set(same_channel_deps_);
+  registry.GetGauge(p + "cross_dep_fraction")->Set(CrossDepFraction());
+  registry.GetGauge(p + "parallel_speedup_bound")->Set(ParallelSpeedupBound());
+  Histogram* chan = registry.GetHistogram(p + "channel_occupancy");
+  if (chan != nullptr) {
+    chan->Reset();
+    for (const std::uint64_t n : per_channel_) {
+      chan->Record(n);
+    }
+  }
+  Histogram* plane = registry.GetHistogram(p + "plane_occupancy");
+  if (plane != nullptr) {
+    plane->Reset();
+    for (const std::uint64_t n : per_plane_) {
+      plane->Record(n);
+    }
+  }
+}
+
+}  // namespace blockhead

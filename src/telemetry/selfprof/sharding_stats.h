@@ -1,0 +1,94 @@
+// Sharding feasibility report: how much parallelism could a channel-sharded simulation core
+// extract from this workload?
+//
+// The roadmap's sharded parallel core will partition the event loop by flash channel (planes
+// ride along with their channel). Whether that pays off depends on two deterministic,
+// SimTime-domain properties of the event stream that this collector measures on the live
+// run:
+//
+//   * Occupancy — how evenly flash events spread over channels/planes. Published as
+//     histograms of per-channel and per-plane event counts ("event-loop occupancy"): a
+//     skewed distribution means shards idle while one channel's queue dominates, capping
+//     speedup at total_events / max_channel_events (Amdahl on the busiest shard).
+//   * Cross-channel dependencies — consecutive flash events that land on *different*
+//     channels. The simulator is single-threaded, so the global issue order is a
+//     conservative proxy for the dependency chain a deterministic parallel merge must
+//     respect: every cross-channel adjacency is a potential synchronization point between
+//     shards, every same-channel adjacency is free. The cross fraction bounds how much
+//     lookahead/barrier traffic a conservative parallel scheme would generate.
+//
+// Everything here is counts of simulated events — no wall clock — so two same-seed runs
+// publish byte-identical values and the report participates in the exact BENCH_baseline.json
+// regression gate (unlike the wall-clock selfprof.host.* metrics, which are gated separately
+// with tolerance).
+//
+// FlashDevice owns one collector per device and records every flash operation (read cell op,
+// program, erase) while telemetry is attached; metrics publish under
+// "<device prefix>.sharding.*".
+
+#ifndef BLOCKHEAD_SRC_TELEMETRY_SELFPROF_SHARDING_STATS_H_
+#define BLOCKHEAD_SRC_TELEMETRY_SELFPROF_SHARDING_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/telemetry/metric_registry.h"
+
+namespace blockhead {
+
+class ShardingStats {
+ public:
+  // Sizes the per-channel/per-plane occupancy tables. Re-initializing resets all counts.
+  void Init(std::uint32_t channels, std::uint32_t planes);
+
+  // Records one flash event on `channel_index` / flat `plane_index`. Two array increments
+  // and a compare — cheap enough to stay on even for the heaviest benches.
+  void RecordOp(std::uint32_t channel_index, std::uint32_t plane_index) {
+    if (channel_index >= per_channel_.size() || plane_index >= per_plane_.size()) {
+      return;
+    }
+    per_channel_[channel_index]++;
+    per_plane_[plane_index]++;
+    total_events_++;
+    if (has_last_) {
+      if (channel_index == last_channel_) {
+        same_channel_deps_++;
+      } else {
+        cross_channel_deps_++;
+      }
+    }
+    has_last_ = true;
+    last_channel_ = channel_index;
+  }
+
+  std::uint64_t total_events() const { return total_events_; }
+  std::uint64_t cross_channel_deps() const { return cross_channel_deps_; }
+  std::uint64_t same_channel_deps() const { return same_channel_deps_; }
+
+  // Fraction of adjacent event pairs that switch channels (0 when fewer than two events).
+  double CrossDepFraction() const;
+
+  // total_events / max per-channel events: the upper bound on channel-sharded speedup
+  // imposed by occupancy skew alone (1.0 when everything lands on one channel; 0 when empty).
+  double ParallelSpeedupBound() const;
+
+  // Publishes under "<prefix>.sharding.*": the dependency counters, cross_dep_fraction and
+  // parallel_speedup_bound gauges, and channel/plane occupancy histograms (each channel's /
+  // plane's event count is one histogram sample; rebuilt every publish).
+  void PublishTo(MetricRegistry& registry, std::string_view prefix) const;
+
+ private:
+  std::vector<std::uint64_t> per_channel_;
+  std::vector<std::uint64_t> per_plane_;
+  std::uint64_t total_events_ = 0;
+  std::uint64_t cross_channel_deps_ = 0;
+  std::uint64_t same_channel_deps_ = 0;
+  std::uint32_t last_channel_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_TELEMETRY_SELFPROF_SHARDING_STATS_H_

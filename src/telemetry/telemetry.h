@@ -14,6 +14,7 @@
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metric_registry.h"
 #include "src/telemetry/provenance.h"
+#include "src/telemetry/selfprof/self_profiler.h"
 #include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
 
@@ -25,6 +26,11 @@ struct Telemetry {
   Timeline timeline;
   Tracer tracer{&registry};
   WriteProvenance provenance;
+  // Host-side wall-clock self-profiler (disabled unless a bench enables it for --perf).
+  // Deliberately has no registry provider: its selfprof.host.* metrics are wall-clock-domain
+  // and are published explicitly by the bench harness, never folded into deterministic
+  // snapshots behind the simulation's back.
+  SelfProfiler selfprof;
 
   Telemetry() {
     tracer.set_timeline(&timeline);    // Completed spans become timeline slices.
@@ -38,6 +44,12 @@ struct Telemetry {
 // nullptr (scope becomes a no-op).
 inline WriteProvenance* ProvenanceOf(Telemetry* telemetry) {
   return telemetry == nullptr ? nullptr : &telemetry->provenance;
+}
+
+// Convenience for layers opening a SelfProfiler::Scope: the profiler when telemetry is
+// attached, else nullptr (scope becomes a no-op; one branch either way while disabled).
+inline SelfProfiler* ProfilerOf(Telemetry* telemetry) {
+  return telemetry == nullptr ? nullptr : &telemetry->selfprof;
 }
 
 }  // namespace blockhead

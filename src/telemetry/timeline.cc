@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/telemetry/selfprof/self_profiler.h"  // Dual-clock export host slices.
 #include "src/telemetry/sink.h"  // FormatMetricDouble: shared fixed double rendering.
 
 namespace blockhead {
@@ -190,7 +191,7 @@ void Timeline::SampleGroup(std::size_t group, SimTime now) {
   g.next_due = boundary + interval;
 }
 
-std::string Timeline::ExportChromeTrace() const {
+std::string Timeline::ExportChromeTrace(const SelfProfiler* host_profile) const {
   std::string out;
   out.reserve(256 + slices_.size() * 96 + samples_.size() * 96);
   out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"blockhead-timeline\"},";
@@ -223,6 +224,24 @@ std::string Timeline::ExportChromeTrace() const {
     emit("{\"ph\":\"M\",\"pid\":" + std::to_string(t.pid) + ",\"tid\":" +
          std::to_string(t.tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
          JsonEscapeName(t.name) + "\"}}");
+  }
+
+  // Dual-clock mode: the self-profiler's host-clock slices as pid 3, one track per
+  // subsystem (tid = first-use order). Timestamps are wall ns since the profiler epoch.
+  std::vector<int> selfprof_tid(static_cast<std::size_t>(ProfSubsystem::kCount), -1);
+  if (host_profile != nullptr && !host_profile->host_slices().empty()) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kSelfProfilePid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"self-profile (host clock)\"}}");
+    int next_tid = 0;
+    for (const HostSlice& s : host_profile->host_slices()) {
+      int& tid = selfprof_tid[static_cast<std::size_t>(s.sub)];
+      if (tid < 0) {
+        tid = next_tid++;
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(kSelfProfilePid) + ",\"tid\":" +
+             std::to_string(tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":\"host." +
+             std::string(ProfSubsystemName(s.sub)) + "\"}}");
+      }
+    }
   }
 
   // Merge slices (keyed by begin) and samples (keyed by t) into one stream ordered by
@@ -260,6 +279,18 @@ std::string Timeline::ExportChromeTrace() const {
            "\",\"ph\":\"C\",\"ts\":" + FormatTraceUs(s.t) + ",\"pid\":" +
            std::to_string(kUtilizationPid) + ",\"tid\":0,\"args\":{\"value\":" +
            FormatMetricDouble(s.value) + "}}");
+    }
+  }
+
+  // Host-clock slices last (their own clock domain: wall ns since profiler epoch, which —
+  // like SimTime — starts near the beginning of the run, so both render on one axis).
+  if (host_profile != nullptr) {
+    for (const HostSlice& s : host_profile->host_slices()) {
+      const int tid = selfprof_tid[static_cast<std::size_t>(s.sub)];
+      emit("{\"name\":\"" + std::string(ProfOpName(s.op)) +
+           "\",\"cat\":\"selfprof\",\"ph\":\"X\",\"ts\":" + FormatTraceUs(s.begin_ns) +
+           ",\"dur\":" + FormatTraceUs(s.end_ns - s.begin_ns) + ",\"pid\":" +
+           std::to_string(kSelfProfilePid) + ",\"tid\":" + std::to_string(tid) + "}");
     }
   }
   out += "\n]}\n";

@@ -46,6 +46,8 @@
 
 namespace blockhead {
 
+class SelfProfiler;  // Dual-clock export: host-clock slices ride along (selfprof module).
+
 // Cumulative busy time of a serially-used resource (a plane, a channel bus), settled at
 // sample boundaries. The simulator books an operation's whole service interval at issue time
 // even though it extends into the model future; a plain cumulative counter would therefore
@@ -113,6 +115,7 @@ class Timeline {
   static constexpr std::uint32_t kHostPid = 0;         // Tracer span slices.
   static constexpr std::uint32_t kMaintenancePid = 1;  // GC/erase/reset slices.
   static constexpr std::uint32_t kUtilizationPid = 2;  // Sampled counter series.
+  static constexpr std::uint32_t kSelfProfilePid = 3;  // Host-clock self-profile slices.
 
   Timeline() = default;
   Timeline(const Timeline&) = delete;
@@ -176,7 +179,14 @@ class Timeline {
   // Chrome-trace JSON (load in Perfetto / chrome://tracing). Deterministic: metadata first
   // (process/thread names in track-creation order), then slices and samples merged by
   // (timestamp, record sequence). Timestamps are microseconds with nanosecond precision.
-  std::string ExportChromeTrace() const;
+  //
+  // Dual-clock mode: passing a SelfProfiler appends its host-clock slices as a fourth
+  // process ("self-profile (host clock)", pid 3) with one track per simulator subsystem.
+  // Both clocks start at ~0 (SimTime 0 and the profiler's Enable() epoch), so simulated-time
+  // slices and the wall-clock cost that produced them render side by side on one time axis —
+  // the trace is no longer byte-deterministic once host slices are included, which is why
+  // benches only pass the profiler under --perf.
+  std::string ExportChromeTrace(const SelfProfiler* host_profile = nullptr) const;
 
   // Sampled series as CSV: "series,t_ns,value", rows ordered by (t_ns, record sequence).
   std::string ExportTimeSeriesCsv() const;

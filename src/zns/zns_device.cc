@@ -268,6 +268,7 @@ Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime iss
 
 Result<SimTime> ZnsDevice::Write(ZoneId zone_id, std::uint64_t offset, std::uint32_t pages,
                                  SimTime issue, std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kWrite);
   if (zone_id.value() >= zones_.size() || pages == 0) {
     return ErrorCode::kOutOfRange;
   }
@@ -316,6 +317,7 @@ Result<SimTime> ZnsDevice::Write(ZoneId zone_id, std::uint64_t offset, std::uint
 
 Result<AppendResult> ZnsDevice::Append(ZoneId zone_id, std::uint32_t pages, SimTime issue,
                                        std::span<const std::uint8_t> data) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kAppend);
   if (zone_id.value() >= zones_.size() || pages == 0) {
     return ErrorCode::kOutOfRange;
   }
@@ -355,6 +357,7 @@ Result<AppendResult> ZnsDevice::Append(ZoneId zone_id, std::uint32_t pages, SimT
 
 Result<SimTime> ZnsDevice::Read(Lba lba, std::uint32_t pages, SimTime issue,
                                 std::span<std::uint8_t> out) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kRead);
   const std::uint32_t page_size = flash_.geometry().page_size;
   if (!out.empty() && out.size() != static_cast<std::size_t>(pages) * page_size) {
     return ErrorCode::kInvalidArgument;
@@ -399,6 +402,7 @@ Result<SimTime> ZnsDevice::Read(Lba lba, std::uint32_t pages, SimTime issue,
 }
 
 Result<SimTime> ZnsDevice::OpenZone(ZoneId zone_id, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kOther);
   if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
@@ -411,6 +415,7 @@ Result<SimTime> ZnsDevice::OpenZone(ZoneId zone_id, SimTime issue) {
 }
 
 Result<SimTime> ZnsDevice::CloseZone(ZoneId zone_id, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kOther);
   if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
@@ -427,6 +432,7 @@ Result<SimTime> ZnsDevice::CloseZone(ZoneId zone_id, SimTime issue) {
 }
 
 Result<SimTime> ZnsDevice::FinishZone(ZoneId zone_id, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kOther);
   if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
@@ -451,6 +457,7 @@ Result<SimTime> ZnsDevice::FinishZone(ZoneId zone_id, SimTime issue) {
 }
 
 Result<SimTime> ZnsDevice::ResetZone(ZoneId zone_id, SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kReset);
   if (zone_id.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }
@@ -508,6 +515,7 @@ Result<SimTime> ZnsDevice::ResetZone(ZoneId zone_id, SimTime issue) {
 
 Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, ZoneId dst_zone,
                                       SimTime issue) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZns, ProfOp::kMaintenance);
   if (dst_zone.value() >= zones_.size()) {
     return ErrorCode::kOutOfRange;
   }

@@ -253,6 +253,7 @@ Result<SimTime> ZoneFileSystem::FlushTailPage(FileMeta& file, SimTime now, bool 
 }
 
 Result<SimTime> ZoneFileSystem::Create(std::string_view name, Lifetime hint, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZoneFile, ProfOp::kOther);
   if (Find(name) != nullptr) {
     return ErrorCode::kAlreadyExists;
   }
@@ -273,6 +274,7 @@ Result<SimTime> ZoneFileSystem::Create(std::string_view name, Lifetime hint, Sim
 
 Result<SimTime> ZoneFileSystem::Append(std::string_view name,
                                        std::span<const std::uint8_t> data, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZoneFile, ProfOp::kAppend);
   FileMeta* file = Find(name);
   if (file == nullptr) {
     return ErrorCode::kNotFound;
@@ -312,6 +314,7 @@ Result<SimTime> ZoneFileSystem::Append(std::string_view name,
 
 Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset,
                                      std::span<std::uint8_t> out, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZoneFile, ProfOp::kRead);
   const FileMeta* file = Find(name);
   if (file == nullptr) {
     return ErrorCode::kNotFound;
@@ -368,6 +371,7 @@ Result<SimTime> ZoneFileSystem::Read(std::string_view name, std::uint64_t offset
 }
 
 Result<SimTime> ZoneFileSystem::Sync(std::string_view name, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZoneFile, ProfOp::kFlush);
   FileMeta* file = Find(name);
   if (file == nullptr) {
     return ErrorCode::kNotFound;
@@ -406,6 +410,7 @@ Result<SimTime> ZoneFileSystem::Sync(std::string_view name, SimTime now) {
 }
 
 Result<SimTime> ZoneFileSystem::Delete(std::string_view name, SimTime now) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kZoneFile, ProfOp::kOther);
   FileMeta* file = Find(name);
   if (file == nullptr) {
     return ErrorCode::kNotFound;
@@ -533,6 +538,8 @@ Status ZoneFileSystem::StartGcVictim(SimTime now, bool critical) {
 }
 
 Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t max_pages) {
+  SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_),
+                                 ProfSubsystem::kZoneFile, ProfOp::kCompaction);
   // Relocation writes, the compaction batch journal, and the victim reset are filesystem
   // zone-compaction work, not application data.
   WriteProvenance::CauseScope cause(ProvenanceOf(telemetry_), WriteCause::kZoneCompaction,

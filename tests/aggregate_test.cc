@@ -1,0 +1,120 @@
+// Edge cases for src/telemetry/aggregate.h: the cross-registry folds the fleet layer builds
+// its merged views from. The interesting boundaries are empty/missing instruments (a device
+// that never recorded), the degenerate single-device fleet, and percentile exactness when
+// sources occupy disjoint bucket ranges — the case where "merge the p99s" would be wildly
+// wrong and bucket-count merging must equal the concatenated-stream histogram.
+
+#include <array>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/aggregate.h"
+#include "src/telemetry/metric_registry.h"
+#include "src/util/histogram.h"
+
+namespace blockhead {
+namespace {
+
+TEST(MergeHistogramAcrossTest, EmptyHistogramsContributeNothingButCount) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.GetHistogram("lat");  // Registered but never recorded.
+  b.GetHistogram("lat");
+  const std::array<MetricRegistry*, 2> sources = {&a, &b};
+  Histogram out;
+  EXPECT_EQ(MergeHistogramAcross(sources, "lat", &out), 2u);
+  EXPECT_EQ(out.count(), 0u);
+  EXPECT_EQ(out.Percentile(0.99), 0u);  // Empty histogram percentiles are 0 by contract.
+}
+
+TEST(MergeHistogramAcrossTest, MissingOrMismatchedSourcesAreSkipped) {
+  MetricRegistry has;
+  MetricRegistry missing;
+  MetricRegistry wrong_kind;
+  has.GetHistogram("lat")->Record(100);
+  wrong_kind.GetCounter("lat")->Add(7);  // Same name, not a histogram.
+  const std::array<MetricRegistry*, 3> sources = {&has, &missing, &wrong_kind};
+  Histogram out;
+  EXPECT_EQ(MergeHistogramAcross(sources, "lat", &out), 1u);
+  EXPECT_EQ(out.count(), 1u);
+  // The skipped lookups must not have materialized instruments in the sources.
+  MetricKind kind;
+  EXPECT_FALSE(missing.Lookup("lat", &kind));
+  ASSERT_TRUE(wrong_kind.Lookup("lat", &kind));
+  EXPECT_EQ(kind, MetricKind::kCounter);
+}
+
+TEST(MergeHistogramAcrossTest, SingleDeviceFleetIsIdentity) {
+  MetricRegistry only;
+  Histogram* h = only.GetHistogram("lat");
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h->Record(v * 17);
+  }
+  const std::array<MetricRegistry*, 1> sources = {&only};
+  Histogram out;
+  EXPECT_EQ(MergeHistogramAcross(sources, "lat", &out), 1u);
+  EXPECT_EQ(out.count(), h->count());
+  EXPECT_EQ(out.sum(), h->sum());
+  EXPECT_EQ(out.min(), h->min());
+  EXPECT_EQ(out.max(), h->max());
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_EQ(out.Percentile(q), h->Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(SumCounterAcrossTest, MissingAndMismatchedContributeZero) {
+  MetricRegistry a;
+  MetricRegistry b;
+  MetricRegistry c;
+  a.GetCounter("shed")->Add(3);
+  c.GetGauge("shed")->Set(99.0);  // Same name, wrong kind: skipped.
+  const std::array<MetricRegistry*, 3> sources = {&a, &b, &c};
+  EXPECT_EQ(SumCounterAcross(sources, "shed"), 3u);
+}
+
+TEST(RefreshMergedHistogramTest, DisjointBucketRangesMatchConcatenatedStream) {
+  // Device A lives in the ~1us range, device B three decades higher: every sample stream
+  // lands in buckets the other never touches. The merged histogram must be exactly the
+  // histogram of the concatenated streams — same bucket counts, so identical percentiles.
+  MetricRegistry a;
+  MetricRegistry b;
+  MetricRegistry fleet;
+  Histogram reference;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::uint64_t low = 1000 + i * 3;
+    a.GetHistogram("lat")->Record(low);
+    reference.Record(low);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t high = 1'000'000 + i * 999;
+    b.GetHistogram("lat")->Record(high);
+    reference.Record(high);
+  }
+  const std::array<MetricRegistry*, 2> sources = {&a, &b};
+  EXPECT_EQ(RefreshMergedHistogram(&fleet, "fleet.lat", sources, "lat"), 2u);
+  const Histogram* merged = fleet.GetHistogram("fleet.lat");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), 400u);
+  EXPECT_EQ(merged->sum(), reference.sum());
+  for (const double q : {0.0, 0.5, 0.74, 0.76, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged->Percentile(q), reference.Percentile(q)) << "q=" << q;
+  }
+  // The 75th sample boundary sits exactly at the A/B split: p50 must come from A's range,
+  // p90 from B's — a "median of medians" would get both wrong.
+  EXPECT_LT(merged->Percentile(0.5), 3000u);
+  EXPECT_GT(merged->Percentile(0.9), 900'000u);
+}
+
+TEST(RefreshMergedHistogramTest, RepeatedRefreshIsIdempotent) {
+  MetricRegistry src;
+  MetricRegistry fleet;
+  src.GetHistogram("lat")->RecordMany(500, 42);
+  const std::array<MetricRegistry*, 1> sources = {&src};
+  EXPECT_EQ(RefreshMergedHistogram(&fleet, "fleet.lat", sources, "lat"), 1u);
+  EXPECT_EQ(RefreshMergedHistogram(&fleet, "fleet.lat", sources, "lat"), 1u);
+  EXPECT_EQ(fleet.GetHistogram("fleet.lat")->count(), 42u);  // Not doubled.
+}
+
+}  // namespace
+}  // namespace blockhead

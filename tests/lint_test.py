@@ -48,6 +48,28 @@ class WallClockRuleTest(unittest.TestCase):
         self.assertEqual(
             findings_of(lint.check_wall_clock, os.path.join("bench", "x.cc"), text), [])
 
+    SELFPROF = os.path.join("src", "telemetry", "selfprof", "self_profiler.cc")
+
+    def test_selfprof_may_use_steady_clock_and_chrono(self):
+        text = ("#include <chrono>\n"
+                "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(findings_of(lint.check_wall_clock, self.SELFPROF, text), [])
+
+    def test_selfprof_calendar_clocks_still_banned(self):
+        text = ("#include <ctime>\n"
+                "auto t = std::chrono::system_clock::now();\n"
+                "auto h = std::chrono::high_resolution_clock::now();\n"
+                "time(nullptr);\n")
+        out = findings_of(lint.check_wall_clock, self.SELFPROF, text)
+        self.assertEqual(len(out), 4)
+        self.assertTrue(all(f[2] == "wall-clock" for f in out))
+
+    def test_steady_clock_outside_selfprof_still_banned(self):
+        text = "auto t = std::chrono::steady_clock::now();\n"
+        out = findings_of(
+            lint.check_wall_clock, os.path.join("src", "telemetry", "timeline.cc"), text)
+        self.assertEqual(len(out), 1)
+
 
 class CauseScopeRuleTest(unittest.TestCase):
     PROGRAM = "dev->ProgramPage(addr, now);\n"

@@ -5,7 +5,11 @@ Enforces invariants that the compiler cannot (or that we want flagged before it 
 
   wall-clock     src/ must stay deterministic: no std::chrono clocks, time(), gettimeofday,
                  clock_gettime, localtime/gmtime/strftime, or <chrono>/<ctime> includes.
-                 Simulated time (SimTime) is the only clock.
+                 Simulated time (SimTime) is the only clock. One sanctioned exception:
+                 src/telemetry/selfprof/ (the host-side self-profiler) may use
+                 std::chrono::steady_clock and #include <chrono> — it measures the simulator
+                 itself and never feeds wall time back into simulation state. Every other
+                 clock (system_clock, time(), ...) stays banned there too.
   cause-scope    Any src/ file (outside src/flash/, which implements the recording) that
                  calls FlashDevice::ProgramPage or ::EraseBlock must open a
                  WriteProvenance::CauseScope, so write-provenance attribution stays
@@ -88,13 +92,25 @@ def is_comment_or_string(line, pos):
     return line.count('"', 0, pos) % 2 == 1
 
 
+# The one place wall-clock access is legal: the self-profiler measures the simulator itself
+# (host CPU cost per simulated op) and never feeds wall time back into simulation state.
+# Only the monotonic steady_clock and the <chrono> header are allowed there; calendar clocks
+# (system_clock, time(), localtime, ...) stay banned even in selfprof.
+WALL_CLOCK_ALLOWLIST_DIR = os.path.join("src", "telemetry", "selfprof") + os.sep
+WALL_CLOCK_ALLOWED_RE = re.compile(
+    r"std::chrono::steady_clock|#include\s*<chrono>")
+
+
 def check_wall_clock(path, lines):
     if not path.startswith("src" + os.sep):
         return
+    allowlisted = path.startswith(WALL_CLOCK_ALLOWLIST_DIR)
     for i, line in enumerate(lines, 1):
         for pattern, label in WALL_CLOCK_PATTERNS:
             m = pattern.search(line)
             if m and not is_comment_or_string(line, m.start()):
+                if allowlisted and WALL_CLOCK_ALLOWED_RE.match(line, m.start()):
+                    continue
                 yield (path, i, "wall-clock", f"{label} breaks simulation determinism; "
                        "use SimTime")
 
