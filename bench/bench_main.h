@@ -33,6 +33,13 @@
 //   --repeat <n>         run the bench body n times (fresh telemetry each time); derived
 //                        perf gauges are medians across repeats (noise suppression for the
 //                        regression gate), and SimTime-domain output must be byte-identical
+//   --exemplars <path>   enable the reqpath critical-path ledger and write the worst-k tail
+//                        exemplars (per op type, full segment breakdown + top interferer) as
+//                        JSON; also adds victim<->interferer flow arrows to --trace output.
+//                        Deterministic: same seed -> byte-identical file
+//   --slo <path>         enable the reqpath ledger and write the machine-readable SLO report
+//                        (burn rates per registered objective) as JSON; benches register
+//                        their objectives via telemetry.reqpath.AddObjective
 //   --help               usage
 
 #ifndef BLOCKHEAD_BENCH_BENCH_MAIN_H_
@@ -70,6 +77,8 @@ struct BenchOptions {
   std::string trace_path;
   std::string timeseries_path;
   std::string ledger_path;
+  std::string exemplars_path;
+  std::string slo_path;
   bool print_metrics = false;
   bool perf = false;  // --perf: self-profiler on (RunBenchMain enables it per repeat).
   int repeat = 1;     // --repeat: bench body runs this many times.
@@ -98,6 +107,10 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
       opts.timeseries_path = need_value("--timeseries");
     } else if (std::strcmp(arg, "--ledger") == 0) {
       opts.ledger_path = need_value("--ledger");
+    } else if (std::strcmp(arg, "--exemplars") == 0) {
+      opts.exemplars_path = need_value("--exemplars");
+    } else if (std::strcmp(arg, "--slo") == 0) {
+      opts.slo_path = need_value("--slo");
     } else if (std::strcmp(arg, "--metrics") == 0) {
       opts.print_metrics = true;
     } else if (std::strcmp(arg, "--perf") == 0) {
@@ -115,7 +128,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--json <path>] [--csv <path>] [--trace <path>] [--timeseries <path>] "
-          "[--ledger <path>] [--metrics] [--perf] [--repeat <n>]\n",
+          "[--ledger <path>] [--exemplars <path>] [--slo <path>] [--metrics] [--perf] "
+          "[--repeat <n>]\n",
           bench_name);
       std::exit(0);
     } else {
@@ -268,6 +282,25 @@ inline int FinishBench(const BenchOptions& opts, const char* bench_name, Telemet
       return 1;
     }
   }
+  if (!opts.exemplars_path.empty()) {
+    const Status s = WriteStringToFile(opts.exemplars_path, telemetry.reqpath.DumpExemplarsJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --exemplars: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.slo_path.empty()) {
+    const Status s = WriteStringToFile(opts.slo_path, telemetry.reqpath.SloReportJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --slo: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (telemetry.reqpath.enabled()) {
+    // Tail exemplars become timeline slices with victim<->interferer flow arrows; must land
+    // before the trace export below so they are part of the stream.
+    telemetry.reqpath.EmitExemplarTimeline(&telemetry.timeline);
+  }
   if (!opts.trace_path.empty()) {
     // Dual-clock export: with --perf the host-clock self-profile rides along as a fourth
     // process track; without it the trace stays byte-identical to the pre-profiler format.
@@ -306,6 +339,11 @@ inline int RunBenchMain(int argc, char** argv, const char* bench_name,
     Telemetry telemetry;
     if (opts.perf) {
       telemetry.selfprof.Enable();
+    }
+    if (!opts.exemplars_path.empty() || !opts.slo_path.empty()) {
+      // Enable-before-body, like the self-profiler: layer charge sites test enabled() per op,
+      // so activation is independent of attachment order. Zero overhead when off.
+      telemetry.reqpath.Enable();
     }
     rc = body(opts, telemetry);
     if (rc != 0) {

@@ -75,6 +75,7 @@ benches=(
   "bench_multistream 3"
   "bench_block_emulation 23"
   "bench_fleet 42"
+  "bench_interference 7"
 )
 
 # Perf subset: the gate reruns each bench PERF_REPEATS times, so only the fast benches

@@ -237,6 +237,56 @@ assert any(values[f"{p}.migration.completed"] > 0 for p in rebalanced), \
 print(f"smoke: fleet ok ({len(prefixes)} configurations, byte-identical reruns)")
 PY
 
+  echo "=== smoke: request-path exemplars + SLO report schema + determinism ==="
+  build/bench/bench_interference --exemplars "$smoke_dir/exemplars.json" \
+    --slo "$smoke_dir/slo.json" > /dev/null
+  build/bench/bench_interference --exemplars "$smoke_dir/exemplars_again.json" \
+    --slo "$smoke_dir/slo_again.json" > /dev/null
+  cmp "$smoke_dir/exemplars.json" "$smoke_dir/exemplars_again.json"
+  cmp "$smoke_dir/slo.json" "$smoke_dir/slo_again.json"
+  python3 - "$smoke_dir/exemplars.json" "$smoke_dir/slo.json" <<'PY'
+import json, sys
+
+# --exemplars schema: {"exemplars": [...]} worst-k per op class, each with the full
+# exclusive segment breakdown summing exactly to the end-to-end latency (the attribution
+# identity on serialized rows), ordered worst-first within an op class.
+with open(sys.argv[1]) as f:
+    dump = json.load(f)
+exemplars = dump["exemplars"]
+assert exemplars, "no exemplars captured"
+SEGMENTS = ("admission_queue", "device_queue", "flash_busy", "gc_stall",
+            "compaction_stall", "migration_stall", "replication", "host_other")
+by_op = {}
+for e in exemplars:
+    assert e["op"] in ("read", "write", "trim"), e["op"]
+    seg_sum = sum(e["segments"][s + "_ns"] for s in SEGMENTS)
+    assert seg_sum == e["latency_ns"], \
+        f"identity broken: segments {seg_sum} != latency {e['latency_ns']}"
+    assert e["completion_ns"] - e["issue_ns"] == e["latency_ns"]
+    by_op.setdefault(e["op"], []).append(e["latency_ns"])
+    assert e["top_interference"]["cause"] and e["top_interference"]["layer"]
+    if e["interferer"]["track"]:
+        assert e["interferer"]["cause"] and e["interferer"]["layer"]
+        assert e["interferer"]["end_ns"] >= e["interferer"]["begin_ns"]
+for op, lats in by_op.items():
+    assert lats == sorted(lats, reverse=True), f"{op} exemplars not worst-first"
+
+# --slo schema: per objective the target, rolling quantile, violation tallies, and both
+# burn rates; breached only when both windows burn above budget.
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+slos = report["slo"]
+assert slos, "no SLO objectives in report"
+for s in slos:
+    assert s["quantile"] > 0 and s["target_ns"] > 0 and s["window_ns"] > 0
+    assert s["window_violations"] <= s["window_total"]
+    float(s["burn_short"]), float(s["burn_long"])
+    if s["breached"]:
+        assert s["burn_short"] > 1.0 and s["burn_long"] > 1.0
+print(f"smoke: reqpath ok ({len(exemplars)} exemplars over {len(by_op)} op classes, "
+      f"{len(slos)} SLOs, byte-identical reruns)")
+PY
+
   echo "=== smoke: self-profiler --perf --repeat + dual-clock trace ==="
   # The binary itself asserts SimTime-domain byte-identity across the two repeats (exit 3 on
   # divergence — a wall-clock leak into simulation state); the python below checks the

@@ -12,7 +12,7 @@ FlashDevice::FlashDevice(const FlashConfig& config) : config_(config), rng_(conf
   blocks_.resize(config_.geometry.total_blocks());
   plane_busy_.assign(config_.geometry.total_planes(), 0);
   channel_busy_.assign(config_.geometry.channels, 0);
-  plane_maintenance_busy_.assign(config_.geometry.total_planes(), 0);
+  plane_maintenance_busy_.assign(config_.geometry.total_planes(), MaintMark{});
   plane_busy_series_.assign(config_.geometry.total_planes(), BusySeries{});
   channel_busy_series_.assign(config_.geometry.channels, BusySeries{});
   sharding_.Init(config_.geometry.channels, config_.geometry.total_planes());
@@ -33,6 +33,7 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
     program_latency_ = nullptr;
     provenance_ = nullptr;
     ledger_ = nullptr;
+    reqpath_ = nullptr;
     sampler_group_ = -1;
     return;
   }
@@ -41,6 +42,7 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
   program_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".program.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
   provenance_ = &telemetry_->provenance;
+  reqpath_ = &telemetry_->reqpath;
   ledger_ = provenance_->RegisterDevice(metric_prefix_, config_.geometry.total_blocks(),
                                         config_.timing.endurance_cycles,
                                         Bytes{config_.geometry.page_size});
@@ -98,12 +100,19 @@ void FlashDevice::PublishMetrics() {
 }
 
 void FlashDevice::NoteMaintenance(std::uint32_t plane_index, SimTime done) {
-  plane_maintenance_busy_[plane_index] = std::max(plane_maintenance_busy_[plane_index], done);
+  MaintMark& mark = plane_maintenance_busy_[plane_index];
+  if (done >= mark.done) {
+    mark.done = done;
+    if (provenance_ != nullptr) {
+      mark.cause = provenance_->current_cause();
+      mark.layer = provenance_->current_layer();
+    }
+  }
 }
 
 SimTime FlashDevice::MaintenanceOverlap(std::uint32_t plane_index, SimTime issue,
                                         SimTime start) const {
-  const SimTime maint = plane_maintenance_busy_[plane_index];
+  const SimTime maint = plane_maintenance_busy_[plane_index].done;
   const SimTime capped = std::min(start, maint);
   return capped > issue ? capped - issue : 0;
 }
@@ -160,6 +169,19 @@ Result<SimTime> FlashDevice::ReadPage(const PhysAddr& addr, SimTime issue,
       c.flash_ops = 1;
       telemetry_->tracer.Charge(c);
       read_latency_->Record(done - issue);
+      if (reqpath_->InRequest()) {
+        // Wall-to-wall decomposition of [issue, done): GC stall behind maintenance, plane
+        // wait, cell read, channel wait, transfer out. Sums to done - issue exactly.
+        const MaintMark& mark = plane_maintenance_busy_[plane_index];
+        if (gc_wait > 0) {
+          reqpath_->ChargeInterference(issue, issue + gc_wait, mark.cause, mark.layer,
+                                       plane_tracks_[plane_index]);
+        }
+        reqpath_->ChargeInterval(issue + gc_wait, read_start, PathSegment::kDeviceQueue);
+        reqpath_->ChargeInterval(read_start, read_done, PathSegment::kFlashBusy);
+        reqpath_->ChargeInterval(read_done, xfer_start, PathSegment::kDeviceQueue);
+        reqpath_->ChargeInterval(xfer_start, done, PathSegment::kFlashBusy);
+      }
       if (telemetry_->timeline.enabled()) {
         plane_busy_series_[plane_index].Book(read_start, read_done);
         channel_busy_series_[addr.channel.value()].Book(xfer_start, done);
@@ -243,6 +265,21 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
       c.flash_ops = 1;
       telemetry_->tracer.Charge(c);
       program_latency_->Record(done - issue);
+      if (reqpath_->InRequest()) {
+        // Wall-to-wall decomposition of [issue, done): bus wait, transfer in, GC stall
+        // behind maintenance, plane wait, cell program. Sums to done - issue exactly.
+        const MaintMark& mark = plane_maintenance_busy_[plane_index];
+        const SimTime xfer_start = issue + bus_wait;
+        reqpath_->ChargeInterval(issue, xfer_start, PathSegment::kDeviceQueue);
+        reqpath_->ChargeInterval(xfer_start, program_can_start, PathSegment::kFlashBusy);
+        if (gc_wait > 0) {
+          reqpath_->ChargeInterference(program_can_start, program_can_start + gc_wait,
+                                       mark.cause, mark.layer, plane_tracks_[plane_index]);
+        }
+        reqpath_->ChargeInterval(program_can_start + gc_wait, program_start,
+                                 PathSegment::kDeviceQueue);
+        reqpath_->ChargeInterval(program_start, done, PathSegment::kFlashBusy);
+      }
       if (telemetry_->timeline.enabled()) {
         channel_busy_series_[addr.channel.value()].Book(program_can_start -
                                                     config_.timing.channel_xfer,

@@ -147,8 +147,17 @@ class FlashDevice {
   BlockState& BlockAt(const PhysAddr& addr);
   const BlockState& BlockAt(const PhysAddr& addr) const;
 
+  // Last maintenance op on a plane: completion time plus the provenance identity of whoever
+  // caused it, so a host op stalled behind it can name its interferer (reqpath).
+  struct MaintMark {
+    SimTime done = 0;
+    WriteCause cause = WriteCause::kDeviceGC;
+    StackLayer layer = StackLayer::kFlash;
+  };
+
   // Marks [.., done] on a plane as maintenance work (internal copies, erases); host-op waits
-  // that overlap it are attributed to GC interference.
+  // that overlap it are attributed to GC interference. Captures the innermost open
+  // CauseScope as the interferer identity.
   void NoteMaintenance(std::uint32_t plane_index, SimTime done);
   // Portion of a host op's wait [issue, start) spent behind maintenance work on the plane.
   SimTime MaintenanceOverlap(std::uint32_t plane_index, SimTime issue, SimTime start) const;
@@ -158,8 +167,8 @@ class FlashDevice {
   std::vector<BlockState> blocks_;       // Indexed by FlatBlockIndex.
   std::vector<SimTime> plane_busy_;      // Indexed by PlaneIndex.
   std::vector<SimTime> channel_busy_;    // Indexed by channel.
-  // Completion time of the last maintenance op per plane (GC-interference attribution).
-  std::vector<SimTime> plane_maintenance_busy_;
+  // Last maintenance op per plane (GC-interference attribution + interferer identity).
+  std::vector<MaintMark> plane_maintenance_busy_;
   // Busy intervals (host + maintenance), settled at sample boundaries so the timeline's
   // kRate samplers report true 0..1 busy fractions even though ops book their whole service
   // interval at issue time. Booked only while the timeline is enabled.
@@ -175,6 +184,9 @@ class FlashDevice {
   // CauseScope. The ledger pointer is cached at attach so the hot path does no map lookup.
   WriteProvenance* provenance_ = nullptr;
   WriteProvenance::DeviceLedger* ledger_ = nullptr;
+  // Request-path charging: host ops attribute their queue/GC/media intervals to the active
+  // request's exclusive segments. Cached at attach like the provenance ledger.
+  RequestPathLedger* reqpath_ = nullptr;
   std::uint32_t max_erase_count_ = 0;  // Running max, sampled as a timeline counter track.
   int sampler_group_ = -1;
   std::vector<std::string> plane_tracks_;  // Precomputed "<prefix>.plane<i>" track names.

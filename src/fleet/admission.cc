@@ -39,18 +39,21 @@ void ShardAdmission::Refill(ShardState* state, SimTime now) const {
 }
 
 AdmissionDecision ShardAdmission::Admit(ShardId shard, SimTime now, std::uint64_t pages,
-                                        bool is_write) {
+                                        bool is_write, const RequestContext& ctx) {
   assert(shard.value() < shards_.size());
   ShardState& state = shards_[shard.value()];
+  TenantTally& tenant = tenant_tallies_[ctx.tenant];
   if (!config_.enabled) {
     ++state.admitted;
     ++state.outstanding;
     ++total_admitted_;
+    ++tenant.admitted;
     return AdmissionDecision::kAdmit;
   }
   if (config_.max_queue_depth != 0 && state.outstanding >= config_.max_queue_depth) {
     ++state.shed_queue;
     ++total_shed_queue_;
+    ++tenant.shed;
     return AdmissionDecision::kShedQueue;
   }
   if (is_write && config_.tokens_per_second != 0) {
@@ -58,6 +61,7 @@ AdmissionDecision ShardAdmission::Admit(ShardId shard, SimTime now, std::uint64_
     if (state.tokens < static_cast<double>(pages)) {
       ++state.shed_rate;
       ++total_shed_rate_;
+      ++tenant.shed;
       return AdmissionDecision::kShedRate;
     }
     state.tokens -= static_cast<double>(pages);
@@ -65,6 +69,7 @@ AdmissionDecision ShardAdmission::Admit(ShardId shard, SimTime now, std::uint64_
   ++state.admitted;
   ++state.outstanding;
   ++total_admitted_;
+  ++tenant.admitted;
   return AdmissionDecision::kAdmit;
 }
 

@@ -15,9 +15,11 @@
 #define BLOCKHEAD_SRC_FLEET_ADMISSION_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/core/strong_id.h"
+#include "src/telemetry/reqpath/request_path.h"
 #include "src/util/types.h"
 
 namespace blockhead {
@@ -48,7 +50,9 @@ class ShardAdmission {
   // Decides whether an op for `pages` pages may issue on `shard` at time `now`. On kAdmit the
   // tokens are consumed (writes only) and the op is counted outstanding; the caller MUST later
   // call RecordCompletion(shard) exactly once. On a shed nothing is consumed or counted.
-  AdmissionDecision Admit(ShardId shard, SimTime now, std::uint64_t pages, bool is_write);
+  // `ctx` only feeds the per-tenant tallies; it never changes the decision.
+  AdmissionDecision Admit(ShardId shard, SimTime now, std::uint64_t pages, bool is_write,
+                          const RequestContext& ctx = {});
 
   // Marks one previously admitted op on `shard` complete, freeing its queue-depth slot.
   void RecordCompletion(ShardId shard);
@@ -62,6 +66,13 @@ class ShardAdmission {
   std::uint64_t total_shed_rate() const { return total_shed_rate_; }
   std::uint64_t total_shed_queue() const { return total_shed_queue_; }
   std::uint64_t total_shed() const { return total_shed_rate_ + total_shed_queue_; }
+
+  // Per-tenant decision tallies, keyed by RequestContext tenant id.
+  struct TenantTally {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+  const std::map<std::uint32_t, TenantTally>& tenant_tallies() const { return tenant_tallies_; }
 
  private:
   struct ShardState {
@@ -80,6 +91,7 @@ class ShardAdmission {
   std::uint64_t total_admitted_ = 0;
   std::uint64_t total_shed_rate_ = 0;
   std::uint64_t total_shed_queue_ = 0;
+  std::map<std::uint32_t, TenantTally> tenant_tallies_;
 };
 
 }  // namespace blockhead

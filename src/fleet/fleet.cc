@@ -221,7 +221,7 @@ bool Fleet::DeviceHoldsShard(std::uint32_t device_index, ShardId shard) const {
 }
 
 Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
-                            std::span<std::uint8_t> out) {
+                            std::span<std::uint8_t> out, const RequestContext& ctx) {
   SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kRead);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
@@ -230,9 +230,14 @@ Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
   if (offset + count > config_.shard_pages) {
     return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
   }
+  // Outermost-wins: when the driver already opened the request at arrival (to capture
+  // admission backoff), this scope does not own it and the per-device scopes below resolve to
+  // the same delegated fleet ledger.
+  RequestPathLedger::RequestScope req_scope(ReqPathOf(telemetry_), ctx, issue);
   const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
   DrainCompletions(issue);
-  const AdmissionDecision decision = admission_.Admit(shard, issue, count, /*is_write=*/false);
+  const AdmissionDecision decision =
+      admission_.Admit(shard, issue, count, /*is_write=*/false, ctx);
   if (decision != AdmissionDecision::kAdmit) {
     return Status(ErrorCode::kBusy, AdmissionDecisionName(decision));
   }
@@ -246,7 +251,7 @@ Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
   for (std::size_t d = 0; d < devices_.size(); ++d) {
     pending[d] = static_cast<std::uint32_t>(devices_[d]->inflight.size());
   }
-  const std::uint32_t pick = router_.PickReadReplica(shard, replica_devices, pending);
+  const std::uint32_t pick = router_.PickReadReplica(shard, replica_devices, pending, ctx);
   const ShardPlacement& p = replicas[pick];
   FleetDevice* dev = devices_[p.device_index].get();
   const Lba dev_lba{static_cast<std::uint64_t>(p.slot_index) * config_.shard_pages + offset};
@@ -263,11 +268,12 @@ Result<SimTime> Fleet::Read(Lba lba, std::uint32_t count, SimTime issue,
   shard_latency_[shard.value()].Record(latency);
   stats_.app_reads++;
   stats_.app_pages_read += count;
+  req_scope.Complete(completion);
   return completion;
 }
 
 Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
-                             std::span<const std::uint8_t> data) {
+                             std::span<const std::uint8_t> data, const RequestContext& ctx) {
   SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kWrite);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
@@ -276,16 +282,25 @@ Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
   if (offset + count > config_.shard_pages) {
     return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
   }
+  RequestPathLedger::RequestScope req_scope(ReqPathOf(telemetry_), ctx, issue);
   const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
   DrainCompletions(issue);
-  const AdmissionDecision decision = admission_.Admit(shard, issue, count, /*is_write=*/true);
+  const AdmissionDecision decision =
+      admission_.Admit(shard, issue, count, /*is_write=*/true, ctx);
   if (decision != AdmissionDecision::kAdmit) {
     return Status(ErrorCode::kBusy, AdmissionDecisionName(decision));
   }
   SimTime completion = issue;
-  for (const ShardPlacement& p : placement(shard)) {
+  const std::span<const ShardPlacement> replicas = placement(shard);
+  for (std::uint32_t r = 0; r < replicas.size(); ++r) {
+    const ShardPlacement& p = replicas[r];
     FleetDevice* dev = devices_[p.device_index].get();
     const Lba dev_lba{static_cast<std::uint64_t>(p.slot_index) * config_.shard_pages + offset};
+    // The primary replica charges its segments normally; secondary replicas reclassify as
+    // replication fan-out. With watermark clipping, only the straggler tail beyond the
+    // earlier replicas' completion actually lands in kReplication.
+    RequestPathLedger::SegmentOverrideScope repl_scope(
+        r == 0 ? nullptr : ReqPathOf(telemetry_), PathSegment::kReplication);
     Result<SimTime> done = dev->block->WriteBlocks(dev_lba, count, issue, data);
     if (!done.ok()) {
       admission_.RecordCompletion(shard);
@@ -297,13 +312,18 @@ Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
     completion = std::max(completion, replica_done);
   }
   // Mirror foreground writes into an in-flight migration target so the copied shard image
-  // stays consistent with live data. Attributed to the migration, not the application.
+  // stays consistent with live data. Attributed to the migration, not the application — in
+  // the wear ledger (CauseScope) and on the victim's critical path (InterferenceScope).
   if (migration_.active && migration_.shard == shard) {
     FleetDevice* dst = devices_[migration_.target_device].get();
     const Lba dst_lba{static_cast<std::uint64_t>(migration_.target_slot) * config_.shard_pages +
                       offset};
     WriteProvenance::CauseScope scope(ProvenanceOf(dst->telemetry.get()),
                                       WriteCause::kFleetMigration, StackLayer::kFleet);
+    RequestPathLedger::InterferenceScope mig_scope(ReqPathOf(telemetry_),
+                                                   WriteCause::kFleetMigration,
+                                                   StackLayer::kFleet,
+                                                   metric_prefix_ + ".migration");
     Result<SimTime> done = dst->block->WriteBlocks(dst_lba, count, issue, data);
     if (done.ok()) {
       stats_.dual_write_pages += count;
@@ -317,10 +337,12 @@ Result<SimTime> Fleet::Write(Lba lba, std::uint32_t count, SimTime issue,
   stats_.app_writes++;
   stats_.app_pages_written += count;
   shard_write_pages_[shard.value()] += count;
+  req_scope.Complete(completion);
   return completion;
 }
 
-Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
+Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue,
+                            const RequestContext& ctx) {
   SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kOther);
   if (count == 0 || lba.value() + count > num_pages()) {
     return ErrorCode::kOutOfRange;
@@ -329,6 +351,7 @@ Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
   if (offset + count > config_.shard_pages) {
     return Status(ErrorCode::kInvalidArgument, "fleet request crosses a shard boundary");
   }
+  RequestPathLedger::RequestScope req_scope(ReqPathOf(telemetry_), ctx, issue);
   const ShardId shard{static_cast<std::uint32_t>(lba.value() / config_.shard_pages)};
   SimTime completion = issue;
   for (const ShardPlacement& p : placement(shard)) {
@@ -341,6 +364,7 @@ Result<SimTime> Fleet::Trim(Lba lba, std::uint32_t count, SimTime issue) {
     completion = std::max(completion, done.value());
   }
   stats_.app_trims++;
+  req_scope.Complete(completion);
   return completion;
 }
 
@@ -429,6 +453,9 @@ Status Fleet::StartMigration(ShardId shard, std::uint32_t replica_index,
 void Fleet::CopyMigrationChunk(SimTime now) {
   SelfProfiler::Scope prof_scope(ProfilerOf(telemetry_), ProfSubsystem::kFleet, ProfOp::kMigration);
   assert(migration_.active);
+  // Migration copies enter the devices through the same host entry points as real requests;
+  // keep the reqpath ledger from recording them as such.
+  RequestPathLedger::SuppressScope suppress(ReqPathOf(telemetry_));
   FleetDevice* src = devices_[migration_.source_device].get();
   FleetDevice* dst = devices_[migration_.target_device].get();
   const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
@@ -513,6 +540,10 @@ void Fleet::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   for (const std::unique_ptr<FleetDevice>& dev : devices_) {
     dev->telemetry->selfprof.DelegateTo(telemetry_ == nullptr ? nullptr
                                                               : &telemetry_->selfprof);
+    // Same for the critical-path ledger: device-internal charges (flash waits, hostftl
+    // reclaim stalls) attribute to the fleet-level active request.
+    dev->telemetry->reqpath.DelegateTo(telemetry_ == nullptr ? nullptr
+                                                             : &telemetry_->reqpath);
   }
   if (telemetry_ == nullptr) {
     return;
@@ -543,6 +574,15 @@ void Fleet::PublishMetrics() {
                                            admission_.total_shed());
   reg.GetGauge(p + ".admission.shed_fraction")
       ->Set(total > 0.0 ? static_cast<double>(admission_.total_shed()) / total : 0.0);
+  // Per-tenant edge tallies (RequestContext threading through admission and the router).
+  for (const auto& [tenant, tally] : admission_.tenant_tallies()) {
+    const std::string tp = p + ".tenant" + std::to_string(tenant);
+    reg.GetCounter(tp + ".admitted")->Set(tally.admitted);
+    reg.GetCounter(tp + ".shed")->Set(tally.shed);
+  }
+  for (const auto& [tenant, reads] : router_.tenant_reads()) {
+    reg.GetCounter(p + ".tenant" + std::to_string(tenant) + ".routed_reads")->Set(reads);
+  }
 
   // Wear and WA, from the per-device ledgers.
   std::uint64_t fleet_host_pages = 0;
@@ -605,81 +645,164 @@ void Fleet::PublishMetrics() {
   }
 }
 
+namespace {
+
+// One closed-loop stream's mutable state (the whole driver state for RunFleetClosedLoop; one
+// per tenant for RunFleetMultiTenant).
+struct FleetLoopState {
+  std::deque<SimTime> outstanding;
+  SimTime clock = 0;
+};
+
+// Issues one request (clamped to the fleet space and its shard) with shed-retry backoff.
+// `do_step` runs Fleet::Step at the op's issue time, matching the single-tenant driver's
+// historical step placement (after the queue-depth wait, before the op). Returns false on a
+// fatal (non-shed) error, recorded in result.status.
+bool IssueOneFleetOp(Fleet& fleet, IoRequest req, bool do_step,
+                     const FleetDriverOptions& options, std::uint32_t tenant,
+                     FleetLoopState& state, FleetRunResult& result) {
+  const std::uint64_t num_pages = fleet.num_pages();
+  const std::uint64_t shard_pages = fleet.config().shard_pages;
+  // Clamp into the fleet's page space and to the containing shard (fleet requests may not
+  // cross shard boundaries).
+  req.lba %= num_pages;
+  const std::uint64_t offset = req.lba % shard_pages;
+  req.pages =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(req.pages, shard_pages - offset));
+  if (req.pages == 0) {
+    return true;  // Zero-length records (e.g. an empty trace's no-op reads) cost nothing.
+  }
+
+  SimTime issue = state.clock;
+  if (state.outstanding.size() >= options.queue_depth) {
+    issue = std::max(issue, state.outstanding.front());
+    state.outstanding.pop_front();
+  }
+  result.queue_wait_ns += issue - state.clock;
+
+  if (do_step) {
+    fleet.Step(issue);
+  }
+
+  const RequestContext ctx{
+      tenant, req.type == IoType::kRead
+                  ? ReqOp::kRead
+                  : (req.type == IoType::kWrite ? ReqOp::kWrite : ReqOp::kTrim)};
+  RequestPathLedger* ledger = ReqPathOf(fleet.telemetry());
+  // Opened at first issue so shed backoff lands inside the request window, attributed to the
+  // admission queue — not folded into device service segments.
+  RequestPathLedger::RequestScope req_scope(ledger, ctx, issue);
+
+  Result<SimTime> done = 0;
+  std::uint32_t retries = 0;
+  for (;;) {
+    switch (req.type) {
+      case IoType::kRead:
+        done = fleet.Read(Lba{req.lba}, req.pages, issue, {}, ctx);
+        break;
+      case IoType::kWrite:
+        done = fleet.Write(Lba{req.lba}, req.pages, issue, {}, ctx);
+        break;
+      case IoType::kTrim:
+        done = fleet.Trim(Lba{req.lba}, req.pages, issue, ctx);
+        break;
+    }
+    if (done.ok() || done.code() != ErrorCode::kBusy) {
+      break;
+    }
+    // Admission shed: back off in place and retry the same request (sheds are expected).
+    result.sheds++;
+    if (ledger != nullptr) {
+      ledger->ChargeInterval(issue, issue + options.shed_retry_delay,
+                             PathSegment::kAdmissionQueue);
+    }
+    result.shed_retry_wait_ns += options.shed_retry_delay;
+    issue += options.shed_retry_delay;
+    result.end = std::max(result.end, issue);
+    if (++retries >= options.max_shed_retries) {
+      break;  // Budget exhausted; drop this request and move on.
+    }
+  }
+  if (!done.ok()) {
+    if (done.code() == ErrorCode::kBusy) {
+      result.shed_drops++;
+      state.clock = issue;
+      return true;  // Dropped, but the run continues.
+    }
+    result.status = done.status();
+    return false;
+  }
+  const SimTime completion = done.value();
+  req_scope.Complete(completion);
+  state.outstanding.push_back(completion);
+  state.clock = issue;
+  result.end = std::max(result.end, completion);
+  const SimTime latency = completion > issue ? completion - issue : 0;
+  switch (req.type) {
+    case IoType::kRead:
+      result.read_latency.Record(latency);
+      result.reads++;
+      break;
+    case IoType::kWrite:
+      result.write_latency.Record(latency);
+      result.writes++;
+      break;
+    case IoType::kTrim:
+      result.trims++;
+      break;
+  }
+  return true;
+}
+
+}  // namespace
+
 FleetRunResult RunFleetClosedLoop(Fleet& fleet, WorkloadGenerator& gen,
                                   const FleetDriverOptions& options) {
   FleetRunResult result;
   result.start = options.start_time;
   result.end = options.start_time;
-  const std::uint64_t num_pages = fleet.num_pages();
-  const std::uint64_t shard_pages = fleet.config().shard_pages;
-  std::deque<SimTime> outstanding;
-  SimTime clock = options.start_time;
+  FleetLoopState state;
+  state.clock = options.start_time;
 
   for (std::uint64_t n = 0; n < options.ops; ++n) {
-    IoRequest req = gen.Next();
-    // Clamp into the fleet's page space and to the containing shard (fleet requests may not
-    // cross shard boundaries).
-    req.lba %= num_pages;
-    const std::uint64_t offset = req.lba % shard_pages;
-    req.pages = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(req.pages, shard_pages - offset));
-    if (req.pages == 0) {
-      continue;  // Zero-length records (e.g. an empty trace's no-op reads) cost nothing.
-    }
-
-    SimTime issue = clock;
-    if (outstanding.size() >= options.queue_depth) {
-      issue = std::max(issue, outstanding.front());
-      outstanding.pop_front();
-    }
-
-    if (options.step_interval != 0 && n % options.step_interval == 0) {
-      fleet.Step(issue);
-    }
-
-    Result<SimTime> done = 0;
-    switch (req.type) {
-      case IoType::kRead:
-        done = fleet.Read(Lba{req.lba}, req.pages, issue);
-        break;
-      case IoType::kWrite:
-        done = fleet.Write(Lba{req.lba}, req.pages, issue);
-        break;
-      case IoType::kTrim:
-        done = fleet.Trim(Lba{req.lba}, req.pages, issue);
-        break;
-    }
-    if (!done.ok()) {
-      if (done.code() == ErrorCode::kBusy) {
-        // Admission shed: back off and keep going (sheds are an expected outcome here).
-        result.sheds++;
-        clock = issue + options.shed_retry_delay;
-        result.end = std::max(result.end, clock);
-        continue;
-      }
-      result.status = done.status();
+    const bool do_step = options.step_interval != 0 && n % options.step_interval == 0;
+    if (!IssueOneFleetOp(fleet, gen.Next(), do_step, options, options.tenant, state, result)) {
       break;
-    }
-    const SimTime completion = done.value();
-    outstanding.push_back(completion);
-    clock = issue;
-    result.end = std::max(result.end, completion);
-    const SimTime latency = completion > issue ? completion - issue : 0;
-    switch (req.type) {
-      case IoType::kRead:
-        result.read_latency.Record(latency);
-        result.reads++;
-        break;
-      case IoType::kWrite:
-        result.write_latency.Record(latency);
-        result.writes++;
-        break;
-      case IoType::kTrim:
-        result.trims++;
-        break;
     }
   }
   return result;
+}
+
+std::vector<FleetRunResult> RunFleetMultiTenant(Fleet& fleet,
+                                                std::span<const FleetTenantSpec> tenants,
+                                                const FleetDriverOptions& options) {
+  std::vector<FleetRunResult> results(tenants.size());
+  std::vector<FleetLoopState> states(tenants.size());
+  std::vector<std::uint64_t> issued(tenants.size(), 0);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    results[t].start = options.start_time;
+    results[t].end = options.start_time;
+    states[t].clock = options.start_time;
+  }
+  std::uint64_t global_op = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      if (issued[t] >= tenants[t].ops || !results[t].status.ok() ||
+          tenants[t].gen == nullptr) {
+        continue;
+      }
+      const bool do_step =
+          options.step_interval != 0 && global_op % options.step_interval == 0;
+      global_op++;
+      issued[t]++;
+      progressed = true;
+      (void)IssueOneFleetOp(fleet, tenants[t].gen->Next(), do_step, options,
+                            tenants[t].tenant, states[t], results[t]);
+    }
+  }
+  return results;
 }
 
 }  // namespace blockhead

@@ -119,11 +119,17 @@ class Fleet {
   // within one shard (callers clamp — see RunFleetClosedLoop). Writes go to every replica
   // (completion = slowest replica); reads go to one replica picked by the router policy.
   // Admission-shed requests fail with kBusy and touch no device.
+  //
+  // `ctx` threads the request identity (tenant/stream id + op class) through router,
+  // admission, and the reqpath critical-path ledger; it never changes routing or admission
+  // decisions, and is read only for the duration of the call (lint-enforced: by const-ref,
+  // never stored).
   Result<SimTime> Read(Lba lba, std::uint32_t count, SimTime issue,
-                       std::span<std::uint8_t> out = {});
+                       std::span<std::uint8_t> out = {}, const RequestContext& ctx = {});
   Result<SimTime> Write(Lba lba, std::uint32_t count, SimTime issue,
-                        std::span<const std::uint8_t> data = {});
-  Result<SimTime> Trim(Lba lba, std::uint32_t count, SimTime issue);
+                        std::span<const std::uint8_t> data = {}, const RequestContext& ctx = {});
+  Result<SimTime> Trim(Lba lba, std::uint32_t count, SimTime issue,
+                       const RequestContext& ctx = {});
 
   // One background round: pumps the next device's maintenance (round-robin), then advances
   // the in-flight migration by one chunk, or (when idle) lets the rebalancer plan one.
@@ -148,7 +154,12 @@ class Fleet {
 
   const FleetStats& stats() const { return stats_; }
   const ShardAdmission& admission() const { return admission_; }
+  const ShardRouter& router() const { return router_; }
   const Rebalancer& rebalancer() const { return rebalancer_; }
+
+  // The fleet-level telemetry bundle (nullptr when detached). Per-device reqpath ledgers
+  // delegate here, so this bundle holds the cross-device critical-path attribution.
+  Telemetry* telemetry() const { return telemetry_; }
 
   // Per-device introspection for tests and aggregation.
   Telemetry* device_telemetry(std::uint32_t device_index);
@@ -215,8 +226,11 @@ class Fleet {
 };
 
 // Closed-loop driver for the fleet data path. Unlike RunClosedLoop (which aborts on the first
-// error), admission sheds (kBusy) are *expected* here: a shed is counted, the clock advances
-// by `shed_retry_delay`, and the loop continues — only non-shed errors stop the run. Requests
+// error), admission sheds (kBusy) are *expected* here: the request backs off by
+// `shed_retry_delay` and retries in place (up to `max_shed_retries`, then it is dropped) —
+// only non-shed errors stop the run. Queue-depth wait and shed-retry backoff are tallied
+// separately from service latency (`queue_wait_ns` / `shed_retry_wait_ns`); backoff is also
+// charged to the reqpath ledger as admission-queue time when telemetry is attached. Requests
 // are clamped to the fleet's page space and to shard boundaries. Fleet::Step runs every
 // `step_interval` ops to drive maintenance, migrations, and rebalancer planning.
 struct FleetDriverOptions {
@@ -225,6 +239,8 @@ struct FleetDriverOptions {
   std::uint32_t step_interval = 8;
   SimTime start_time = 0;
   SimTime shed_retry_delay = 20 * kMicrosecond;
+  std::uint32_t max_shed_retries = 64;  // Backoffs per request before it is dropped.
+  std::uint32_t tenant = 0;             // RequestContext tenant id stamped on every op.
 };
 
 struct FleetRunResult {
@@ -233,7 +249,10 @@ struct FleetRunResult {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t trims = 0;
-  std::uint64_t sheds = 0;
+  std::uint64_t sheds = 0;       // Admission sheds seen (each adds one retry backoff).
+  std::uint64_t shed_drops = 0;  // Requests abandoned after max_shed_retries backoffs.
+  std::uint64_t queue_wait_ns = 0;       // Host-side queue-depth wait, arrival -> issue.
+  std::uint64_t shed_retry_wait_ns = 0;  // Total shed backoff wait (not service latency).
   SimTime start = 0;
   SimTime end = 0;
   Status status;  // First non-shed error, if any (run stops there).
@@ -243,6 +262,21 @@ struct FleetRunResult {
 
 FleetRunResult RunFleetClosedLoop(Fleet& fleet, WorkloadGenerator& gen,
                                   const FleetDriverOptions& options);
+
+// One tenant's slice of a shared-fleet run: its own workload stream and op budget, tagged
+// with `tenant` on every RequestContext (so reqpath per-tenant breakdowns and SLOs see it).
+struct FleetTenantSpec {
+  std::uint32_t tenant = 0;
+  WorkloadGenerator* gen = nullptr;
+  std::uint64_t ops = 10000;
+};
+
+// Interleaves the tenants round-robin over one shared fleet (one op per tenant per turn,
+// each tenant keeping its own closed-loop clock and queue-depth window) and returns one
+// result per spec, index-aligned. Fleet::Step paces on the global interleaved op count.
+std::vector<FleetRunResult> RunFleetMultiTenant(Fleet& fleet,
+                                                std::span<const FleetTenantSpec> tenants,
+                                                const FleetDriverOptions& options);
 
 }  // namespace blockhead
 

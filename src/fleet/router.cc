@@ -67,9 +67,11 @@ std::vector<std::uint32_t> ShardRouter::PreferenceOrder(ShardId shard) const {
 
 std::uint32_t ShardRouter::PickReadReplica(ShardId shard,
                                            std::span<const std::uint32_t> replica_devices,
-                                           std::span<const std::uint32_t> device_pending) {
+                                           std::span<const std::uint32_t> device_pending,
+                                           const RequestContext& ctx) {
   assert(!replica_devices.empty());
   assert(shard.value() < round_robin_.size());
+  ++tenant_reads_[ctx.tenant];
   const std::uint32_t n = static_cast<std::uint32_t>(replica_devices.size());
   switch (config_.read_policy) {
     case ReadReplicaPolicy::kPrimaryOnly:

@@ -17,10 +17,12 @@
 #define BLOCKHEAD_SRC_FLEET_ROUTER_H_
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
 #include "src/core/strong_id.h"
+#include "src/telemetry/reqpath/request_path.h"
 
 namespace blockhead {
 
@@ -62,9 +64,14 @@ class ShardRouter {
   // Picks the replica slot a read should use. `replica_devices` are the shard's current
   // replica device ordinals (placement order); `device_pending` is indexed by device ordinal
   // and holds outstanding-op counts (used by kLeastPending; may be empty otherwise). Returns
-  // an index into `replica_devices`. Round-robin state advances per call.
+  // an index into `replica_devices`. Round-robin state advances per call. `ctx` only feeds
+  // the per-tenant routing tallies; the pick never depends on it.
   std::uint32_t PickReadReplica(ShardId shard, std::span<const std::uint32_t> replica_devices,
-                                std::span<const std::uint32_t> device_pending);
+                                std::span<const std::uint32_t> device_pending,
+                                const RequestContext& ctx = {});
+
+  // Read picks routed per tenant id (RequestContext threading; observability only).
+  const std::map<std::uint32_t, std::uint64_t>& tenant_reads() const { return tenant_reads_; }
 
  private:
   struct RingPoint {
@@ -76,6 +83,7 @@ class ShardRouter {
   std::uint32_t num_devices_ = 0;
   std::vector<RingPoint> ring_;               // Sorted by (hash, device).
   std::vector<std::uint32_t> round_robin_;    // Per-shard read cursor.
+  std::map<std::uint32_t, std::uint64_t> tenant_reads_;  // Per-tenant routed-read tallies.
 };
 
 // Deterministic 64-bit mixer (splitmix64 finalizer) shared by the ring and shard points.

@@ -468,6 +468,14 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(Lba lba, std::uint32_t count,
   if (telemetry_ != nullptr) {
     span = telemetry_->tracer.Start(metric_prefix_ + ".ftl.write", issue);
   }
+  // Foreground host op: own the request-path measurement unless internal work (a CauseScope)
+  // or an outer layer already does. Foreground GC needs no explicit charge here — it runs as
+  // internal flash ops whose maintenance marks the host programs below bill as GC stall.
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{stream, ReqOp::kWrite}, issue);
   SimTime ack = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     MaybeForegroundGc(issue);
@@ -488,6 +496,7 @@ Result<SimTime> ConventionalSsd::WriteBlocksStream(Lba lba, std::uint32_t count,
     telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
   }
   span.End(ack);
+  req_scope.Complete(ack);
   return ack;
 }
 
@@ -506,6 +515,11 @@ Result<SimTime> ConventionalSsd::ReadBlocks(Lba lba, std::uint32_t count, SimTim
   if (telemetry_ != nullptr) {
     span = telemetry_->tracer.Start(metric_prefix_ + ".ftl.read", issue);
   }
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{0, ReqOp::kRead}, issue);
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     std::span<std::uint8_t> page_out;
@@ -533,6 +547,7 @@ Result<SimTime> ConventionalSsd::ReadBlocks(Lba lba, std::uint32_t count, SimTim
     telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
   }
   span.End(done_all);
+  req_scope.Complete(done_all);
   return done_all;
 }
 
@@ -541,13 +556,20 @@ Result<SimTime> ConventionalSsd::TrimBlocks(Lba lba, std::uint32_t count, SimTim
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{0, ReqOp::kTrim}, issue);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (l2p_[lba.value() + i] != kUnmapped) {
       InvalidatePage(lba.value() + i);
       stats_.pages_trimmed++;
     }
   }
-  return issue + flash_.timing().channel_xfer;
+  const SimTime done = issue + flash_.timing().channel_xfer;
+  req_scope.Complete(done);
+  return done;
 }
 
 double ConventionalSsd::WriteAmplification() const {

@@ -289,12 +289,24 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, Si
   if (telemetry_ != nullptr) {
     span = telemetry_->tracer.Start(metric_prefix_ + ".write", issue);
   }
+  // Foreground host op: own the request-path measurement unless internal work (a CauseScope)
+  // or an outer layer already does.
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{0, ReqOp::kWrite}, issue);
   SimTime ack = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     // Mandatory reclamation when space is critical; the triggering write absorbs the delay,
     // exactly like foreground GC inside a conventional SSD — except here it is host policy.
     if (scheduler_.Critical(FreeFraction())) {
       stats_.forced_gc_stalls++;
+      // The reclaim's own device ops run as host-class commands inside this write's critical
+      // path: reclassify their charges as a compaction stall inflicted by zone reclaim.
+      RequestPathLedger::InterferenceScope stall_scope(
+          ReqPathOf(telemetry_), WriteCause::kBlockEmulationReclaim, StackLayer::kHostFtl,
+          metric_prefix_ + ".gc");
       SimTime t = issue;
       while (scheduler_.Critical(FreeFraction())) {
         Result<SimTime> done = GcRunToCompletion(t, /*critical=*/true);
@@ -303,6 +315,7 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, Si
         }
         t = done.value();
       }
+      scheduler_.NoteForcedStall(t - issue);
     }
     std::span<const std::uint8_t> page_data;
     if (!data.empty()) {
@@ -322,6 +335,7 @@ Result<SimTime> HostFtlBlockDevice::WriteBlocks(Lba lba, std::uint32_t count, Si
     telemetry_->timeline.AdvanceGroup(sampler_group_, ack);
   }
   span.End(ack);
+  req_scope.Complete(ack);
   return ack;
 }
 
@@ -339,6 +353,11 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(Lba lba, std::uint32_t count, Sim
   if (telemetry_ != nullptr) {
     span = telemetry_->tracer.Start(metric_prefix_ + ".read", issue);
   }
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{0, ReqOp::kRead}, issue);
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < count; ++i) {
     std::span<std::uint8_t> page_out;
@@ -364,6 +383,7 @@ Result<SimTime> HostFtlBlockDevice::ReadBlocks(Lba lba, std::uint32_t count, Sim
     telemetry_->timeline.AdvanceGroup(sampler_group_, done_all);
   }
   span.End(done_all);
+  req_scope.Complete(done_all);
   return done_all;
 }
 
@@ -372,12 +392,18 @@ Result<SimTime> HostFtlBlockDevice::TrimBlocks(Lba lba, std::uint32_t count, Sim
   if (lba.value() + count > logical_pages_) {
     return ErrorCode::kOutOfRange;
   }
+  RequestPathLedger::RequestScope req_scope(
+      telemetry_ != nullptr && telemetry_->provenance.open_scopes() == 0
+          ? &telemetry_->reqpath
+          : nullptr,
+      RequestContext{0, ReqOp::kTrim}, issue);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (l2p_[lba.value() + i] != kUnmapped) {
       InvalidatePage(lba.value() + i);
       stats_.pages_trimmed++;
     }
   }
+  req_scope.Complete(issue);
   return issue;
 }
 
@@ -427,6 +453,7 @@ void HostFtlBlockDevice::PublishMetrics() {
   reg.GetCounter(p + ".sched.critical_overrides")->Set(sched.critical_overrides);
   reg.GetCounter(p + ".sched.denied")->Set(sched.denied);
   reg.GetCounter(p + ".sched.runs")->Set(sched.runs);
+  reg.GetCounter(p + ".sched.forced_stall_ns")->Set(sched.forced_stall_ns);
   reg.GetGauge(p + ".free_zones")->Set(static_cast<double>(FreeZones()));
   reg.GetGauge(p + ".free_fraction")->Set(FreeFraction());
   reg.GetGauge(p + ".write_amplification")->Set(EndToEndWriteAmplification());

@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/telemetry/telemetry.h"
+
 namespace blockhead {
+
+namespace {
+
+// Queue ops are top-level host requests only when no internal CauseScope is open on the
+// shared bundle (the queue itself never runs under one; the guard mirrors the other layers).
+RequestPathLedger* ReqPathForHostOp(const ZnsDevice* device) {
+  Telemetry* t = device->telemetry();
+  if (t == nullptr || t->provenance.open_scopes() != 0) {
+    return nullptr;
+  }
+  return &t->reqpath;
+}
+
+}  // namespace
 
 PersistentQueue::PersistentQueue(ZnsDevice* device, const QueueConfig& config)
     : device_(device), config_(config) {
@@ -51,6 +67,8 @@ Status PersistentQueue::EnsureTailZone(SimTime now) {
 }
 
 Result<SimTime> PersistentQueue::Enqueue(std::span<const std::uint8_t> payload, SimTime now) {
+  RequestPathLedger::RequestScope req_scope(
+      ReqPathForHostOp(device_), RequestContext{config_.tenant, ReqOp::kWrite}, now);
   BLOCKHEAD_RETURN_IF_ERROR(EnsureTailZone(now));
   SimTime done = 0;
   if (config_.use_append) {
@@ -70,6 +88,7 @@ Result<SimTime> PersistentQueue::Enqueue(std::span<const std::uint8_t> payload, 
     done = r.value();
   }
   stats_.enqueued++;
+  req_scope.Complete(done);
   return done;
 }
 
@@ -78,6 +97,8 @@ Result<PersistentQueue::DequeueResult> PersistentQueue::Dequeue(std::span<std::u
   if (Depth() == 0) {
     return ErrorCode::kNotFound;
   }
+  RequestPathLedger::RequestScope req_scope(
+      ReqPathForHostOp(device_), RequestContext{config_.tenant, ReqOp::kRead}, now);
   // Drop fully-consumed head zones (never the live tail).
   while (!live_zones_.empty()) {
     const std::uint32_t head_zone = live_zones_.front();
@@ -109,6 +130,7 @@ Result<PersistentQueue::DequeueResult> PersistentQueue::Dequeue(std::span<std::u
   }
   head_record_++;
   stats_.dequeued++;
+  req_scope.Complete(r.value());
   return DequeueResult{r.value(), lba.value()};
 }
 

@@ -26,6 +26,8 @@ struct QueueConfig {
   bool use_append = true;
   // Record size in pages.
   std::uint32_t record_pages = 1;
+  // Tenant/stream id stamped on the RequestContext of every enqueue/dequeue (reqpath ledger).
+  std::uint32_t tenant = 0;
 };
 
 struct QueueStats {

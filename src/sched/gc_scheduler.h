@@ -50,6 +50,7 @@ struct GcSchedStats {
   std::uint64_t critical_overrides = 0; // ... allowed only because space was critical.
   std::uint64_t denied = 0;             // ... that returned false.
   std::uint64_t runs = 0;               // NoteRun calls (cycles actually executed).
+  std::uint64_t forced_stall_ns = 0;    // SimTime foreground ops spent in mandatory reclaim.
 };
 
 // Pure decision logic: the storage layer reports its free fraction and whether foreground I/O
@@ -74,6 +75,11 @@ class GcScheduler {
     has_run_ = true;
     stats_.runs++;
   }
+
+  // Records SimTime a foreground op spent stalled in mandatory (critical) reclamation —
+  // the scheduler-policy cost the reqpath ledger attributes per request, aggregated here so
+  // the policy's total stall budget is visible next to its decision tallies.
+  void NoteForcedStall(SimTime ns) { stats_.forced_stall_ns += ns; }
 
   // True when free space is below the mandatory threshold.
   bool Critical(double free_fraction) const {

@@ -14,6 +14,7 @@
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metric_registry.h"
 #include "src/telemetry/provenance.h"
+#include "src/telemetry/reqpath/request_path.h"
 #include "src/telemetry/selfprof/self_profiler.h"
 #include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
@@ -31,12 +32,17 @@ struct Telemetry {
   // and are published explicitly by the bench harness, never folded into deterministic
   // snapshots behind the simulation's back.
   SelfProfiler selfprof;
+  // Per-request critical-path ledger (disabled unless a bench enables it; publishes nothing
+  // while disabled, so feature-off snapshots match feature-absent ones byte for byte).
+  RequestPathLedger reqpath;
 
   Telemetry() {
     tracer.set_timeline(&timeline);    // Completed spans become timeline slices.
     events.PublishTo(&registry);       // Event totals appear in every snapshot.
     // Per-cause program/erase counters and endurance projections join every snapshot.
     registry.AddProvider("provenance", [this] { provenance.PublishTo(&registry); });
+    // Per-request segment totals, interference matrix, and SLO burn rates likewise.
+    registry.AddProvider("reqpath", [this] { reqpath.PublishTo(&registry); });
   }
 };
 
@@ -50,6 +56,12 @@ inline WriteProvenance* ProvenanceOf(Telemetry* telemetry) {
 // attached, else nullptr (scope becomes a no-op; one branch either way while disabled).
 inline SelfProfiler* ProfilerOf(Telemetry* telemetry) {
   return telemetry == nullptr ? nullptr : &telemetry->selfprof;
+}
+
+// Convenience for layers charging request-path intervals: the ledger when telemetry is
+// attached, else nullptr (charges become one branch at the call site).
+inline RequestPathLedger* ReqPathOf(Telemetry* telemetry) {
+  return telemetry == nullptr ? nullptr : &telemetry->reqpath;
 }
 
 }  // namespace blockhead

@@ -43,6 +43,8 @@ void Timeline::Enable(const TimelineConfig& config) {
   }
   slices_.clear();
   samples_.clear();
+  flows_.clear();
+  flows_recorded_ = 0;
   slices_recorded_ = slices_dropped_ = 0;
   samples_recorded_ = samples_dropped_ = 0;
   next_seq_ = 1;
@@ -113,6 +115,22 @@ void Timeline::PushSlice(std::uint32_t pid, std::string_view track, std::string_
     slices_dropped_++;
   }
   slices_.push_back(s);
+}
+
+void Timeline::RecordFlowArrow(std::string_view name, std::string_view from_maintenance_track,
+                               SimTime from_t, std::string_view to_host_track, SimTime to_t) {
+  if (!enabled_) {
+    return;
+  }
+  Flow f;
+  f.from_t = from_t;
+  f.to_t = to_t >= from_t ? to_t : from_t;
+  f.seq = next_seq_++;
+  f.name_id = InternName(name);
+  f.from_track = InternTrack(kMaintenancePid, from_maintenance_track);
+  f.to_track = InternTrack(kHostPid, to_host_track);
+  flows_.push_back(f);
+  flows_recorded_++;
 }
 
 int Timeline::AddSamplerGroup(std::string_view id) {
@@ -280,6 +298,22 @@ std::string Timeline::ExportChromeTrace(const SelfProfiler* host_profile) const 
            std::to_string(kUtilizationPid) + ",\"tid\":0,\"args\":{\"value\":" +
            FormatMetricDouble(s.value) + "}}");
     }
+  }
+
+  // Flow arrows after the slice stream (Chrome-trace flow binding is by id, not ordering):
+  // an "s"/"f" pair per arrow, in record order, linking the interfering maintenance slice to
+  // the victim request slice.
+  for (const Flow& f : flows_) {
+    const Track& from = tracks_[f.from_track];
+    const Track& to = tracks_[f.to_track];
+    const std::string name = JsonEscapeName(names_[f.name_id]);
+    const std::string id = std::to_string(f.seq);
+    emit("{\"name\":\"" + name + "\",\"cat\":\"reqpath\",\"ph\":\"s\",\"id\":" + id +
+         ",\"ts\":" + FormatTraceUs(f.from_t) + ",\"pid\":" + std::to_string(from.pid) +
+         ",\"tid\":" + std::to_string(from.tid) + "}");
+    emit("{\"name\":\"" + name + "\",\"cat\":\"reqpath\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+         id + ",\"ts\":" + FormatTraceUs(f.to_t) + ",\"pid\":" + std::to_string(to.pid) +
+         ",\"tid\":" + std::to_string(to.tid) + "}");
   }
 
   // Host-clock slices last (their own clock domain: wall ns since profiler epoch, which —

@@ -143,6 +143,21 @@ class Timeline {
     }
   }
 
+  // Records a host-process slice on an explicit track (reqpath exemplar victims render on
+  // per-op-class tracks instead of the per-span-name tracks RecordSpan uses).
+  void RecordHostSlice(std::string_view track, std::string_view name, SimTime begin,
+                       SimTime end) {
+    if (enabled_) {
+      PushSlice(kHostPid, track, name, begin, end);
+    }
+  }
+
+  // Records a flow arrow from a maintenance track (the interfering GC/compaction slice) to a
+  // host track (the victim request). Rendered as a Chrome-trace flow-event pair ("s"/"f"),
+  // which Perfetto draws as an arrow between the slices enclosing the two endpoints.
+  void RecordFlowArrow(std::string_view name, std::string_view from_maintenance_track,
+                       SimTime from_t, std::string_view to_host_track, SimTime to_t);
+
   enum class SampleKind {
     kInstant,  // Emit the sampled value as-is (gauges: free blocks, WA).
     kRate,     // Emit (value - previous) / window_ns (cumulative busy-ns -> busy fraction).
@@ -171,6 +186,7 @@ class Timeline {
 
   std::uint64_t slices_recorded() const { return slices_recorded_; }
   std::uint64_t slices_dropped() const { return slices_dropped_; }
+  std::uint64_t flows_recorded() const { return flows_recorded_; }
   std::uint64_t samples_recorded() const { return samples_recorded_; }
   std::uint64_t samples_dropped() const { return samples_dropped_; }
   std::size_t num_tracks() const { return tracks_.size(); }
@@ -213,6 +229,15 @@ class Timeline {
     std::string name;
   };
 
+  struct Flow {
+    SimTime from_t = 0;
+    SimTime to_t = 0;
+    std::uint64_t seq = 0;  // Doubles as the flow id in the export.
+    std::uint32_t name_id = 0;
+    std::uint32_t from_track = 0;
+    std::uint32_t to_track = 0;
+  };
+
   struct Sampler {
     std::uint32_t series = 0;
     SampleKind kind = SampleKind::kInstant;
@@ -247,6 +272,8 @@ class Timeline {
 
   std::deque<Slice> slices_;
   std::deque<Sample> samples_;
+  std::vector<Flow> flows_;
+  std::uint64_t flows_recorded_ = 0;
   std::uint64_t slices_recorded_ = 0;
   std::uint64_t slices_dropped_ = 0;
   std::uint64_t samples_recorded_ = 0;

@@ -95,6 +95,73 @@ std::uint64_t Histogram::Percentile(double q) const {
   return max_;
 }
 
+RollingHistogram::RollingHistogram(std::uint64_t window_ns, int num_buckets) {
+  if (num_buckets < 1) {
+    num_buckets = 1;
+  }
+  bucket_ns_ = window_ns / static_cast<std::uint64_t>(num_buckets);
+  if (bucket_ns_ == 0) {
+    bucket_ns_ = 1;
+  }
+  buckets_.resize(static_cast<std::size_t>(num_buckets));
+}
+
+void RollingHistogram::Record(std::uint64_t now, std::uint64_t value) {
+  const std::uint64_t epoch = now / bucket_ns_;
+  Bucket& b = buckets_[epoch % buckets_.size()];
+  if (b.epoch != epoch) {
+    b.hist.Reset();  // Lazy expiry: the slot last held an epoch a full window ago.
+    b.epoch = epoch;
+  }
+  b.hist.Record(value);
+}
+
+Histogram RollingHistogram::Merged(std::uint64_t now) const {
+  Histogram out;
+  const std::uint64_t epoch_now = now / bucket_ns_;
+  const std::uint64_t n = buckets_.size();
+  for (const Bucket& b : buckets_) {
+    // Live: recorded within the window ending at `now` (epoch in (epoch_now - n, epoch_now]).
+    if (b.epoch != kNoEpoch && b.epoch <= epoch_now && epoch_now - b.epoch < n) {
+      out.Merge(b.hist);
+    }
+  }
+  return out;
+}
+
+RollingCounter::RollingCounter(std::uint64_t window_ns, int num_buckets) {
+  if (num_buckets < 1) {
+    num_buckets = 1;
+  }
+  bucket_ns_ = window_ns / static_cast<std::uint64_t>(num_buckets);
+  if (bucket_ns_ == 0) {
+    bucket_ns_ = 1;
+  }
+  buckets_.resize(static_cast<std::size_t>(num_buckets));
+}
+
+void RollingCounter::Add(std::uint64_t now, std::uint64_t n) {
+  const std::uint64_t epoch = now / bucket_ns_;
+  Bucket& b = buckets_[epoch % buckets_.size()];
+  if (b.epoch != epoch) {
+    b.value = 0;
+    b.epoch = epoch;
+  }
+  b.value += n;
+}
+
+std::uint64_t RollingCounter::Sum(std::uint64_t now) const {
+  std::uint64_t sum = 0;
+  const std::uint64_t epoch_now = now / bucket_ns_;
+  const std::uint64_t n = buckets_.size();
+  for (const Bucket& b : buckets_) {
+    if (b.epoch != kNoEpoch && b.epoch <= epoch_now && epoch_now - b.epoch < n) {
+      sum += b.value;
+    }
+  }
+  return sum;
+}
+
 std::string Histogram::Summary(double unit, const std::string& unit_name) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

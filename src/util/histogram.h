@@ -62,6 +62,62 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+// Histogram over a rolling time window, for SLO evaluation over "the last W nanoseconds"
+// of model time rather than the whole run.
+//
+// The window is split into `num_buckets` equal epochs, each holding a sub-histogram; a
+// recording that lands in a bucket whose epoch has rolled over resets that bucket first
+// (lazy expiry — no timer). Merged(now) merges the buckets still inside the window ending at
+// `now`, so the result covers between (num_buckets-1)/num_buckets and 1 full window of
+// history — the standard sliding-window approximation. Time must be driven with the
+// simulation clock; queries at an earlier time than recordings simply see fewer live
+// buckets. Deterministic: same (now, value) sequence, byte-identical state.
+class RollingHistogram {
+ public:
+  explicit RollingHistogram(std::uint64_t window_ns, int num_buckets = 4);
+
+  void Record(std::uint64_t now, std::uint64_t value);
+
+  // Merge of all buckets whose epoch lies in the window ending at `now`.
+  Histogram Merged(std::uint64_t now) const;
+
+  std::uint64_t window_ns() const { return bucket_ns_ * buckets_.size(); }
+  std::uint64_t bucket_ns() const { return bucket_ns_; }
+
+ private:
+  static constexpr std::uint64_t kNoEpoch = ~0ULL;
+  struct Bucket {
+    std::uint64_t epoch = kNoEpoch;  // now / bucket_ns at last Record; kNoEpoch = empty.
+    Histogram hist;
+  };
+
+  std::uint64_t bucket_ns_;
+  std::vector<Bucket> buckets_;
+};
+
+// Counter over the same rolling-window scheme (SLO burn-rate tallies).
+class RollingCounter {
+ public:
+  explicit RollingCounter(std::uint64_t window_ns, int num_buckets = 4);
+
+  void Add(std::uint64_t now, std::uint64_t n = 1);
+
+  // Sum of all buckets whose epoch lies in the window ending at `now`.
+  std::uint64_t Sum(std::uint64_t now) const;
+
+  std::uint64_t window_ns() const { return bucket_ns_ * buckets_.size(); }
+
+ private:
+  static constexpr std::uint64_t kNoEpoch = ~0ULL;
+  struct Bucket {
+    std::uint64_t epoch = kNoEpoch;
+    std::uint64_t value = 0;
+  };
+
+  std::uint64_t bucket_ns_;
+  std::vector<Bucket> buckets_;
+};
+
 }  // namespace blockhead
 
 #endif  // BLOCKHEAD_SRC_UTIL_HISTOGRAM_H_

@@ -25,6 +25,92 @@ IoRequest RandomWorkload::Next() {
   return req;
 }
 
+const char* YcsbMixName(YcsbMix mix) {
+  switch (mix) {
+    case YcsbMix::kA:
+      return "A";
+    case YcsbMix::kB:
+      return "B";
+    case YcsbMix::kC:
+      return "C";
+    case YcsbMix::kD:
+      return "D";
+    case YcsbMix::kE:
+      return "E";
+    case YcsbMix::kF:
+      return "F";
+  }
+  return "?";
+}
+
+YcsbBlockWorkload::YcsbBlockWorkload(const YcsbBlockConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.record_pages == 0) {
+    config_.record_pages = 1;
+  }
+  num_records_ = config_.lba_space / config_.record_pages;
+  if (num_records_ == 0) {
+    num_records_ = 1;
+  }
+  if (num_records_ > 1) {
+    zipf_ = std::make_unique<ZipfGenerator>(num_records_, config_.zipf_theta,
+                                            config_.seed + 1);
+  }
+}
+
+IoRequest YcsbBlockWorkload::RecordOp(std::uint64_t record, IoType type, std::uint32_t pages) {
+  IoRequest req{type, (record % num_records_) * config_.record_pages, pages};
+  // Clamp multi-record scans at the end of the space rather than wrapping mid-request.
+  const std::uint64_t max_start = config_.lba_space >= pages ? config_.lba_space - pages : 0;
+  req.lba = std::min(req.lba, max_start);
+  return req;
+}
+
+IoRequest YcsbBlockWorkload::Next() {
+  const std::uint32_t pages = config_.record_pages;
+  if (rmw_write_pending_) {
+    rmw_write_pending_ = false;
+    return RecordOp(rmw_record_, IoType::kWrite, pages);
+  }
+  const std::uint64_t popular = zipf_ != nullptr ? zipf_->Next() : 0;
+  switch (config_.mix) {
+    case YcsbMix::kA:
+      return RecordOp(popular, rng_.NextBool(0.5) ? IoType::kRead : IoType::kWrite, pages);
+    case YcsbMix::kB:
+      return RecordOp(popular, rng_.NextBool(0.95) ? IoType::kRead : IoType::kWrite, pages);
+    case YcsbMix::kC:
+      return RecordOp(popular, IoType::kRead, pages);
+    case YcsbMix::kD: {
+      if (rng_.NextBool(0.05)) {
+        return RecordOp(insert_frontier_++, IoType::kWrite, pages);
+      }
+      // Read-latest: skew toward the most recent inserts (popularity by recency, so reuse the
+      // zipf rank as "records behind the frontier").
+      const std::uint64_t behind = popular;
+      return RecordOp(insert_frontier_ + num_records_ - 1 - (behind % num_records_),
+                      IoType::kRead, pages);
+    }
+    case YcsbMix::kE: {
+      if (rng_.NextBool(0.05)) {
+        return RecordOp(insert_frontier_++, IoType::kWrite, pages);
+      }
+      const std::uint32_t cap = std::max<std::uint32_t>(config_.max_scan_pages, pages);
+      const std::uint32_t scan_pages = static_cast<std::uint32_t>(
+          rng_.NextInRange(pages, cap));
+      return RecordOp(popular, IoType::kRead, scan_pages);
+    }
+    case YcsbMix::kF: {
+      if (rng_.NextBool(0.5)) {
+        return RecordOp(popular, IoType::kRead, pages);
+      }
+      rmw_write_pending_ = true;
+      rmw_record_ = popular;
+      return RecordOp(rmw_record_, IoType::kRead, pages);
+    }
+  }
+  return RecordOp(popular, IoType::kRead, pages);
+}
+
 SequentialWorkload::SequentialWorkload(std::uint64_t lba_space, std::uint32_t io_pages,
                                        IoType type)
     : lba_space_(lba_space), io_pages_(io_pages), type_(type) {}

@@ -60,6 +60,44 @@ class RandomWorkload final : public WorkloadGenerator {
   std::unique_ptr<ZipfGenerator> zipf_;
 };
 
+// YCSB core-workload op mixes (Cooper et al.), expressed at the block level so the standard
+// cloud-serving request patterns can drive any BlockDevice or the fleet directly — without a
+// KV store in between (src/kv/ycsb.h covers the KV-level variant).
+enum class YcsbMix { kA, kB, kC, kD, kE, kF };
+
+const char* YcsbMixName(YcsbMix mix);
+
+struct YcsbBlockConfig {
+  YcsbMix mix = YcsbMix::kA;
+  std::uint64_t lba_space = 0;     // Records map onto [0, lba_space) in record_pages strides.
+  std::uint32_t record_pages = 1;  // Pages per record; every op addresses whole records.
+  std::uint32_t max_scan_pages = 32;  // Scan length cap for workload E (uniform 1..cap).
+  double zipf_theta = 0.99;        // Record popularity skew (A/B/C/F).
+  std::uint64_t seed = 1;
+};
+
+// Block-level YCSB generator: A 50/50 read-update, B 95/5 read-update, C read-only,
+// D read-latest with 5% inserts, E short scans (multi-page reads) with 5% inserts, F
+// read-modify-write (the write half follows as the next request on the same record).
+// Inserts advance a frontier that wraps around the record space; read-latest draws from a
+// recency-skewed window behind that frontier.
+class YcsbBlockWorkload final : public WorkloadGenerator {
+ public:
+  explicit YcsbBlockWorkload(const YcsbBlockConfig& config);
+  IoRequest Next() override;
+
+ private:
+  IoRequest RecordOp(std::uint64_t record, IoType type, std::uint32_t pages);
+
+  YcsbBlockConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::uint64_t num_records_ = 0;
+  std::uint64_t insert_frontier_ = 0;  // Next record an insert lands on (D/E).
+  bool rmw_write_pending_ = false;     // F: emit the write half on the next call.
+  std::uint64_t rmw_record_ = 0;
+};
+
 // Sequential full-space write pass (wraps around), for preconditioning and streaming loads.
 class SequentialWorkload final : public WorkloadGenerator {
  public:

@@ -286,6 +286,11 @@ Result<SimTime> ZnsDevice::Write(ZoneId zone_id, std::uint64_t offset, std::uint
   // Host-side write-pointer serialization: a regular write can only be formed once the
   // previous write's outcome (the new write pointer) is known.
   const SimTime effective_issue = std::max(issue, z.write_serial_point);
+  if (telemetry_ != nullptr) {
+    // The serialization wait is host-visible queueing invisible to the flash model: charge
+    // it here so the request-path identity still closes wall to wall.
+    telemetry_->reqpath.ChargeInterval(issue, effective_issue, PathSegment::kDeviceQueue);
+  }
   if (offset != z.write_pointer) {
     stats_.wp_mismatch_errors++;
     return ErrorCode::kWritePointerMismatch;

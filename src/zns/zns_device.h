@@ -114,6 +114,10 @@ class ZnsDevice {
   // track; "<prefix>.active_zones" / "<prefix>.open_zones" are sampled as timeline series.
   void AttachTelemetry(Telemetry* telemetry, std::string_view prefix = "zns");
 
+  // The attached telemetry bundle (nullptr when detached). Lets host-side layers built on top
+  // of the device (persistent queue, host FTL) share the same registry/ledger.
+  Telemetry* telemetry() const { return telemetry_; }
+
   std::uint32_t num_zones() const { return static_cast<std::uint32_t>(zones_.size()); }
   // Uniform nominal zone size in pages (LBA stride between zone starts).
   std::uint64_t zone_size_pages() const { return zone_size_pages_; }

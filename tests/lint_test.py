@@ -171,6 +171,56 @@ class FleetLayeringRuleTest(unittest.TestCase):
                         os.path.join("src", "hostftl", "x.cc"), text), [])
 
 
+class RequestContextRuleTest(unittest.TestCase):
+    def test_flags_byvalue_parameter(self):
+        text = "Status Admit(ShardId shard, SimTime now, RequestContext ctx);\n"
+        out = findings_of(lint.check_request_context,
+                          os.path.join("src", "fleet", "x.h"), text)
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0][2], "request-context")
+        self.assertIn("const RequestContext&", out[0][3])
+
+    def test_flags_mutable_reference(self):
+        text = "void Route(RequestContext& ctx);\n"
+        out = findings_of(lint.check_request_context,
+                          os.path.join("src", "fleet", "x.cc"), text)
+        self.assertEqual(len(out), 1)
+        self.assertIn("const reference", out[0][3])
+
+    def test_flags_member_storage(self):
+        header = "  RequestContext last_ctx_;\n"
+        out = findings_of(lint.check_request_context,
+                          os.path.join("src", "fleet", "x.h"), header)
+        self.assertEqual(len(out), 1)
+        self.assertIn("stored", out[0][3])
+        cc_member = "RequestContext saved_ctx_ = {};\n"
+        out = findings_of(lint.check_request_context,
+                          os.path.join("src", "queue", "x.cc"), cc_member)
+        self.assertEqual(len(out), 1)
+
+    def test_const_ref_and_temporaries_pass(self):
+        text = ("Status Admit(ShardId shard, SimTime now, const RequestContext& ctx = {});\n"
+                "RequestPathLedger::RequestScope scope(ledger,\n"
+                "    RequestContext{config_.tenant, ReqOp::kWrite}, now);\n"
+                "const RequestContext ctx{options.tenant, op};\n")
+        self.assertEqual(
+            findings_of(lint.check_request_context,
+                        os.path.join("src", "fleet", "x.cc"), text), [])
+
+    def test_reqpath_ledger_itself_exempt(self):
+        text = "  RequestContext ctx_;\n"
+        self.assertEqual(
+            findings_of(lint.check_request_context,
+                        os.path.join("src", "telemetry", "reqpath", "request_path.h"),
+                        text), [])
+
+    def test_files_outside_src_exempt(self):
+        text = "RequestContext ctx;\nvoid F(RequestContext ctx);\n"
+        self.assertEqual(
+            findings_of(lint.check_request_context,
+                        os.path.join("tests", "x.cc"), text), [])
+
+
 class FormatRuleTest(unittest.TestCase):
     def test_flags_tabs_trailing_ws_long_lines(self):
         text = "\tint x;\nint y;  \n" + "z" * 101 + "\n"

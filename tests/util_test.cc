@@ -281,6 +281,63 @@ TEST(HistogramTest, SummaryIsNonEmpty) {
   EXPECT_NE(s.find("us"), std::string::npos);
 }
 
+TEST(RollingHistogramTest, EmptyWindowMergesToEmptyHistogram) {
+  RollingHistogram rh(1000, 4);
+  const Histogram empty = rh.Merged(5000);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Percentile(0.99), 0u);
+  // Records that have aged fully out of the window also merge to empty.
+  rh.Record(100, 42);
+  EXPECT_EQ(rh.Merged(100).count(), 1u);
+  EXPECT_EQ(rh.Merged(100 + rh.window_ns() * 2).count(), 0u);
+}
+
+TEST(RollingHistogramTest, SingleSampleWindowReportsThatSample) {
+  RollingHistogram rh(1000, 4);
+  rh.Record(500, 77);
+  const Histogram h = rh.Merged(500);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(0.5), 77u);
+  EXPECT_EQ(h.Percentile(0.999), 77u);
+}
+
+TEST(RollingHistogramTest, RolloverMidMergeDropsOnlyExpiredBuckets) {
+  // 4 buckets of 250ns. Fill all four epochs, then advance far enough that the oldest
+  // bucket has rolled over: a merge taken mid-rollover must contain exactly the samples
+  // still inside the window, and a stale bucket being *reused* must shed its old content.
+  RollingHistogram rh(1000, 4);
+  rh.Record(100, 1);   // epoch 0
+  rh.Record(300, 2);   // epoch 1
+  rh.Record(600, 3);   // epoch 2
+  rh.Record(900, 4);   // epoch 3
+  EXPECT_EQ(rh.Merged(900).count(), 4u);
+  // now = 1100 (epoch 4): the window [100, 1100] no longer covers epoch 0.
+  EXPECT_EQ(rh.Merged(1100).count(), 3u);
+  EXPECT_EQ(rh.Merged(1100).Percentile(0.01), 2u);
+  // Writing into epoch 4 reuses epoch 0's slot; the old sample must not resurface.
+  rh.Record(1100, 5);
+  const Histogram mid = rh.Merged(1100);
+  EXPECT_EQ(mid.count(), 4u);
+  EXPECT_EQ(mid.Percentile(0.01), 2u);
+  EXPECT_EQ(mid.Percentile(0.999), 5u);
+  // Merging at a later now while the same buckets stand: expiry is by epoch, not by call
+  // order, so percentiles stay consistent with the surviving population.
+  EXPECT_EQ(rh.Merged(1500).count(), 2u);   // epochs 1 and 2 (t=300, t=600) aged out too.
+  EXPECT_EQ(rh.Merged(1500).Percentile(0.01), 4u);
+}
+
+TEST(RollingCounterTest, SumTracksWindowAndRollover) {
+  RollingCounter rc(1000, 4);
+  EXPECT_EQ(rc.Sum(0), 0u);  // Empty window.
+  rc.Add(100, 10);
+  rc.Add(900, 1);
+  EXPECT_EQ(rc.Sum(900), 11u);
+  EXPECT_EQ(rc.Sum(1100), 1u);  // The epoch-0 tally aged out.
+  rc.Add(1100, 5);              // Reuses epoch 0's slot without resurrecting its value.
+  EXPECT_EQ(rc.Sum(1100), 6u);
+  EXPECT_EQ(rc.Sum(1100 + rc.window_ns() * 2), 0u);
+}
+
 TEST(BitmapTest, SetTestClear) {
   Bitmap bm(130);
   EXPECT_EQ(bm.size(), 130u);

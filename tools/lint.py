@@ -25,6 +25,11 @@ Enforces invariants that the compiler cannot (or that we want flagged before it 
                  (ProgramPage, EraseBlock, ResetZone, Append, SimpleCopy, ...), no
                  `.flash()` accessor use, and no direct `#include "src/flash/...` so the
                  serving layer cannot grow a dependency on device internals.
+  request-context A RequestContext is an identity threaded through one op's call chain, not
+                 state: it must be passed as `const RequestContext&` (never by value or
+                 mutable reference) and never stored in a member (`..._` fields, or any
+                 declaration in a header) — the reqpath ledger copies the fields it needs
+                 and is the single sanctioned owner (src/telemetry/reqpath/ is exempt).
   self-contained Every header in src/ must compile on its own (include-what-you-use probe:
                  a TU containing only `#include "<header>"`).
   format         No tabs, no trailing whitespace, lines <= 100 columns, final newline.
@@ -82,6 +87,15 @@ FLEET_DEVICE_INTERNAL_RE = re.compile(
 )
 FLEET_EVENTLOG_APPEND_RE = re.compile(r"events\s*([.]|->)\s*Append\s*\(")
 FLEET_FLASH_INCLUDE_RE = re.compile(r'#include\s*"src/flash/')
+
+# Request-context hygiene: the context rides the call chain for exactly one op. By-value
+# parameters invite accidental retention and slicing; members outlive the op. The ledger
+# (src/telemetry/reqpath/) holds the one sanctioned copy of the active request's context.
+REQUEST_CONTEXT_ALLOWLIST_DIR = os.path.join("src", "telemetry", "reqpath") + os.sep
+REQUEST_CONTEXT_BYVALUE_RE = re.compile(r"\bRequestContext\s+\w+\s*[,)]")
+REQUEST_CONTEXT_REF_RE = re.compile(r"\bRequestContext\s*&")
+REQUEST_CONTEXT_HEADER_DECL_RE = re.compile(r"\bRequestContext\s+\w+\s*(;|=)")
+REQUEST_CONTEXT_MEMBER_RE = re.compile(r"\bRequestContext\s+\w+_\s*(;|=|\{)")
 
 
 def is_comment_or_string(line, pos):
@@ -171,6 +185,33 @@ def check_fleet_layering(path, lines):
                    "public maintenance pumps only")
 
 
+def check_request_context(path, lines):
+    if not path.startswith("src" + os.sep):
+        return
+    if path.startswith(REQUEST_CONTEXT_ALLOWLIST_DIR):
+        return  # The ledger itself owns the active request's copy.
+    header = path.endswith(".h")
+    for i, line in enumerate(lines, 1):
+        m = REQUEST_CONTEXT_BYVALUE_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            yield (path, i, "request-context",
+                   "RequestContext parameter must be `const RequestContext&` — by-value "
+                   "copies invite retention past the op")
+        for m in REQUEST_CONTEXT_REF_RE.finditer(line):
+            if is_comment_or_string(line, m.start()):
+                continue
+            if not line[:m.start()].rstrip().endswith("const"):
+                yield (path, i, "request-context",
+                       "RequestContext must be passed by const reference, not mutable "
+                       "reference")
+        member = (REQUEST_CONTEXT_HEADER_DECL_RE.search(line) if header
+                  else REQUEST_CONTEXT_MEMBER_RE.search(line))
+        if member and not is_comment_or_string(line, member.start()):
+            yield (path, i, "request-context",
+                   "RequestContext must not be stored past op completion; copy the needed "
+                   "fields instead (only src/telemetry/reqpath/ may hold one)")
+
+
 def check_format(path, lines, raw_text):
     for i, line in enumerate(lines, 1):
         if "\t" in line:
@@ -232,6 +273,7 @@ def lint_file(root, rel_path):
         findings.extend(check_cause_scope(rel_path, lines))
         findings.extend(check_naked_address_params(rel_path, lines))
         findings.extend(check_fleet_layering(rel_path, lines))
+        findings.extend(check_request_context(rel_path, lines))
     return findings
 
 
