@@ -40,6 +40,14 @@
 //   --slo <path>         enable the reqpath ledger and write the machine-readable SLO report
 //                        (burn rates per registered objective) as JSON; benches register
 //                        their objectives via telemetry.reqpath.AddObjective
+//   --audit <path>       enable the state-digest audit layer and write the digest timeline
+//                        (one JSON line per touched (epoch, subsystem) cell plus final
+//                        per-subsystem and whole-run digests). Deterministic: same seed ->
+//                        byte-identical file; tools/digest_bisect compares two of these.
+//                        Epoch length defaults to 10 ms SimTime (BLOCKHEAD_AUDIT_EPOCH_NS
+//                        overrides). Adds zero registry rows: --json output is unchanged.
+//   --events <path>      write the retained event log as JSON-lines (the decision window
+//                        digest_bisect prints around a divergence)
 //   --help               usage
 
 #ifndef BLOCKHEAD_BENCH_BENCH_MAIN_H_
@@ -79,6 +87,8 @@ struct BenchOptions {
   std::string ledger_path;
   std::string exemplars_path;
   std::string slo_path;
+  std::string audit_path;
+  std::string events_path;
   bool print_metrics = false;
   bool perf = false;  // --perf: self-profiler on (RunBenchMain enables it per repeat).
   int repeat = 1;     // --repeat: bench body runs this many times.
@@ -111,6 +121,10 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
       opts.exemplars_path = need_value("--exemplars");
     } else if (std::strcmp(arg, "--slo") == 0) {
       opts.slo_path = need_value("--slo");
+    } else if (std::strcmp(arg, "--audit") == 0) {
+      opts.audit_path = need_value("--audit");
+    } else if (std::strcmp(arg, "--events") == 0) {
+      opts.events_path = need_value("--events");
     } else if (std::strcmp(arg, "--metrics") == 0) {
       opts.print_metrics = true;
     } else if (std::strcmp(arg, "--perf") == 0) {
@@ -128,8 +142,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv, const char* bench_name
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--json <path>] [--csv <path>] [--trace <path>] [--timeseries <path>] "
-          "[--ledger <path>] [--exemplars <path>] [--slo <path>] [--metrics] [--perf] "
-          "[--repeat <n>]\n",
+          "[--ledger <path>] [--exemplars <path>] [--slo <path>] [--audit <path>] "
+          "[--events <path>] [--metrics] [--perf] [--repeat <n>]\n",
           bench_name);
       std::exit(0);
     } else {
@@ -296,6 +310,20 @@ inline int FinishBench(const BenchOptions& opts, const char* bench_name, Telemet
       return 1;
     }
   }
+  if (!opts.audit_path.empty()) {
+    const Status s = WriteStringToFile(opts.audit_path, telemetry.audit.DumpJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --audit: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.events_path.empty()) {
+    const Status s = WriteStringToFile(opts.events_path, telemetry.events.DumpJson());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: --events: %s\n", bench_name, s.ToString().c_str());
+      return 1;
+    }
+  }
   if (telemetry.reqpath.enabled()) {
     // Tail exemplars become timeline slices with victim<->interferer flow arrows; must land
     // before the trace export below so they are part of the stream.
@@ -344,6 +372,11 @@ inline int RunBenchMain(int argc, char** argv, const char* bench_name,
       // Enable-before-body, like the self-profiler: layer charge sites test enabled() per op,
       // so activation is independent of attachment order. Zero overhead when off.
       telemetry.reqpath.Enable();
+    }
+    if (!opts.audit_path.empty()) {
+      // Same enable-before-body discipline: digest hooks test armed() per mutation, so the
+      // audit activates regardless of when each layer attaches.
+      telemetry.audit.Enable(AuditConfig{});
     }
     rc = body(opts, telemetry);
     if (rc != 0) {

@@ -14,6 +14,13 @@
 #   bench/run_suite.sh --update               # run suite and overwrite BENCH_baseline.json
 #   bench/run_suite.sh --check                # run suite, fail on drift/removal vs baseline
 #
+# The suite also runs every bench with --audit and maintains BENCH_digest_baseline.json
+# (repo root): the golden per-subsystem FINAL state digests, one row per line with schema
+# {"name", "subsystem", "digest", "seed"}. --update rewrites it, --check enforces it with
+# the same add-tolerant contract as the metric baseline. On a digest mismatch, rerun the
+# named bench with --audit under both builds and feed the two timelines to
+# build/tools/digest_bisect to find the first divergent (epoch, subsystem) cell.
+#
 # Perf modes drive the self-profiler (--perf --repeat N) over the PERF SUBSET below and
 # gate the wall-clock cost of simulation against BENCH_perf_baseline.json (repo root, same
 # row schema, no seed field):
@@ -219,8 +226,31 @@ fi
 for entry in "${run_set[@]}"; do
   read -r bench seed <<< "$entry"
   echo "run_suite.sh: $bench (seed $seed)"
-  "$build_dir/bench/$bench" --json "$tmp_dir/$bench.json" > /dev/null
+  "$build_dir/bench/$bench" --json "$tmp_dir/$bench.json" \
+    --audit "$tmp_dir/$bench.audit.jsonl" > /dev/null
 done
+
+# Golden state digests: the per-subsystem FINAL digests of every bench, one row per line.
+# Unlike the metric baseline (aggregates), these commit to the exact final content of every
+# audited state table — any behaviour change that moves even one page mapping flips a digest.
+# tools/digest_bisect localizes a mismatch to its first divergent epoch.
+digests_out="$tmp_dir/BENCH_digest_baseline.json"
+python3 - "$tmp_dir" "$digests_out" "${run_set[@]}" <<'PY'
+import json, sys
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+rows = []
+for entry in sys.argv[3:]:
+    bench, seed = entry.rsplit(" ", 1)
+    with open(f"{tmp_dir}/{bench}.audit.jsonl") as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec.get("final"):
+                rows.append({"name": bench, "subsystem": rec["subsystem"],
+                             "digest": rec["digest"], "seed": int(seed)})
+with open(out_path, "w") as f:
+    for row in rows:
+        f.write(json.dumps(row, separators=(",", ":")) + "\n")
+PY
 
 out="$tmp_dir/BENCH_baseline.json"
 python3 - "$out" "${run_set[@]}" <<'PY'
@@ -249,7 +279,10 @@ PY
 case "$mode" in
   update)
     cp "$out" BENCH_baseline.json
+    cp "$digests_out" BENCH_digest_baseline.json
     echo "run_suite.sh: wrote BENCH_baseline.json ($(wc -l < BENCH_baseline.json) metrics)"
+    echo "run_suite.sh: wrote BENCH_digest_baseline.json" \
+         "($(wc -l < BENCH_digest_baseline.json) digests)"
     ;;
   check)
     # Add-tolerant comparison: every committed row must reproduce exactly (drift or removal
@@ -283,12 +316,57 @@ if drifted or removed:
 suffix = f"; {len(added)} new metrics not yet in the baseline (OK)" if added else ""
 print(f"run_suite.sh: OK — {len(baseline)} baseline metrics match{suffix}")
 PY
+    # Golden digest check, same add-tolerant contract: every committed (bench, subsystem,
+    # seed) digest must reproduce exactly; subsystems audited for the first time pass with a
+    # note. A mismatch names the bench so the developer can rerun it with --audit twice
+    # (committed build vs theirs) and hand both timelines to tools/digest_bisect.
+    python3 - BENCH_digest_baseline.json "$digests_out" <<'PY'
+import json, sys
+baseline_path, new_path = sys.argv[1], sys.argv[2]
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            rows[(rec["name"], rec["subsystem"], rec["seed"])] = rec["digest"]
+    return rows
+
+try:
+    baseline = load(baseline_path)
+except FileNotFoundError:
+    print(f"run_suite.sh: FAIL — no {baseline_path}; create it with "
+          "bench/run_suite.sh --update", file=sys.stderr)
+    sys.exit(1)
+new = load(new_path)
+drifted = [(k, v, new[k]) for k, v in baseline.items() if k in new and new[k] != v]
+removed = [k for k in baseline if k not in new]
+added = [k for k in new if k not in baseline]
+for key, want, got in drifted[:20]:
+    print(f"run_suite.sh: DIGEST DRIFT {key[0]} {key[1]} (seed {key[2]}): "
+          f"baseline {want} != {got} — bisect with: build/bench/{key[0]} --audit a.jsonl "
+          f"(per build), then build/tools/digest_bisect a.jsonl b.jsonl", file=sys.stderr)
+for key in removed[:20]:
+    print(f"run_suite.sh: DIGEST REMOVED {key[0]} {key[1]} (seed {key[2]})",
+          file=sys.stderr)
+if drifted or removed:
+    print(f"run_suite.sh: FAIL — {len(drifted)} digests drifted, {len(removed)} removed "
+          f"vs BENCH_digest_baseline.json", file=sys.stderr)
+    sys.exit(1)
+suffix = f"; {len(added)} new digests not yet in the baseline (OK)" if added else ""
+print(f"run_suite.sh: OK — {len(baseline)} golden digests match{suffix}")
+PY
     ;;
   diff)
     cp "$out" BENCH_baseline.json.new
+    cp "$digests_out" BENCH_digest_baseline.json.new
     if [[ -f BENCH_baseline.json ]]; then
       diff BENCH_baseline.json BENCH_baseline.json.new || true
     fi
-    echo "run_suite.sh: wrote BENCH_baseline.json.new (use --update to commit it)"
+    if [[ -f BENCH_digest_baseline.json ]]; then
+      diff BENCH_digest_baseline.json BENCH_digest_baseline.json.new || true
+    fi
+    echo "run_suite.sh: wrote BENCH_baseline.json.new and BENCH_digest_baseline.json.new" \
+         "(use --update to commit them)"
     ;;
 esac

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify plus a sanitizer pass.
 #
-#   ./ci.sh            # tier-1 (default build + full test suite + trace smoke), then
-#                      # ASan/UBSan tests (timeline determinism included)
+#   ./ci.sh            # tier-1 (default build + full test suite + trace/audit smokes,
+#                      # including the golden-digest fast subset and a negative test that a
+#                      # perturbed GC decision is caught and bisected), then ASan/UBSan
+#                      # tests (timeline determinism included)
 #   ./ci.sh --tier1    # tier-1 only
 #   ./ci.sh --asan     # sanitizer pass only
 #   ./ci.sh --tsan     # ThreadSanitizer pass only
@@ -333,6 +335,106 @@ print(f"smoke: self-profile ok (ns/op {values['selfprof.host.ns_per_simulated_op
       f"speedup {values['selfprof.host.sim_speedup']:.1f}x, "
       f"{len(host_slices)} host slices alongside {len(sim_slices)} sim slices)")
 PY
+
+  echo "=== smoke: state-digest audit — schema, determinism, zero perturbation ==="
+  # Two same-seed --audit runs must produce byte-identical digest timelines, and enabling
+  # the audit must not change simulation results (the --json dump with auditing on must
+  # equal the dump with auditing off) or add registry rows.
+  build/bench/bench_read_latency --audit "$smoke_dir/audit_a.jsonl" \
+    --events "$smoke_dir/events_a.jsonl" --json "$smoke_dir/audit_on.json" > /dev/null
+  build/bench/bench_read_latency --audit "$smoke_dir/audit_b.jsonl" > /dev/null
+  build/bench/bench_read_latency --json "$smoke_dir/audit_off.json" > /dev/null
+  cmp "$smoke_dir/audit_a.jsonl" "$smoke_dir/audit_b.jsonl"
+  cmp "$smoke_dir/audit_on.json" "$smoke_dir/audit_off.json"
+  build/tools/digest_bisect "$smoke_dir/audit_a.jsonl" "$smoke_dir/audit_b.jsonl" > /dev/null
+  python3 - "$smoke_dir/audit_a.jsonl" <<'PY'
+import json, re, sys
+
+# blockhead-audit-v1 schema: header first, checkpoint rows sorted by (epoch, subsystem)
+# with 16+16 hex-digit digests and monotone t_ns = (epoch+1)*epoch_ns, then per-subsystem
+# finals closed by the __run__ composite on the last line.
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f]
+assert lines[0]["schema"] == "blockhead-audit-v1", lines[0]
+epoch_ns = lines[0]["epoch_ns"]
+assert epoch_ns > 0
+rows = [l for l in lines[1:] if "epoch" in l]
+finals = [l for l in lines[1:] if l.get("final")]
+assert rows and finals, "audit dump has no checkpoint rows or no finals"
+assert len(lines) == 1 + len(rows) + len(finals), "unexpected line kinds in audit dump"
+digest_re = re.compile(r"^[0-9a-f]{16}\.[0-9a-f]{16}$")
+last_key = (-1, "")
+for r in rows:
+    assert digest_re.match(r["digest"]), r["digest"]
+    assert r["t_ns"] == (r["epoch"] + 1) * epoch_ns, r
+    assert r["mutations"] >= 1, f"checkpoint without mutations: {r}"
+    key = (r["epoch"], r["subsystem"])
+    assert last_key <= key, f"rows not sorted: {last_key} then {key}"
+    last_key = key
+assert finals[-1]["subsystem"] == "__run__", "missing __run__ composite"
+subsystems = {f["subsystem"] for f in finals}
+for expected in ("conv.flash.blocks", "conv.ftl.l2p", "zns.zones", "zns.flash.blocks"):
+    assert expected in subsystems, f"missing audited subsystem {expected}"
+print(f"smoke: audit ok ({len(rows)} checkpoint cells, {len(finals) - 1} subsystems, "
+      f"epoch {epoch_ns} ns)")
+PY
+
+  echo "=== smoke: golden final digests on the fast bench subset ==="
+  build/bench/bench_wear_leveling --audit "$smoke_dir/wear.audit.jsonl" > /dev/null
+  build/bench/bench_fleet --audit "$smoke_dir/fleet.audit.jsonl" > /dev/null
+  build/bench/bench_zone_append --audit "$smoke_dir/zone.audit.jsonl" > /dev/null
+  python3 - BENCH_digest_baseline.json "$smoke_dir" <<'PY'
+import json, sys
+
+# Every committed golden digest of the fast subset must reproduce. This is the cheap CI
+# proxy for `bench/run_suite.sh --check`, which enforces the full suite.
+SUBSET = {"bench_read_latency": "audit_a.jsonl", "bench_wear_leveling": "wear.audit.jsonl",
+          "bench_fleet": "fleet.audit.jsonl", "bench_zone_append": "zone.audit.jsonl"}
+golden = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        if rec["name"] in SUBSET:
+            golden[(rec["name"], rec["subsystem"])] = rec["digest"]
+assert golden, "BENCH_digest_baseline.json has no rows for the fast subset"
+mismatches = []
+for bench, dump in SUBSET.items():
+    got = {}
+    with open(f"{sys.argv[2]}/{dump}") as f:
+        for line in f:
+            rec = json.loads(line)
+            if rec.get("final"):
+                got[rec["subsystem"]] = rec["digest"]
+    for (b, sub), want in golden.items():
+        if b == bench and got.get(sub) != want:
+            mismatches.append((bench, sub, want, got.get(sub)))
+for bench, sub, want, have in mismatches:
+    print(f"golden digest mismatch: {bench} {sub}: committed {want} != {have}",
+          file=sys.stderr)
+assert not mismatches, f"{len(mismatches)} golden digests drifted"
+print(f"smoke: golden digests ok ({len(golden)} committed finals reproduced)")
+PY
+
+  echo "=== smoke: perturbed GC decision must be caught and bisected ==="
+  # Flip one GC victim selection at SimTime 50ms (second-best instead of best). The digest
+  # timeline must diverge from the clean run, and digest_bisect must localize the first
+  # divergent cell to the conventional-SSD stack and exit 1.
+  BLOCKHEAD_AUDIT_PERTURB_GC_AT=50000000 build/bench/bench_read_latency \
+    --audit "$smoke_dir/audit_p.jsonl" --events "$smoke_dir/events_p.jsonl" > /dev/null
+  if cmp -s "$smoke_dir/audit_a.jsonl" "$smoke_dir/audit_p.jsonl"; then
+    echo "ci.sh: FAIL — perturbed GC decision left the digest timeline unchanged" >&2
+    exit 1
+  fi
+  bisect_rc=0
+  build/tools/digest_bisect "$smoke_dir/audit_a.jsonl" "$smoke_dir/audit_p.jsonl" \
+    --events "$smoke_dir/events_p.jsonl" > "$smoke_dir/bisect.txt" || bisect_rc=$?
+  if [[ "$bisect_rc" != 1 ]]; then
+    echo "ci.sh: FAIL — digest_bisect exited $bisect_rc on divergent timelines (want 1)" >&2
+    exit 1
+  fi
+  grep -q "FIRST DIVERGENT CELL" "$smoke_dir/bisect.txt"
+  grep -q "subsystem: conv\." "$smoke_dir/bisect.txt"
+  echo "smoke: bisect ok — $(grep 'subsystem:' "$smoke_dir/bisect.txt" | head -1 | xargs)"
 fi
 
 if [[ "$run_suite" == 1 ]]; then

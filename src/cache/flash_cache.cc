@@ -33,11 +33,13 @@ void FlashCache::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) 
   if (telemetry_ == nullptr) {
     get_latency_ = nullptr;
     provenance_ingress_ = nullptr;
+    audit_index_ = nullptr;
     return;
   }
   get_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".get.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
   provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
+  audit_index_ = telemetry_->audit.Register(metric_prefix_ + ".index");
 }
 
 void FlashCache::NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
@@ -86,10 +88,14 @@ std::uint64_t BlockFlashCache::StagingDramBytes() const {
   return static_cast<std::uint64_t>(config_.segment_pages) * device_->block_size();
 }
 
-void BlockFlashCache::DropSegmentObjects(std::uint32_t segment) {
+void BlockFlashCache::DropSegmentObjects(std::uint32_t segment, SimTime now) {
+  const bool audit = IndexAuditArmed();
   for (const std::uint64_t key : segment_keys_[segment]) {
     auto it = index_.find(key);
     if (it != index_.end() && it->second.segment == segment && !it->second.in_buffer) {
+      if (audit) {
+        audit_index()->Remove(now, EntryHash(key, it->second));
+      }
       index_.erase(it);
       stats_.evicted_objects++;
     }
@@ -105,7 +111,7 @@ Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
   WriteProvenance::CauseScope cause(provenance(), WriteCause::kCacheEviction,
                                     StackLayer::kCache);
   const std::uint64_t evicted_before = stats_.evicted_objects;
-  DropSegmentObjects(open_segment_);
+  DropSegmentObjects(open_segment_, now);
   const std::uint64_t lba = static_cast<std::uint64_t>(open_segment_) * config_.segment_pages;
   Result<SimTime> written = device_->WriteBlocks(Lba{lba}, staged_pages_, now);
   if (!written.ok()) {
@@ -116,10 +122,15 @@ Result<SimTime> BlockFlashCache::FlushSegment(SimTime now) {
                "recycle segment " + std::to_string(open_segment_) + " evicted " +
                    std::to_string(dropped),
                open_segment_, dropped);
+  const bool audit = IndexAuditArmed();
   for (const std::uint64_t key : staged_keys_) {
     auto it = index_.find(key);
     if (it != index_.end() && it->second.segment == open_segment_ && it->second.in_buffer) {
+      const std::uint64_t pre = audit ? EntryHash(key, it->second) : 0;
       it->second.in_buffer = false;
+      if (audit) {
+        audit_index()->Replace(written.value(), pre, EntryHash(key, it->second));
+      }
     }
   }
   segment_keys_[open_segment_] = std::move(staged_keys_);
@@ -149,6 +160,9 @@ Result<SimTime> BlockFlashCache::PutCoalescing(std::uint64_t key, std::uint32_t 
   loc.pages = pages;
   loc.size_bytes = size_bytes;
   loc.in_buffer = true;
+  if (IndexAuditArmed()) {
+    audit_index()->Insert(t, EntryHash(key, loc));
+  }
   index_[key] = loc;
   staged_keys_.push_back(key);
   staged_pages_ += pages;
@@ -180,6 +194,9 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
         return trimmed;
       }
     }
+    if (IndexAuditArmed()) {
+      audit_index()->Remove(t, EntryHash(victim, it->second));
+    }
     index_.erase(it);
     stats_.evicted_objects++;
   }
@@ -197,6 +214,9 @@ Result<SimTime> BlockFlashCache::PutNaive(std::uint64_t key, std::uint32_t pages
       return written;
     }
     t = std::max(t, written.value());
+  }
+  if (IndexAuditArmed()) {
+    audit_index()->Insert(t, EntryHash(key, loc));
   }
   index_[key] = std::move(loc);
   resident_.push_back(key);
@@ -217,6 +237,9 @@ Result<SimTime> BlockFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes
         free_pages_.push_back(page);
       }
       stats_.evicted_objects++;
+    }
+    if (IndexAuditArmed()) {
+      audit_index()->Remove(now, EntryHash(key, it->second));
     }
     index_.erase(it);
   }
@@ -276,10 +299,14 @@ ZnsFlashCache::ZnsFlashCache(ZnsDevice* device, const ZnsCacheConfig& config)
   }
 }
 
-void ZnsFlashCache::DropZoneObjects(std::uint32_t zone_index) {
+void ZnsFlashCache::DropZoneObjects(std::uint32_t zone_index, SimTime now) {
+  const bool audit = IndexAuditArmed();
   for (const std::uint64_t key : zone_keys_[zone_index]) {
     auto it = index_.find(key);
     if (it != index_.end() && it->second.zone == zone_index) {
+      if (audit) {
+        audit_index()->Remove(now, EntryHash(key, it->second));
+      }
       index_.erase(it);
       stats_.evicted_objects++;
     }
@@ -322,7 +349,7 @@ Result<SimTime> ZnsFlashCache::EnsureOpenZone(std::uint32_t pages_needed, SimTim
     const std::uint32_t victim = zone_fifo_.front();
     zone_fifo_.pop_front();
     const std::uint64_t evicted_before = stats_.evicted_objects;
-    DropZoneObjects(victim);
+    DropZoneObjects(victim, now);
     // The reset's block erases are cache-eviction work (the zoned cache's only reclaim I/O).
     WriteProvenance::CauseScope cause(provenance(), WriteCause::kCacheEviction,
                                       StackLayer::kCache);
@@ -354,6 +381,9 @@ Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, 
   }
   auto it = index_.find(key);
   if (it != index_.end()) {
+    if (IndexAuditArmed()) {
+      audit_index()->Remove(now, EntryHash(key, it->second));
+    }
     index_.erase(it);  // Old copy dies with its zone.
   }
   Result<SimTime> ready = EnsureOpenZone(pages, now);
@@ -369,6 +399,9 @@ Result<SimTime> ZnsFlashCache::Put(std::uint64_t key, std::uint32_t size_bytes, 
   loc.offset = appended->assigned_lba - device_->zone(ZoneId{open_zone_}).start_lba;
   loc.pages = pages;
   loc.size_bytes = size_bytes;
+  if (IndexAuditArmed()) {
+    audit_index()->Insert(appended->completion, EntryHash(key, loc));
+  }
   index_[key] = loc;
   zone_keys_[open_zone_].push_back(key);
   return appended->completion;

@@ -103,6 +103,11 @@ class FlashCache {
   void NoteEviction(SimTime t, const std::string& detail, std::uint64_t container,
                     std::uint64_t objects);
 
+  // State-digest audit handle for the object index ("<prefix>.index"); nullptr when detached.
+  // Derived classes fold one entry per resident object (design-specific location hash).
+  SubsystemDigest* audit_index() const { return audit_index_; }
+  bool IndexAuditArmed() const { return audit_index_ != nullptr && audit_index_->armed(); }
+
  private:
   void PublishMetrics();
 
@@ -110,6 +115,7 @@ class FlashCache {
   std::string metric_prefix_;
   Histogram* get_latency_ = nullptr;
   Bytes* provenance_ingress_ = nullptr;  // Domain "<prefix>" bytes-in accumulator.
+  SubsystemDigest* audit_index_ = nullptr;
 };
 
 struct BlockCacheConfig {
@@ -146,7 +152,16 @@ class BlockFlashCache final : public FlashCache {
                            SimTime now);
   // Flushes the staged segment to the next FIFO segment slot.
   Result<SimTime> FlushSegment(SimTime now);
-  void DropSegmentObjects(std::uint32_t segment);
+  void DropSegmentObjects(std::uint32_t segment, SimTime now);
+  // Audit entry: key + full location, including the scattered page list in naive mode.
+  static std::uint64_t EntryHash(std::uint64_t key, const Location& loc) {
+    std::uint64_t h = AuditHashWords(
+        {key, loc.segment, loc.page, loc.pages, loc.size_bytes, loc.in_buffer ? 1u : 0u});
+    for (const std::uint64_t page : loc.page_list) {
+      h = AuditHashWords({h, page});
+    }
+    return h;
+  }
 
   BlockDevice* device_;
   BlockCacheConfig config_;
@@ -191,7 +206,10 @@ class ZnsFlashCache final : public FlashCache {
   };
 
   Result<SimTime> EnsureOpenZone(std::uint32_t pages_needed, SimTime now);
-  void DropZoneObjects(std::uint32_t zone_index);
+  void DropZoneObjects(std::uint32_t zone_index, SimTime now);
+  static std::uint64_t EntryHash(std::uint64_t key, const Location& loc) {
+    return AuditHashWords({key, loc.zone, loc.offset, loc.pages, loc.size_bytes});
+  }
 
   ZnsDevice* device_;
   ZnsCacheConfig config_;

@@ -34,10 +34,12 @@ void FlashDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix)
     provenance_ = nullptr;
     ledger_ = nullptr;
     reqpath_ = nullptr;
+    audit_blocks_ = nullptr;
     sampler_group_ = -1;
     return;
   }
   metric_prefix_ = std::string(prefix);
+  audit_blocks_ = telemetry_->audit.Register(metric_prefix_ + ".blocks");
   read_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".read.latency_ns");
   program_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".program.latency_ns");
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
@@ -321,7 +323,13 @@ Result<SimTime> FlashDevice::ProgramPage(const PhysAddr& addr, SimTime issue,
     }
   }
 
+  const bool audit = audit_blocks_ != nullptr && audit_blocks_->armed();
+  const std::uint64_t flat = FlatBlockIndex(g, addr);
+  const std::uint64_t pre_program = audit ? BlockEntryHash(flat, block) : 0;
   block.next_page++;
+  if (audit) {
+    audit_blocks_->Replace(done, pre_program, BlockEntryHash(flat, block));
+  }
   sharding_.RecordOp(addr.channel.value(), plane_index);
   if (telemetry_ != nullptr) {
     telemetry_->selfprof.NoteSimTime(done);
@@ -359,6 +367,9 @@ Result<SimTime> FlashDevice::EraseBlock(ChannelId channel, PlaneId plane, BlockI
     telemetry_->timeline.AdvanceGroup(sampler_group_, done);
   }
 
+  const bool audit = audit_blocks_ != nullptr && audit_blocks_->armed();
+  const std::uint64_t flat = FlatBlockIndex(config_.geometry, addr);
+  const std::uint64_t pre_erase = audit ? BlockEntryHash(flat, state) : 0;
   state.next_page = 0;
   state.erase_count++;
   if (state.erase_count > max_erase_count_) {
@@ -374,6 +385,9 @@ Result<SimTime> FlashDevice::EraseBlock(ChannelId channel, PlaneId plane, BlockI
   if (state.erase_count >= config_.timing.endurance_cycles ||
       (config_.early_failure_prob > 0.0 && rng_.NextBool(config_.early_failure_prob))) {
     state.bad = true;
+  }
+  if (audit) {
+    audit_blocks_->Replace(done, pre_erase, BlockEntryHash(flat, state));
   }
   sharding_.RecordOp(channel.value(), plane_index);
   if (telemetry_ != nullptr) {

@@ -187,6 +187,14 @@ class FlashDevice {
   // Request-path charging: host ops attribute their queue/GC/media intervals to the active
   // request's exclusive segments. Cached at attach like the provenance ledger.
   RequestPathLedger* reqpath_ = nullptr;
+  // State-digest audit of block states ("<prefix>.blocks"): one entry per erasure block
+  // hashing (flat index, write pointer, erase count, bad flag). Registered at attach; every
+  // program/erase folds the block's old entry out and the new one in (O(1), see
+  // src/telemetry/audit/state_digest.h).
+  SubsystemDigest* audit_blocks_ = nullptr;
+  std::uint64_t BlockEntryHash(std::uint64_t flat_index, const BlockState& b) const {
+    return AuditHashWords({flat_index, b.next_page, b.erase_count, b.bad ? 1u : 0u});
+  }
   std::uint32_t max_erase_count_ = 0;  // Running max, sampled as a timeline counter track.
   int sampler_group_ = -1;
   std::vector<std::string> plane_tracks_;  // Precomputed "<prefix>.plane<i>" track names.

@@ -488,9 +488,18 @@ void Fleet::CopyMigrationChunk(SimTime now) {
   }
   // Copy complete: flip the replica to the target, then trim and free the source slot so its
   // stale image stops counting as live data (it would otherwise inflate source-device GC).
-  placement_[static_cast<std::size_t>(migration_.shard.value()) * config_.router.replicas +
-             migration_.replica_index] =
-      ShardPlacement{migration_.target_device, migration_.target_slot};
+  ShardPlacement& slot =
+      placement_[static_cast<std::size_t>(migration_.shard.value()) * config_.router.replicas +
+                 migration_.replica_index];
+  const bool audit = audit_placement_ != nullptr && audit_placement_->armed();
+  const std::uint64_t pre =
+      audit ? PlacementEntryHash(migration_.shard.value(), migration_.replica_index, slot) : 0;
+  slot = ShardPlacement{migration_.target_device, migration_.target_slot};
+  if (audit) {
+    audit_placement_->Replace(
+        write_done, pre,
+        PlacementEntryHash(migration_.shard.value(), migration_.replica_index, slot));
+  }
   const Lba src_base{static_cast<std::uint64_t>(migration_.source_slot) * config_.shard_pages};
   (void)src->block->TrimBlocks(src_base, static_cast<std::uint32_t>(config_.shard_pages),
                                write_done);
@@ -537,18 +546,26 @@ void Fleet::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   // Device bundles keep their own registries/ledgers, but wall-clock self-profiling is a
   // per-process concern: forward every device's profiler to the fleet-level one so flash/FTL
   // scopes inside devices nest under the fleet's dispatch scopes in one attribution.
-  for (const std::unique_ptr<FleetDevice>& dev : devices_) {
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    FleetDevice* dev = devices_[d].get();
     dev->telemetry->selfprof.DelegateTo(telemetry_ == nullptr ? nullptr
                                                               : &telemetry_->selfprof);
     // Same for the critical-path ledger: device-internal charges (flash waits, hostftl
     // reclaim stalls) attribute to the fleet-level active request.
     dev->telemetry->reqpath.DelegateTo(telemetry_ == nullptr ? nullptr
                                                              : &telemetry_->reqpath);
+    // And the state audit: per-device subsystem digests surface in the fleet-level timeline
+    // under "<prefix>.devNN.<subsystem>" and fold into the whole-fleet composite.
+    dev->telemetry->audit.DelegateTo(
+        telemetry_ == nullptr ? nullptr : &telemetry_->audit,
+        telemetry_ == nullptr ? "" : metric_prefix_ + "." + DeviceLabel(d) + ".");
   }
   if (telemetry_ == nullptr) {
+    audit_placement_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  audit_placement_ = telemetry_->audit.Register(metric_prefix_ + ".placement");
 }
 
 void Fleet::PublishMetrics() {

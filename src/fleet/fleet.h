@@ -223,6 +223,17 @@ class Fleet {
   FleetStats stats_;
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
+
+  // State-digest audit of the shard map ("<prefix>.placement"): one entry per (shard,
+  // replica) slot hashing where that replica lives. Initial placement is construction-time
+  // state (identical across compared runs); only migration flips fold through the digest.
+  // Per-device composites ride along via StateAudit::DelegateTo in AttachTelemetry.
+  SubsystemDigest* audit_placement_ = nullptr;
+  static std::uint64_t PlacementEntryHash(std::uint32_t shard_index,
+                                          std::uint32_t replica_index,
+                                          const ShardPlacement& p) {
+    return AuditHashWords({shard_index, replica_index, p.device_index, p.slot_index});
+  }
 };
 
 // Closed-loop driver for the fleet data path. Unlike RunClosedLoop (which aborts on the first

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -53,6 +54,16 @@ ConventionalSsd::ConventionalSsd(const FlashConfig& flash_config, const FtlConfi
   }
   next_host_plane_.assign(config_.num_streams, 0);
   free_block_count_ = g.total_blocks();
+
+  if (const char* env = std::getenv("BLOCKHEAD_AUDIT_PERTURB_GC_AT");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) {
+      perturb_gc_at_ = v;
+      perturb_pending_ = true;
+    }
+  }
 }
 
 bool ConventionalSsd::PageValid(std::uint64_t ppn) const {
@@ -60,7 +71,7 @@ bool ConventionalSsd::PageValid(std::uint64_t ppn) const {
   return lpn != kUnmapped && l2p_[lpn] == ppn;
 }
 
-void ConventionalSsd::InvalidatePage(std::uint64_t lpn) {
+void ConventionalSsd::InvalidatePage(std::uint64_t lpn, SimTime now) {
   const std::uint64_t old = l2p_[lpn];
   if (old == kUnmapped) {
     return;
@@ -70,6 +81,9 @@ void ConventionalSsd::InvalidatePage(std::uint64_t lpn) {
   block_meta_[block].valid_pages--;
   p2l_[old] = kUnmapped;
   l2p_[lpn] = kUnmapped;
+  if (audit_l2p_ != nullptr && audit_l2p_->armed()) {
+    audit_l2p_->Remove(now, L2pEntryHash(lpn, old));
+  }
 }
 
 std::uint32_t ConventionalSsd::TakeFreeBlock(std::uint32_t plane_index) {
@@ -160,12 +174,15 @@ Result<SimTime> ConventionalSsd::AppendPage(std::uint64_t lpn, SimTime issue,
   if (!done.ok()) {
     return done;
   }
-  InvalidatePage(lpn);
+  InvalidatePage(lpn, done.value());
   const FlashGeometry& g = flash_.geometry();
   const std::uint64_t ppn = FlatPageIndex(g, addr).value();
   const std::uint64_t block = ppn / g.pages_per_block;
   l2p_[lpn] = ppn;
   p2l_[ppn] = lpn;
+  if (audit_l2p_ != nullptr && audit_l2p_->armed()) {
+    audit_l2p_->Insert(done.value(), L2pEntryHash(lpn, ppn));
+  }
   block_meta_[block].valid_pages++;
   block_meta_[block].last_write = done.value();
   return done;
@@ -176,6 +193,12 @@ std::uint64_t ConventionalSsd::PickVictim(SimTime now, bool wear_migration) {
   const std::uint32_t ppb = g.pages_per_block;
   std::uint64_t best = kUnmapped;
   double best_score = -1.0;
+  // Audit divergence-injection hook (see perturb_gc_at_): when armed, track the runner-up
+  // and return it instead of the winner, once. The greedy dead-block shortcut is skipped in
+  // that one scan so a runner-up exists to return.
+  const bool perturb = perturb_pending_ && !wear_migration && now >= perturb_gc_at_;
+  std::uint64_t second = kUnmapped;
+  double second_score = -1.0;
 
   // Scan from a rotating start: a fixed scan order breaks score ties toward the lowest block
   // indices, which concentrates victims (and their serialized page reads) on plane 0.
@@ -193,7 +216,7 @@ std::uint64_t ConventionalSsd::PickVictim(SimTime now, bool wear_migration) {
       continue;  // Only full blocks are victims; partial blocks are free-pool or frontiers.
     }
 
-    if (!wear_migration && config_.victim_policy == GcVictimPolicy::kGreedy &&
+    if (!perturb && !wear_migration && config_.victim_policy == GcVictimPolicy::kGreedy &&
         meta.valid_pages == 0) {
       return flat;  // A fully dead block is always the greedy optimum.
     }
@@ -215,11 +238,20 @@ std::uint64_t ConventionalSsd::PickVictim(SimTime now, bool wear_migration) {
       }
     }
     if (score > best_score) {
+      second_score = best_score;
+      second = best;
       best_score = score;
       best = flat;
+    } else if (score > second_score) {
+      second_score = score;
+      second = flat;
     }
   }
 
+  if (perturb && second != kUnmapped) {
+    perturb_pending_ = false;
+    return second;
+  }
   if (!wear_migration && best != kUnmapped &&
       block_meta_[best].valid_pages >= ppb) {
     // All full blocks are fully valid: GC would gain nothing.
@@ -299,6 +331,9 @@ Result<SimTime> ConventionalSsd::GcCycle(SimTime now) {
     l2p_[lpn] = new_ppn;
     p2l_[new_ppn] = lpn;
     p2l_[ppn] = kUnmapped;
+    if (audit_l2p_ != nullptr && audit_l2p_->armed()) {
+      audit_l2p_->Replace(done.value(), L2pEntryHash(lpn, ppn), L2pEntryHash(lpn, new_ppn));
+    }
     block_meta_[victim].valid_pages--;
     block_meta_[new_block].valid_pages++;
     block_meta_[new_block].last_write = done.value();
@@ -414,10 +449,12 @@ void ConventionalSsd::AttachTelemetry(Telemetry* telemetry, std::string_view pre
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) {
     flash_.AttachTelemetry(nullptr);
+    audit_l2p_ = nullptr;
     sampler_group_ = -1;
     return;
   }
   metric_prefix_ = std::string(prefix);
+  audit_l2p_ = telemetry_->audit.Register(metric_prefix_ + ".ftl.l2p");
   flash_.AttachTelemetry(telemetry_, metric_prefix_ + ".flash");
   telemetry_->registry.AddProvider(metric_prefix_ + ".ftl", [this] { PublishMetrics(); });
 
@@ -563,7 +600,7 @@ Result<SimTime> ConventionalSsd::TrimBlocks(Lba lba, std::uint32_t count, SimTim
       RequestContext{0, ReqOp::kTrim}, issue);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (l2p_[lba.value() + i] != kUnmapped) {
-      InvalidatePage(lba.value() + i);
+      InvalidatePage(lba.value() + i, issue);
       stats_.pages_trimmed++;
     }
   }

@@ -162,7 +162,7 @@ class ConventionalSsd final : public BlockDevice {
   SimTime MaybeForegroundGc(SimTime now);
   // Victim selection over all full blocks. Returns flat block index or kUnmapped.
   std::uint64_t PickVictim(SimTime now, bool wear_migration);
-  void InvalidatePage(std::uint64_t lpn);
+  void InvalidatePage(std::uint64_t lpn, SimTime now);
   bool PageValid(std::uint64_t ppn) const;
   // Host-visible ack time for a buffered write whose program completes at `program_done`.
   SimTime BufferAck(SimTime data_in, SimTime program_done);
@@ -189,6 +189,19 @@ class ConventionalSsd final : public BlockDevice {
   Telemetry* telemetry_ = nullptr;
   std::string metric_prefix_;
   int sampler_group_ = -1;  // Timeline group for free-pool / WA gauges.
+
+  // State-digest audit of the mapping table ("<prefix>.ftl.l2p"): one entry per mapped
+  // logical page hashing (lpn, ppn). p2l_ is derived state and is not digested separately.
+  SubsystemDigest* audit_l2p_ = nullptr;
+  static std::uint64_t L2pEntryHash(std::uint64_t lpn, std::uint64_t ppn) {
+    return AuditHashWords({lpn, ppn});
+  }
+  // Divergence-injection test hook (BLOCKHEAD_AUDIT_PERTURB_GC_AT=<ns>): the first victim
+  // selection at now >= the given SimTime picks the second-best block instead of the best,
+  // once. Used by ci.sh and the EXPERIMENTS.md walkthrough to prove digest_bisect localizes
+  // a single perturbed GC decision; never set in normal runs.
+  SimTime perturb_gc_at_ = 0;
+  bool perturb_pending_ = false;
 };
 
 }  // namespace blockhead

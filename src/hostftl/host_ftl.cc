@@ -47,7 +47,7 @@ bool HostFtlBlockDevice::DevicePageLive(std::uint64_t dev_lba) const {
   return d2l_[dev_lba] != kUnmapped;
 }
 
-void HostFtlBlockDevice::InvalidatePage(std::uint64_t lpn) {
+void HostFtlBlockDevice::InvalidatePage(std::uint64_t lpn, SimTime now) {
   const std::uint64_t old = l2p_[lpn];
   if (old == kUnmapped) {
     return;
@@ -57,6 +57,9 @@ void HostFtlBlockDevice::InvalidatePage(std::uint64_t lpn) {
   zone_live_[zone]--;
   d2l_[old] = kUnmapped;
   l2p_[lpn] = kUnmapped;
+  if (audit_l2p_ != nullptr && audit_l2p_->armed()) {
+    audit_l2p_->Remove(now, L2pEntryHash(lpn, old));
+  }
 }
 
 Status HostFtlBlockDevice::EnsureFrontier(bool relocation, SimTime now) {
@@ -105,10 +108,13 @@ Result<SimTime> HostFtlBlockDevice::AppendPage(std::uint64_t lpn, SimTime issue,
     }
     done = r.value();
   }
-  InvalidatePage(lpn);
+  InvalidatePage(lpn, done);
   l2p_[lpn] = dev_lba;
   d2l_[dev_lba] = lpn;
   zone_live_[dev_lba / zone_pages_]++;
+  if (audit_l2p_ != nullptr && audit_l2p_->armed()) {
+    audit_l2p_->Insert(done, L2pEntryHash(lpn, dev_lba));
+  }
   return done;
 }
 
@@ -207,6 +213,7 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
       t = std::max(t, w.value());
       stats_.gc_host_bus_bytes += 2ULL * run * page_size;
     }
+    const bool audit = audit_l2p_ != nullptr && audit_l2p_->armed();
     for (std::uint32_t p = 0; p < run; ++p) {
       const std::uint64_t lpn = d2l_[src + p];
       l2p_[lpn] = dst + p;
@@ -215,6 +222,9 @@ Result<SimTime> HostFtlBlockDevice::GcStep(SimTime now, bool critical,
       zone_live_[gc_victim_]--;
       zone_live_[(dst + p) / zone_pages_]++;
       stats_.gc_pages_copied++;
+      if (audit) {
+        audit_l2p_->Replace(t, L2pEntryHash(lpn, src + p), L2pEntryHash(lpn, dst + p));
+      }
     }
     gc_offset_ += run;
     moved += run;
@@ -399,7 +409,7 @@ Result<SimTime> HostFtlBlockDevice::TrimBlocks(Lba lba, std::uint32_t count, Sim
       RequestContext{0, ReqOp::kTrim}, issue);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (l2p_[lba.value() + i] != kUnmapped) {
-      InvalidatePage(lba.value() + i);
+      InvalidatePage(lba.value() + i, issue);
       stats_.pages_trimmed++;
     }
   }
@@ -421,9 +431,11 @@ void HostFtlBlockDevice::AttachTelemetry(Telemetry* telemetry, std::string_view 
   if (telemetry_ == nullptr) {
     sampler_group_ = -1;
     provenance_ingress_ = nullptr;
+    audit_l2p_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  audit_l2p_ = telemetry_->audit.Register(metric_prefix_ + ".l2p");
   provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
   scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
 

@@ -118,7 +118,7 @@ class HostFtlBlockDevice final : public BlockDevice {
   // reset) once drained. Returns completion time or error if nothing is reclaimable.
   Result<SimTime> GcStep(SimTime now, bool critical, std::uint32_t max_pages);
   Result<SimTime> GcRunToCompletion(SimTime now, bool critical);
-  void InvalidatePage(std::uint64_t lpn);
+  void InvalidatePage(std::uint64_t lpn, SimTime now);
   bool DevicePageLive(std::uint64_t dev_lba) const;
   std::uint32_t PickVictim(bool critical) const;
   void PublishMetrics();
@@ -150,6 +150,13 @@ class HostFtlBlockDevice final : public BlockDevice {
   // Logical bytes accepted from the host, accumulated into the provenance ledger's domain
   // "<prefix>" as a link in the factorized-WA chain.
   Bytes* provenance_ingress_ = nullptr;
+
+  // State-digest audit of the host-side mapping ("<prefix>.l2p"): one entry per mapped
+  // logical page hashing (lpn, device LBA). d2l_/zone_live_ are derived state.
+  SubsystemDigest* audit_l2p_ = nullptr;
+  static std::uint64_t L2pEntryHash(std::uint64_t lpn, std::uint64_t dev_lba) {
+    return AuditHashWords({lpn, dev_lba});
+  }
 };
 
 }  // namespace blockhead

@@ -349,10 +349,28 @@ Result<SimTime> KvStore::ApplyWrite(std::string_view key, KvEntryType type,
     return logged;
   }
   memtable_bytes_ += key.size() + value.size() + 16;
+  const bool audit = audit_memtable_ != nullptr && audit_memtable_->armed();
+  std::uint64_t pre = 0;
+  bool existed = false;
+  if (audit) {
+    auto it = memtable_.find(key);
+    if (it != memtable_.end()) {
+      existed = true;
+      pre = MemtableEntryHash(it->first, it->second);
+    }
+  }
   if (type == KvEntryType::kValue) {
     memtable_[std::string(key)] = std::string(value);
   } else {
     memtable_[std::string(key)] = std::nullopt;
+  }
+  if (audit) {
+    const std::uint64_t post = MemtableEntryHash(key, memtable_.find(key)->second);
+    if (existed) {
+      audit_memtable_->Replace(logged.value(), pre, post);
+    } else {
+      audit_memtable_->Insert(logged.value(), post);
+    }
   }
   stats_.user_bytes_written += key.size() + value.size();
   if (provenance_ingress_ != nullptr) {
@@ -436,6 +454,10 @@ Result<SimTime> KvStore::FlushMemtable(SimTime now) {
     return created;
   }
   levels_[0].insert(levels_[0].begin(), meta);
+  if (audit_manifest_ != nullptr && audit_manifest_->armed()) {
+    audit_manifest_->Replace(t, WalEntryHash(old_wal), WalEntryHash(wal_number_));
+    audit_manifest_->Insert(t, TableEntryHash(meta));
+  }
   Result<SimTime> logged = LogTableChange({meta}, {}, wal_number_, t);
   if (!logged.ok()) {
     return logged;
@@ -444,6 +466,11 @@ Result<SimTime> KvStore::FlushMemtable(SimTime now) {
   Result<SimTime> deleted = env_->DeleteFile(WalName(old_wal), t);
   if (!deleted.ok()) {
     return deleted;
+  }
+  if (audit_memtable_ != nullptr && audit_memtable_->armed()) {
+    for (const auto& [mkey, mvalue] : memtable_) {
+      audit_memtable_->Remove(t, MemtableEntryHash(mkey, mvalue));
+    }
   }
   memtable_.clear();
   memtable_bytes_ = 0;
@@ -644,6 +671,14 @@ Result<SimTime> KvStore::CompactLevel(std::uint32_t level, SimTime now) {
   };
   std::erase_if(levels_[level], in_removed);
   std::erase_if(levels_[out_level], in_removed);
+  if (audit_manifest_ != nullptr && audit_manifest_->armed()) {
+    for (const TableMeta& meta : removed) {
+      audit_manifest_->Remove(t, TableEntryHash(meta));
+    }
+    for (const TableMeta& meta : outputs) {
+      audit_manifest_->Insert(t, TableEntryHash(meta));
+    }
+  }
   for (TableMeta& meta : outputs) {
     levels_[out_level].push_back(std::move(meta));
   }
@@ -861,10 +896,26 @@ void KvStore::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
     provenance_ingress_ = nullptr;
+    audit_memtable_ = nullptr;
+    audit_manifest_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
   provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
+  audit_memtable_ = telemetry_->audit.Register(metric_prefix_ + ".memtable");
+  audit_manifest_ = telemetry_->audit.Register(metric_prefix_ + ".manifest");
+}
+
+std::uint64_t KvStore::MemtableEntryHash(std::string_view key,
+                                         const std::optional<std::string>& value) {
+  return AuditHashWords({AuditHashBytes(key),
+                         value.has_value() ? AuditHashBytes(*value) : 0,
+                         value.has_value() ? 1u : 0u});
+}
+
+std::uint64_t KvStore::TableEntryHash(const TableMeta& meta) {
+  return AuditHashWords({meta.file_number, meta.level, meta.bytes,
+                         AuditHashBytes(meta.smallest), AuditHashBytes(meta.largest)});
 }
 
 void KvStore::PublishMetrics() {

@@ -158,6 +158,18 @@ class KvStore {
   // User bytes accepted by Put/Delete, accumulated into the provenance ledger's domain
   // "<prefix>" as the top link of the factorized-WA chain.
   Bytes* provenance_ingress_ = nullptr;
+
+  // State-digest audits: "<prefix>.memtable" folds one entry per live memtable key (key
+  // bytes + value bytes or tombstone marker); "<prefix>.manifest" folds one entry per table
+  // in the version (TableMeta fields) plus one for the current WAL number.
+  SubsystemDigest* audit_memtable_ = nullptr;
+  SubsystemDigest* audit_manifest_ = nullptr;
+  static std::uint64_t MemtableEntryHash(std::string_view key,
+                                         const std::optional<std::string>& value);
+  static std::uint64_t TableEntryHash(const TableMeta& meta);
+  static std::uint64_t WalEntryHash(std::uint32_t wal_number) {
+    return AuditHashWords({3, wal_number});
+  }
 };
 
 }  // namespace blockhead

@@ -1,0 +1,239 @@
+#include "src/telemetry/audit/state_digest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/telemetry/sink.h"
+
+namespace blockhead {
+
+std::uint64_t AuditHashBytes(std::string_view bytes) {
+  std::uint64_t h = AuditMix64(0x452821e638d01377ULL ^ bytes.size());
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (unsigned char c : bytes) {
+    word |= static_cast<std::uint64_t>(c) << shift;
+    shift += 8;
+    if (shift == 64) {
+      h = AuditMix64(h ^ word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) {
+    h = AuditMix64(h ^ word);
+  }
+  return h;
+}
+
+std::uint64_t AuditHashHistogram(const Histogram& h) {
+  // Bucket layout is a fixed function of the recorded multiset, so chaining the nonzero
+  // (index, count) pairs positionally is merge-order-independent.
+  std::uint64_t d = AuditHashWords({h.count(), h.sum(), h.min(), h.max()});
+  const std::vector<std::uint64_t>& buckets = h.bucket_counts();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) {
+      d = AuditMix64(d ^ AuditHashWords({i, buckets[i]}));
+    }
+  }
+  return d;
+}
+
+std::string DigestValue::ToHex() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx.%016llx",
+                static_cast<unsigned long long>(fold_xor),
+                static_cast<unsigned long long>(fold_sum));
+  return buf;
+}
+
+void SubsystemDigest::Checkpoint(SimTime t) {
+  const std::uint64_t e = t / owner_->epoch_ns();
+  if (!touched_) {
+    touched_ = true;
+    epoch_ = e;
+    return;
+  }
+  if (e > epoch_) {
+    sealed_.push_back(Sealed{epoch_, value_, mutations_});
+    epoch_ = e;
+  }
+}
+
+StateAudit::~StateAudit() {
+  if (root_ != nullptr) {
+    root_->AbsorbChild(this);
+  }
+  // Children outliving their root would dangle; detach them defensively (the fleet always
+  // destroys devices first, so this loop is normally empty).
+  for (StateAudit* child : children_) {
+    child->root_ = nullptr;
+  }
+}
+
+void StateAudit::Enable(const AuditConfig& config) {
+  config_ = config;
+  if (const char* env = std::getenv("BLOCKHEAD_AUDIT_EPOCH_NS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) {
+      config_.epoch_ns = v;
+    }
+  }
+  if (config_.epoch_ns == 0) {
+    config_.epoch_ns = 1;
+  }
+  enabled_ = true;
+  for (const auto& [name, sub] : subsystems_) {
+    sub->value_ = DigestValue{};
+    sub->mutations_ = 0;
+    sub->epoch_ = 0;
+    sub->touched_ = false;
+    sub->sealed_.clear();
+  }
+  retired_.clear();
+}
+
+SubsystemDigest* StateAudit::Register(std::string_view name) {
+  auto it = subsystems_.find(name);
+  if (it == subsystems_.end()) {
+    auto sub = std::unique_ptr<SubsystemDigest>(new SubsystemDigest(this, std::string(name)));
+    it = subsystems_.emplace(std::string(name), std::move(sub)).first;
+  }
+  return it->second.get();
+}
+
+void StateAudit::DelegateTo(StateAudit* root, std::string_view prefix) {
+  if (root == this) {
+    root = nullptr;
+  }
+  if (root_ != nullptr && root_ != root) {
+    // Explicit re-delegation: leave the old root without donating history (the caller is
+    // re-homing a live audit, not ending it).
+    std::erase(root_->children_, this);
+  }
+  root_ = root;
+  delegate_prefix_ = std::string(prefix);
+  if (root_ != nullptr &&
+      std::find(root_->children_.begin(), root_->children_.end(), this) ==
+          root_->children_.end()) {
+    root_->children_.push_back(this);
+  }
+}
+
+void StateAudit::AbsorbChild(StateAudit* child) {
+  std::erase(children_, child);
+  if (!enabled_) {
+    return;
+  }
+  for (const auto& [name, sub] : child->subsystems_) {
+    if (!sub->touched_) {
+      continue;
+    }
+    Retired r;
+    r.name = child->delegate_prefix_ + name;
+    r.value = sub->value_;
+    r.mutations = sub->mutations_;
+    r.sealed = std::move(sub->sealed_);
+    r.sealed.push_back(SubsystemDigest::Sealed{sub->epoch_, sub->value_, sub->mutations_});
+    retired_.push_back(std::move(r));
+  }
+}
+
+std::string StateAudit::DumpJson() const {
+  struct Row {
+    std::uint64_t epoch;
+    const std::string* name;  // Points into finals (stable std::map nodes).
+    DigestValue value;
+    std::uint64_t mutations;
+  };
+  struct Final {
+    DigestValue value;
+    std::uint64_t mutations = 0;
+  };
+  // Finals merge same-named histories algebraically (a fleet bench that rebuilds the same
+  // device prefix across configurations folds them into one composite line).
+  std::map<std::string, Final> finals;
+  std::vector<Row> rows;
+
+  auto fold_final = [&finals](const std::string& name, const DigestValue& v,
+                              std::uint64_t mutations) -> const std::string* {
+    auto it = finals.try_emplace(name).first;
+    it->second.value.fold_xor ^= v.fold_xor;
+    it->second.value.fold_sum += v.fold_sum;
+    it->second.mutations += mutations;
+    return &it->first;
+  };
+  auto add_live = [&](const StateAudit& audit, const std::string& prefix) {
+    for (const auto& [name, sub] : audit.subsystems_) {
+      const std::string* full =
+          fold_final(prefix.empty() ? name : prefix + name, sub->value_, sub->mutations_);
+      for (const auto& s : sub->sealed_) {
+        rows.push_back(Row{s.epoch, full, s.value, s.mutations});
+      }
+      if (sub->touched_) {
+        rows.push_back(Row{sub->epoch_, full, sub->value_, sub->mutations_});
+      }
+    }
+  };
+  add_live(*this, "");
+  for (const StateAudit* child : children_) {
+    add_live(*child, child->delegate_prefix_);
+  }
+  for (const auto& r : retired_) {
+    const std::string* full = fold_final(r.name, r.value, r.mutations);
+    for (const auto& s : r.sealed) {
+      rows.push_back(Row{s.epoch, full, s.value, s.mutations});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.epoch != b.epoch) {
+      return a.epoch < b.epoch;
+    }
+    return *a.name < *b.name;
+  });
+
+  const SimTime epoch_len = epoch_ns();
+  std::string out;
+  out.reserve(96 + rows.size() * 120 + finals.size() * 100);
+  out.append("{\"schema\":\"blockhead-audit-v1\",\"epoch_ns\":");
+  out.append(std::to_string(epoch_len));
+  out.append("}\n");
+  for (const Row& row : rows) {
+    out.append("{\"epoch\":");
+    out.append(std::to_string(row.epoch));
+    out.append(",\"t_ns\":");
+    out.append(std::to_string((row.epoch + 1) * epoch_len));
+    out.append(",\"subsystem\":\"");
+    out.append(JsonEscape(*row.name));
+    out.append("\",\"digest\":\"");
+    out.append(row.value.ToHex());
+    out.append("\",\"mutations\":");
+    out.append(std::to_string(row.mutations));
+    out.append("}\n");
+  }
+  DigestValue run;
+  std::uint64_t run_mutations = 0;
+  auto final_line = [&out](const std::string& name, const DigestValue& v,
+                           std::uint64_t mutations) {
+    out.append("{\"final\":true,\"subsystem\":\"");
+    out.append(JsonEscape(name));
+    out.append("\",\"digest\":\"");
+    out.append(v.ToHex());
+    out.append("\",\"mutations\":");
+    out.append(std::to_string(mutations));
+    out.append("}\n");
+  };
+  for (const auto& [name, f] : finals) {
+    final_line(name, f.value, f.mutations);
+    run.Insert(AuditHashWords({AuditHashBytes(name), f.value.fold_xor, f.value.fold_sum}));
+    run_mutations += f.mutations;
+  }
+  final_line("__run__", run, run_mutations);
+  return out;
+}
+
+}  // namespace blockhead

@@ -1,5 +1,7 @@
 #include "src/telemetry/event_log.h"
 
+#include "src/telemetry/sink.h"  // JsonEscape: shared string renderer.
+
 namespace blockhead {
 
 const char* TimelineEventTypeName(TimelineEventType type) {
@@ -84,6 +86,20 @@ std::string EventLog::RenderPage(TimelineEventType type) const {
       continue;
     }
     out += "  [" + std::to_string(e.time) + "] " + e.source + " " + e.detail + "\n";
+  }
+  return out;
+}
+
+std::string EventLog::DumpJson() const {
+  std::string out;
+  out += "{\"schema\":\"blockhead-events-v1\",\"appended\":" + std::to_string(appended_) +
+         ",\"dropped\":" + std::to_string(dropped_) + "}\n";
+  for (const TimelineEvent& e : events_) {
+    out += "{\"t_ns\":" + std::to_string(e.time) + ",\"seq\":" + std::to_string(e.seq) +
+           ",\"type\":\"" + TimelineEventTypeName(e.type) + "\",\"source\":\"" +
+           JsonEscape(e.source) + "\",\"detail\":\"" + JsonEscape(e.detail) +
+           "\",\"arg0\":" + std::to_string(e.arg0) + ",\"arg1\":" + std::to_string(e.arg1) +
+           "}\n";
   }
   return out;
 }

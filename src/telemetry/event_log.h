@@ -95,6 +95,11 @@ class EventLog {
   //   [<time_ns>] <source> <detail>
   std::string RenderPage(TimelineEventType type) const;
 
+  // Deterministic JSON-lines dump of every retained record, oldest first. Consumed by the
+  // bench `--events` flag and by tools/digest_bisect to print the decision window around a
+  // digest divergence. Same seed -> byte-identical output.
+  std::string DumpJson() const;
+
   // Registers a provider on `registry` exporting `<prefix>.total`, `<prefix>.dropped` and
   // `<prefix>.<type>.count`. Passing nullptr unregisters. The registry must outlive this log
   // or be detached first.

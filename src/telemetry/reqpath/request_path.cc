@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "src/telemetry/sink.h"  // FormatMetricDouble: shared fixed double rendering.
+#include "src/telemetry/sink.h"  // FormatMetricDouble + JsonEscape: shared renderers.
 #include "src/telemetry/timeline.h"
 
 namespace blockhead {
@@ -12,18 +12,6 @@ namespace {
 
 // Burn-rate long window multiplier: the slow signal confirming a fast-window burn is real.
 constexpr std::uint64_t kLongWindowFactor = 8;
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-  return out;
-}
 
 }  // namespace
 

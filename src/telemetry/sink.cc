@@ -9,26 +9,6 @@ namespace {
 
 std::string FormatU64(std::uint64_t v) { return std::to_string(v); }
 
-// Minimal JSON string escaping; metric and bench names are ASCII identifiers but quotes and
-// backslashes must never corrupt the stream.
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
 struct HistFields {
   std::uint64_t count, min, max, p50, p90, p95, p99, p999;
   double mean;
@@ -45,6 +25,41 @@ std::string FormatMetricDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(std::string_view s) {
+  if (s.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
 }
 
 void TableSink::Render(std::string_view bench_name,
@@ -117,8 +132,9 @@ void CsvSink::Render(std::string_view bench_name,
   if (out->empty()) {
     out->append("bench,metric,kind,value,count,min,max,mean,p50,p90,p95,p99,p999\n");
   }
+  const std::string bench = CsvEscape(bench_name);
   for (const auto& e : snapshot) {
-    out->append(std::string(bench_name) + "," + e.name + "," + MetricKindName(e.kind) + ",");
+    out->append(bench + "," + CsvEscape(e.name) + "," + MetricKindName(e.kind) + ",");
     switch (e.kind) {
       case MetricKind::kCounter:
         out->append(FormatU64(e.counter) + ",,,,,,,,,");

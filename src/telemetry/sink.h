@@ -56,6 +56,16 @@ class CsvSink final : public MetricSink {
 // Fixed, locale-independent double rendering shared by all sinks ("%.6g" via snprintf).
 std::string FormatMetricDouble(double v);
 
+// JSON string-content escaping shared by every JSON emitter in the telemetry layer (metric
+// sinks, timeline exports, reqpath dumps, audit timelines): backslash-escapes quotes and
+// backslashes and renders control characters as \u00XX. Names are usually ASCII identifiers,
+// but tenant/track names are caller-supplied and must never corrupt the stream.
+std::string JsonEscape(std::string_view s);
+
+// CSV field escaping (RFC 4180): fields containing commas, quotes, or newlines are wrapped
+// in double quotes with embedded quotes doubled; everything else passes through unchanged.
+std::string CsvEscape(std::string_view s);
+
 Status WriteStringToFile(const std::string& path, std::string_view content);
 
 }  // namespace blockhead

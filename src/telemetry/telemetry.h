@@ -11,6 +11,7 @@
 #ifndef BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
 #define BLOCKHEAD_SRC_TELEMETRY_TELEMETRY_H_
 
+#include "src/telemetry/audit/state_digest.h"
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metric_registry.h"
 #include "src/telemetry/provenance.h"
@@ -35,6 +36,11 @@ struct Telemetry {
   // Per-request critical-path ledger (disabled unless a bench enables it; publishes nothing
   // while disabled, so feature-off snapshots match feature-absent ones byte for byte).
   RequestPathLedger reqpath;
+  // State-digest auditor (disabled unless a bench enables it for --audit). Deliberately has
+  // no registry provider: digests never appear in metric snapshots — enabled or not — so
+  // BENCH_baseline.json and every byte-identity check are untouched by the feature. The
+  // digest timeline file written by bench_main is its only output.
+  StateAudit audit;
 
   Telemetry() {
     tracer.set_timeline(&timeline);    // Completed spans become timeline slices.
@@ -62,6 +68,12 @@ inline SelfProfiler* ProfilerOf(Telemetry* telemetry) {
 // attached, else nullptr (charges become one branch at the call site).
 inline RequestPathLedger* ReqPathOf(Telemetry* telemetry) {
   return telemetry == nullptr ? nullptr : &telemetry->reqpath;
+}
+
+// Convenience for layers registering state-digest subsystems at AttachTelemetry: the audit
+// when telemetry is attached, else nullptr (hooks stay one branch while disabled).
+inline StateAudit* AuditOf(Telemetry* telemetry) {
+  return telemetry == nullptr ? nullptr : &telemetry->audit;
 }
 
 }  // namespace blockhead

@@ -19,20 +19,6 @@ std::string FormatTraceUs(SimTime ns) {
   return buf;
 }
 
-// Minimal JSON escaping for names (ASCII identifiers in practice; quotes and backslashes must
-// never corrupt the stream).
-std::string JsonEscapeName(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 void Timeline::Enable(const TimelineConfig& config) {
@@ -241,7 +227,7 @@ std::string Timeline::ExportChromeTrace(const SelfProfiler* host_profile) const 
   for (const Track& t : tracks_) {
     emit("{\"ph\":\"M\",\"pid\":" + std::to_string(t.pid) + ",\"tid\":" +
          std::to_string(t.tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
-         JsonEscapeName(t.name) + "\"}}");
+         JsonEscape(t.name) + "\"}}");
   }
 
   // Dual-clock mode: the self-profiler's host-clock slices as pid 3, one track per
@@ -286,14 +272,14 @@ std::string Timeline::ExportChromeTrace(const SelfProfiler* host_profile) const 
     if (r.is_slice) {
       const Slice& s = slices_[r.index];
       const Track& track = tracks_[s.track];
-      emit("{\"name\":\"" + JsonEscapeName(names_[s.name_id]) + "\",\"cat\":\"" +
+      emit("{\"name\":\"" + JsonEscape(names_[s.name_id]) + "\",\"cat\":\"" +
            (track.pid == kHostPid ? "span" : "maintenance") + "\",\"ph\":\"X\",\"ts\":" +
            FormatTraceUs(s.begin) + ",\"dur\":" + FormatTraceUs(s.end - s.begin) +
            ",\"pid\":" + std::to_string(track.pid) + ",\"tid\":" + std::to_string(track.tid) +
            "}");
     } else {
       const Sample& s = samples_[r.index];
-      emit("{\"name\":\"" + JsonEscapeName(series_names_[s.series]) +
+      emit("{\"name\":\"" + JsonEscape(series_names_[s.series]) +
            "\",\"ph\":\"C\",\"ts\":" + FormatTraceUs(s.t) + ",\"pid\":" +
            std::to_string(kUtilizationPid) + ",\"tid\":0,\"args\":{\"value\":" +
            FormatMetricDouble(s.value) + "}}");
@@ -306,7 +292,7 @@ std::string Timeline::ExportChromeTrace(const SelfProfiler* host_profile) const 
   for (const Flow& f : flows_) {
     const Track& from = tracks_[f.from_track];
     const Track& to = tracks_[f.to_track];
-    const std::string name = JsonEscapeName(names_[f.name_id]);
+    const std::string name = JsonEscape(names_[f.name_id]);
     const std::string id = std::to_string(f.seq);
     emit("{\"name\":\"" + name + "\",\"cat\":\"reqpath\",\"ph\":\"s\",\"id\":" + id +
          ",\"ts\":" + FormatTraceUs(f.from_t) + ",\"pid\":" + std::to_string(from.pid) +

@@ -48,6 +48,11 @@ class Histogram {
   // divisor (e.g. 1000 for microseconds) and `unit_name`.
   std::string Summary(double unit, const std::string& unit_name) const;
 
+  // Raw bucket occupancy (index → sample count). The layout is a pure function of the
+  // recorded multiset, which is what lets the audit layer hash histogram *content*
+  // independent of Record/Merge order (AuditHashHistogram).
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
  private:
   static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets per power of two.
   static constexpr int kSubBuckets = 1 << kSubBucketBits;

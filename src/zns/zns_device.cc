@@ -85,9 +85,11 @@ void ZnsDevice::AttachTelemetry(Telemetry* telemetry, std::string_view prefix) {
     append_latency_ = nullptr;
     write_latency_ = nullptr;
     read_latency_ = nullptr;
+    audit_zones_ = nullptr;
     sampler_group_ = -1;
     return;
   }
+  audit_zones_ = telemetry_->audit.Register(metric_prefix_ + ".zones");
   flash_.AttachTelemetry(telemetry_, metric_prefix_ + ".flash");
   append_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".append.latency_ns");
   write_latency_ = telemetry_->registry.GetHistogram(metric_prefix_ + ".write.latency_ns");
@@ -184,7 +186,14 @@ Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open, SimTime now) {
         stats_.active_limit_rejections++;
         return Status(ErrorCode::kTooManyOpenZones);
       }
-      z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+      {
+        const bool audit = ZoneAuditArmed();
+        const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
+        z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+        if (audit) {
+          audit_zones_->Replace(now, pre, ZoneEntryHash(z));
+        }
+      }
       active_count_++;
       open_count_++;
       NoteZoneTransition(z, ZoneState::kEmpty, z.state, now);
@@ -194,7 +203,14 @@ Status ZnsDevice::EnsureWritable(Zone& z, bool explicit_open, SimTime now) {
         stats_.active_limit_rejections++;
         return Status(ErrorCode::kTooManyOpenZones);
       }
-      z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+      {
+        const bool audit = ZoneAuditArmed();
+        const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
+        z.state = explicit_open ? ZoneState::kExplicitOpen : ZoneState::kImplicitOpen;
+        if (audit) {
+          audit_zones_->Replace(now, pre, ZoneEntryHash(z));
+        }
+      }
       open_count_++;
       NoteZoneTransition(z, ZoneState::kClosed, z.state, now);
       return Status::Ok();
@@ -242,6 +258,7 @@ SimTime ZnsDevice::BufferAck(Zone& z, std::uint32_t pages, SimTime data_in,
 Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime issue,
                                        std::span<const std::uint8_t> data, OpClass op_class) {
   const std::uint32_t page_size = flash_.geometry().page_size;
+  const bool audit = ZoneAuditArmed();
   SimTime done_all = issue;
   for (std::uint32_t i = 0; i < pages; ++i) {
     const PhysAddr addr = AddrOf(z, z.write_pointer);
@@ -254,13 +271,21 @@ Result<SimTime> ZnsDevice::ProgramAtWp(Zone& z, std::uint32_t pages, SimTime iss
       return done;
     }
     done_all = std::max(done_all, done.value());
+    const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
     z.write_pointer++;
     z.programmed_pages = z.write_pointer;
+    if (audit) {
+      audit_zones_->Replace(done.value(), pre, ZoneEntryHash(z));
+    }
   }
   if (z.write_pointer >= z.capacity_pages) {
     const ZoneState prev = z.state;
+    const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
     ReleaseActive(z);
     z.state = ZoneState::kFull;
+    if (audit) {
+      audit_zones_->Replace(done_all, pre, ZoneEntryHash(z));
+    }
     NoteZoneTransition(z, prev, ZoneState::kFull, done_all);
   }
   return done_all;
@@ -414,7 +439,12 @@ Result<SimTime> ZnsDevice::OpenZone(ZoneId zone_id, SimTime issue) {
   Zone& z = zones_[zone_id.value()];
   BLOCKHEAD_RETURN_IF_ERROR(EnsureWritable(z, /*explicit_open=*/true, issue));
   const ZoneState mid = z.state;  // ImplicitOpen -> ExplicitOpen is a loggable edge too.
+  const bool audit = ZoneAuditArmed();
+  const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
   z.state = ZoneState::kExplicitOpen;
+  if (audit) {
+    audit_zones_->Replace(issue, pre, ZoneEntryHash(z));
+  }
   NoteZoneTransition(z, mid, ZoneState::kExplicitOpen, issue);
   return issue + flash_.timing().channel_xfer;
 }
@@ -429,7 +459,12 @@ Result<SimTime> ZnsDevice::CloseZone(ZoneId zone_id, SimTime issue) {
     return ErrorCode::kZoneNotOpen;
   }
   const ZoneState prev = z.state;
+  const bool audit = ZoneAuditArmed();
+  const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
   z.state = ZoneState::kClosed;
+  if (audit) {
+    audit_zones_->Replace(issue, pre, ZoneEntryHash(z));
+  }
   assert(open_count_ > 0);
   open_count_--;
   NoteZoneTransition(z, prev, ZoneState::kClosed, issue);
@@ -453,9 +488,14 @@ Result<SimTime> ZnsDevice::FinishZone(ZoneId zone_id, SimTime issue) {
       break;
   }
   const ZoneState prev = z.state;
+  const bool audit = ZoneAuditArmed();
+  const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
   ReleaseActive(z);
   z.state = ZoneState::kFull;
   z.write_pointer = z.capacity_pages;  // programmed_pages keeps the truly-written prefix.
+  if (audit) {
+    audit_zones_->Replace(issue, pre, ZoneEntryHash(z));
+  }
   stats_.zone_finishes++;
   NoteZoneTransition(z, prev, ZoneState::kFull, issue);
   return issue + flash_.timing().channel_xfer;
@@ -474,6 +514,8 @@ Result<SimTime> ZnsDevice::ResetZone(ZoneId zone_id, SimTime issue) {
     return ErrorCode::kZoneReadOnly;
   }
   const ZoneState prev = z.state;
+  const bool audit = ZoneAuditArmed();
+  const std::uint64_t pre = audit ? ZoneEntryHash(z) : 0;
   ReleaseActive(z);
 
   // Erase every block that has been programmed since the last reset. Issued in parallel;
@@ -504,6 +546,9 @@ Result<SimTime> ZnsDevice::ResetZone(ZoneId zone_id, SimTime issue) {
   z.write_serial_point = 0;
   z.inflight.clear();
   z.state = z.units.empty() ? ZoneState::kOffline : ZoneState::kEmpty;
+  if (audit) {
+    audit_zones_->Replace(done_all, pre, ZoneEntryHash(z));
+  }
   stats_.zone_resets++;
   NoteZoneTransition(z, prev, z.state, done_all);
   if (telemetry_ != nullptr) {
@@ -544,6 +589,7 @@ Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, ZoneId
   // once the source data is staged in the zone's write buffer — while cell programs drain
   // behind it.
   const std::uint32_t kCopyWindow = static_cast<std::uint32_t>(dst.units.size());
+  const bool audit = ZoneAuditArmed();
   SimTime done_all = issue;
   SimTime ack_all = issue;
   SimTime batch_issue = issue;
@@ -574,15 +620,23 @@ Result<SimTime> ZnsDevice::SimpleCopy(std::span<const CopyRange> sources, ZoneId
         batch_issue += flash_.timing().page_read;
         in_batch = 0;
       }
+      const std::uint64_t pre = audit ? ZoneEntryHash(dst) : 0;
       dst.write_pointer++;
       dst.programmed_pages = dst.write_pointer;
+      if (audit) {
+        audit_zones_->Replace(done.value(), pre, ZoneEntryHash(dst));
+      }
       stats_.pages_copied++;
     }
   }
   if (dst.write_pointer >= dst.capacity_pages) {
     const ZoneState prev = dst.state;
+    const std::uint64_t pre = audit ? ZoneEntryHash(dst) : 0;
     ReleaseActive(dst);
     dst.state = ZoneState::kFull;
+    if (audit) {
+      audit_zones_->Replace(done_all, pre, ZoneEntryHash(dst));
+    }
     NoteZoneTransition(dst, prev, ZoneState::kFull, done_all);
   }
   return ack_all;

@@ -214,6 +214,17 @@ class ZnsDevice {
   Histogram* write_latency_ = nullptr;
   Histogram* read_latency_ = nullptr;
   int sampler_group_ = -1;  // Timeline group for zone-resource gauges.
+
+  // State-digest audit of the zone table ("<prefix>.zones"): one entry per zone hashing
+  // (id, state, write pointer, programmed prefix, capacity). Every transition and every
+  // write-pointer advance folds the zone's old entry out and the new one in.
+  SubsystemDigest* audit_zones_ = nullptr;
+  bool ZoneAuditArmed() const { return audit_zones_ != nullptr && audit_zones_->armed(); }
+  std::uint64_t ZoneEntryHash(const Zone& z) const {
+    return AuditHashWords({static_cast<std::uint64_t>(&z - zones_.data()),
+                           static_cast<std::uint64_t>(z.state), z.write_pointer,
+                           z.programmed_pages, z.capacity_pages});
+  }
 };
 
 }  // namespace blockhead

@@ -234,21 +234,29 @@ Result<SimTime> ZoneFileSystem::FlushTailPage(FileMeta& file, SimTime now, bool 
   // Extend the previous extent when physically contiguous, hole-free, and within the same
   // zone (an extent crossing a zone boundary would break per-zone live accounting — adjacent
   // zones are adjacent in LBA space).
+  const bool audit = audit_files_ != nullptr && audit_files_->armed();
   if (!file.extents.empty()) {
     Extent& last = file.extents.back();
     if (last.dev_lba + last.pages == dev_lba &&
         last.dev_lba / zone_pages_ == dev_lba / zone_pages_ &&
         last.bytes == static_cast<std::uint64_t>(last.pages) * page_size_) {
+      const std::uint64_t pre = audit ? ExtentEntryHash(file.id, last) : 0;
       last.pages += 1;
       last.bytes += bytes;
       zone_live_pages_[zone]++;
       stats_.data_pages_flushed++;
+      if (audit) {
+        audit_files_->Replace(done.value(), pre, ExtentEntryHash(file.id, last));
+      }
       return done;
     }
   }
   file.extents.push_back(Extent{dev_lba, 1, bytes});
   zone_live_pages_[zone]++;
   stats_.data_pages_flushed++;
+  if (audit) {
+    audit_files_->Insert(done.value(), ExtentEntryHash(file.id, file.extents.back()));
+  }
   return done;
 }
 
@@ -265,6 +273,9 @@ Result<SimTime> ZoneFileSystem::Create(std::string_view name, Lifetime hint, Sim
   names_.emplace(file.name, id);
   files_.emplace(id, std::move(file));
   stats_.files_created++;
+  if (audit_files_ != nullptr && audit_files_->armed()) {
+    audit_files_->Insert(now, FileEntryHash(files_.at(id)));
+  }
   if (telemetry_ != nullptr) {
     telemetry_->events.Append(now, TimelineEventType::kFileLifecycle, metric_prefix_,
                               "create " + std::string(name), id);
@@ -384,7 +395,14 @@ Result<SimTime> ZoneFileSystem::Sync(std::string_view name, SimTime now) {
     }
     t = flushed.value();
   }
-  file->synced_size = file->size;
+  {
+    const bool audit = audit_files_ != nullptr && audit_files_->armed();
+    const std::uint64_t pre = audit ? FileEntryHash(*file) : 0;
+    file->synced_size = file->size;
+    if (audit) {
+      audit_files_->Replace(t, pre, FileEntryHash(*file));
+    }
+  }
   if (telemetry_ != nullptr) {
     telemetry_->events.Append(t, TimelineEventType::kFileLifecycle, metric_prefix_,
                               "seal " + std::string(name), file->id, file->size);
@@ -415,10 +433,17 @@ Result<SimTime> ZoneFileSystem::Delete(std::string_view name, SimTime now) {
   if (file == nullptr) {
     return ErrorCode::kNotFound;
   }
+  const bool audit = audit_files_ != nullptr && audit_files_->armed();
   for (const Extent& ext : file->extents) {
     const std::uint32_t zone = static_cast<std::uint32_t>(ext.dev_lba / zone_pages_);
     assert(zone_live_pages_[zone] >= ext.pages);
     zone_live_pages_[zone] -= ext.pages;
+    if (audit) {
+      audit_files_->Remove(now, ExtentEntryHash(file->id, ext));
+    }
+  }
+  if (audit) {
+    audit_files_->Remove(now, FileEntryHash(*file));
   }
   std::vector<std::uint8_t> blob;
   PutU32(blob, file->id);
@@ -612,11 +637,19 @@ Result<SimTime> ZoneFileSystem::GcStep(SimTime now, bool critical, std::uint32_t
     const std::uint64_t chunk_bytes = std::min<std::uint64_t>(
         static_cast<std::uint64_t>(chunk) * page_size_, item.bytes);
     // Splice the relocated chunk (and any remainder) in place of the tracked extent.
+    const bool audit = audit_files_ != nullptr && audit_files_->armed();
+    const std::uint64_t pre = audit ? ExtentEntryHash(file.id, file.extents[idx]) : 0;
     file.extents[idx] = Extent{dst_lba, chunk, chunk_bytes};
     if (chunk < item.pages) {
       file.extents.insert(file.extents.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
                           Extent{item.dev_lba + chunk, item.pages - chunk,
                                  item.bytes - chunk_bytes});
+      if (audit) {
+        audit_files_->Insert(t, ExtentEntryHash(file.id, file.extents[idx + 1]));
+      }
+    }
+    if (audit) {
+      audit_files_->Replace(t, pre, ExtentEntryHash(file.id, file.extents[idx]));
     }
     zone_live_pages_[dst_zone] += chunk;
     zone_live_pages_[gc_.victim] -= chunk;
@@ -729,9 +762,11 @@ void ZoneFileSystem::AttachTelemetry(Telemetry* telemetry, std::string_view pref
   metric_prefix_ = std::string(prefix);
   if (telemetry_ == nullptr) {
     provenance_ingress_ = nullptr;
+    audit_files_ = nullptr;
     return;
   }
   telemetry_->registry.AddProvider(metric_prefix_, [this] { PublishMetrics(); });
+  audit_files_ = telemetry_->audit.Register(metric_prefix_ + ".extents");
   provenance_ingress_ = telemetry_->provenance.RegisterDomain(metric_prefix_);
   scheduler_.AttachEvents(&telemetry_->events, metric_prefix_ + ".sched");
   sampler_group_ = telemetry_->timeline.AddSamplerGroup(metric_prefix_);

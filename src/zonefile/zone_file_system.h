@@ -226,6 +226,19 @@ class ZoneFileSystem {
   Bytes* provenance_ingress_ = nullptr;
   // stats_.gc_pages_copied at victim selection (per-cycle copy count for the kGcCycle event).
   std::uint64_t gc_cycle_copied_base_ = 0;
+
+  // State-digest audit of the file map ("<prefix>.extents"): one entry per extent hashing
+  // (file id, device LBA, pages, bytes) plus one per file hashing (id, hint, synced size).
+  // Extent entries carry no positional identity — the fold is a multiset — so mid-vector
+  // splices during compaction stay O(1) (replace the rewritten extent, insert the remainder).
+  SubsystemDigest* audit_files_ = nullptr;
+  static std::uint64_t ExtentEntryHash(std::uint32_t file_id, const Extent& ext) {
+    return AuditHashWords({1, file_id, ext.dev_lba, ext.pages, ext.bytes});
+  }
+  static std::uint64_t FileEntryHash(const FileMeta& file) {
+    return AuditHashWords(
+        {2, file.id, static_cast<std::uint64_t>(file.hint), file.synced_size});
+  }
 };
 
 }  // namespace blockhead

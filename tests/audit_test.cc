@@ -1,0 +1,270 @@
+// Tests for the state-digest audit layer (src/telemetry/audit/state_digest.h): the digest
+// algebra's order independence, lazy epoch checkpointing, delegation + absorb-on-destroy,
+// dump determinism, and the disabled-mode zero-cost guarantees the layer hooks rely on.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/audit/state_digest.h"
+#include "src/telemetry/sink.h"
+#include "src/telemetry/telemetry.h"
+#include "src/util/histogram.h"
+#include "src/util/types.h"
+
+namespace blockhead {
+namespace {
+
+TEST(DigestValueTest, InsertRemoveCancelExactly) {
+  DigestValue d;
+  const std::uint64_t a = AuditHashWords({1, 2, 3});
+  const std::uint64_t b = AuditHashWords({4, 5, 6});
+  d.Insert(a);
+  d.Insert(b);
+  d.Remove(a);
+  DigestValue only_b;
+  only_b.Insert(b);
+  EXPECT_EQ(d, only_b);
+  d.Remove(b);
+  EXPECT_EQ(d, DigestValue{});
+}
+
+TEST(DigestValueTest, OrderIndependence) {
+  // The digest must depend only on the live-entry multiset, never on mutation order: the
+  // same three entries inserted in all permutations (with unrelated churn in between)
+  // produce identical accumulators.
+  const std::vector<std::uint64_t> entries = {
+      AuditHashWords({10}), AuditHashWords({20}), AuditHashWords({30})};
+  DigestValue forward;
+  for (const std::uint64_t e : entries) {
+    forward.Insert(e);
+  }
+  DigestValue backward;
+  const std::uint64_t churn = AuditHashWords({99});
+  backward.Insert(churn);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    backward.Insert(*it);
+  }
+  backward.Remove(churn);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.ToHex(), backward.ToHex());
+}
+
+TEST(DigestValueTest, MultisetSemantics) {
+  // Duplicate entries must be distinguishable from none: XOR alone would cancel a pair, but
+  // the modular-sum fold tracks multiplicity.
+  const std::uint64_t e = AuditHashWords({7});
+  DigestValue twice;
+  twice.Insert(e);
+  twice.Insert(e);
+  EXPECT_NE(twice, DigestValue{});
+  EXPECT_EQ(twice.fold_xor, 0u);      // The XOR fold alone cannot see the pair...
+  EXPECT_EQ(twice.fold_sum, e + e);   // ...the sum fold can.
+}
+
+TEST(DigestValueTest, ToHexIsFixedWidth) {
+  DigestValue d;
+  EXPECT_EQ(d.ToHex(), "0000000000000000.0000000000000000");
+  d.Insert(~0ULL);
+  EXPECT_EQ(d.ToHex(), "ffffffffffffffff.ffffffffffffffff");
+  EXPECT_EQ(d.ToHex().size(), 33u);
+}
+
+TEST(AuditHashTest, BytesDependOnContentAndLength) {
+  EXPECT_EQ(AuditHashBytes("abc"), AuditHashBytes("abc"));
+  EXPECT_NE(AuditHashBytes("abc"), AuditHashBytes("abd"));
+  EXPECT_NE(AuditHashBytes("abc"), AuditHashBytes(std::string_view("abc\0", 4)));
+  EXPECT_NE(AuditHashBytes(""), AuditHashBytes(std::string(1, '\0')));
+  // Longer-than-a-word strings chain across word boundaries.
+  EXPECT_NE(AuditHashBytes("0123456789abcdef"), AuditHashBytes("0123456789abcdeF"));
+}
+
+TEST(AuditHashTest, HistogramDigestIsMergeOrderIndependent) {
+  // A fleet merges per-device histograms in device order; a refactor that merges in a
+  // different order must digest identically as long as the sample multiset matches.
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  for (int i = 1; i <= 100; ++i) {
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).Record(static_cast<std::uint64_t>(i) * 1000);
+  }
+  Histogram abc;
+  abc.Merge(a);
+  abc.Merge(b);
+  abc.Merge(c);
+  Histogram cba;
+  cba.Merge(c);
+  cba.Merge(b);
+  cba.Merge(a);
+  Histogram direct;
+  for (int i = 1; i <= 100; ++i) {
+    direct.Record(static_cast<std::uint64_t>(i) * 1000);
+  }
+  EXPECT_EQ(AuditHashHistogram(abc), AuditHashHistogram(cba));
+  EXPECT_EQ(AuditHashHistogram(abc), AuditHashHistogram(direct));
+  direct.Record(1);
+  EXPECT_NE(AuditHashHistogram(abc), AuditHashHistogram(direct));
+}
+
+TEST(StateAuditTest, DisabledHooksAreInert) {
+  StateAudit audit;
+  SubsystemDigest* sub = audit.Register("ftl.l2p");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_FALSE(sub->armed());
+  sub->Insert(0, AuditHashWords({1}));
+  sub->Replace(10, AuditHashWords({1}), AuditHashWords({2}));
+  EXPECT_EQ(sub->value(), DigestValue{});
+  EXPECT_EQ(sub->mutations(), 0u);
+}
+
+TEST(StateAuditTest, EnableResetsAndArms) {
+  StateAudit audit;
+  SubsystemDigest* sub = audit.Register("ftl.l2p");
+  audit.Enable(AuditConfig{.epoch_ns = 1000});
+  EXPECT_TRUE(sub->armed());
+  sub->Insert(10, AuditHashWords({1}));
+  EXPECT_EQ(sub->mutations(), 1u);
+  audit.Enable(AuditConfig{.epoch_ns = 1000});  // Re-enable: fresh digests.
+  EXPECT_EQ(sub->value(), DigestValue{});
+  EXPECT_EQ(sub->mutations(), 0u);
+  EXPECT_EQ(audit.Register("ftl.l2p"), sub) << "Register must be get-or-create";
+}
+
+TEST(StateAuditTest, LazyCheckpointSealsOnlyMutatedEpochs) {
+  StateAudit audit;
+  audit.Enable(AuditConfig{.epoch_ns = 100});
+  SubsystemDigest* sub = audit.Register("s");
+  sub->Insert(10, AuditHashWords({1}));    // epoch 0
+  sub->Insert(50, AuditHashWords({2}));    // epoch 0 again
+  sub->Insert(730, AuditHashWords({3}));   // epoch 7: seals epoch 0, skips 1..6
+  const std::string dump = audit.DumpJson();
+  EXPECT_NE(dump.find("{\"epoch\":0,\"t_ns\":100,\"subsystem\":\"s\""), std::string::npos);
+  EXPECT_EQ(dump.find("\"epoch\":1,"), std::string::npos) << "untouched epoch checkpointed";
+  EXPECT_NE(dump.find("{\"epoch\":7,\"t_ns\":800,\"subsystem\":\"s\""), std::string::npos);
+  // Sealed epoch 0 carries the 2-mutation running count; the live epoch-7 row carries 3.
+  EXPECT_NE(dump.find("\"mutations\":2}"), std::string::npos);
+  EXPECT_NE(dump.find("\"mutations\":3}"), std::string::npos);
+}
+
+TEST(StateAuditTest, DumpJsonIsDeterministicAndSorted) {
+  StateAudit audit;
+  audit.Enable(AuditConfig{.epoch_ns = 100});
+  SubsystemDigest* zeta = audit.Register("zeta");
+  SubsystemDigest* alpha = audit.Register("alpha");
+  zeta->Insert(250, AuditHashWords({1}));
+  alpha->Insert(10, AuditHashWords({2}));
+  alpha->Insert(460, AuditHashWords({3}));
+  const std::string dump = audit.DumpJson();
+  EXPECT_EQ(dump, audit.DumpJson());
+  // Row order is (epoch, name): alpha@0, zeta@2, alpha@4, then finals alpha, zeta, __run__.
+  const std::size_t alpha0 = dump.find("\"epoch\":0,\"t_ns\":100,\"subsystem\":\"alpha\"");
+  const std::size_t zeta2 = dump.find("\"epoch\":2,\"t_ns\":300,\"subsystem\":\"zeta\"");
+  const std::size_t alpha4 = dump.find("\"epoch\":4,\"t_ns\":500,\"subsystem\":\"alpha\"");
+  const std::size_t final_alpha = dump.find("{\"final\":true,\"subsystem\":\"alpha\"");
+  const std::size_t final_run = dump.find("{\"final\":true,\"subsystem\":\"__run__\"");
+  ASSERT_NE(alpha0, std::string::npos);
+  ASSERT_NE(zeta2, std::string::npos);
+  ASSERT_NE(alpha4, std::string::npos);
+  ASSERT_NE(final_alpha, std::string::npos);
+  ASSERT_NE(final_run, std::string::npos);
+  EXPECT_LT(alpha0, zeta2);
+  EXPECT_LT(zeta2, alpha4);
+  EXPECT_LT(alpha4, final_alpha);
+  EXPECT_LT(final_alpha, final_run);
+}
+
+TEST(StateAuditTest, EqualStatesByDifferentSchedulesDigestEqual) {
+  // The whole point of order independence: two audits whose subsystems arrive at the same
+  // entry multiset through different mutation schedules end with equal final digests (their
+  // checkpoint timelines may differ; the finals may not).
+  StateAudit run_a;
+  run_a.Enable(AuditConfig{.epoch_ns = 100});
+  SubsystemDigest* a = run_a.Register("s");
+  a->Insert(10, AuditHashWords({1}));
+  a->Insert(20, AuditHashWords({2}));
+  a->Replace(30, AuditHashWords({2}), AuditHashWords({3}));
+
+  StateAudit run_b;
+  run_b.Enable(AuditConfig{.epoch_ns = 100});
+  SubsystemDigest* b = run_b.Register("s");
+  b->Insert(500, AuditHashWords({3}));
+  b->Insert(900, AuditHashWords({1}));
+
+  EXPECT_EQ(a->value(), b->value());
+  EXPECT_NE(a->mutations(), b->mutations());
+}
+
+TEST(StateAuditTest, DelegationArmsChildrenAndPrefixesDump) {
+  StateAudit root;
+  StateAudit device;
+  device.DelegateTo(&root, "fleet.dev00.");
+  SubsystemDigest* sub = device.Register("flash.blocks");
+  EXPECT_FALSE(sub->armed());
+  root.Enable(AuditConfig{.epoch_ns = 100});
+  EXPECT_TRUE(sub->armed()) << "delegated audit must arm from its root";
+  sub->Insert(10, AuditHashWords({1}));
+  const std::string dump = root.DumpJson();
+  EXPECT_NE(dump.find("\"subsystem\":\"fleet.dev00.flash.blocks\""), std::string::npos);
+  device.DelegateTo(nullptr);
+  EXPECT_FALSE(sub->armed());
+}
+
+TEST(StateAuditTest, DestroyedChildHistoryIsAbsorbed) {
+  StateAudit root;
+  root.Enable(AuditConfig{.epoch_ns = 100});
+  std::string before;
+  {
+    StateAudit device;
+    device.DelegateTo(&root, "fleet.dev01.");
+    SubsystemDigest* sub = device.Register("zones");
+    sub->Insert(10, AuditHashWords({1}));
+    sub->Insert(250, AuditHashWords({2}));  // Seals epoch 0.
+    before = root.DumpJson();
+  }
+  const std::string after = root.DumpJson();
+  EXPECT_EQ(before, after) << "absorbing a child must not change the dump";
+  EXPECT_NE(after.find("\"subsystem\":\"fleet.dev01.zones\""), std::string::npos);
+  EXPECT_NE(after.find("\"epoch\":0,\"t_ns\":100,\"subsystem\":\"fleet.dev01.zones\""),
+            std::string::npos);
+}
+
+TEST(StateAuditTest, RunCompositeFoldsEverySubsystem) {
+  StateAudit audit;
+  audit.Enable(AuditConfig{.epoch_ns = 100});
+  audit.Register("a")->Insert(10, AuditHashWords({1}));
+  const std::string one = audit.DumpJson();
+  audit.Register("b")->Insert(20, AuditHashWords({2}));
+  const std::string two = audit.DumpJson();
+  const auto run_line = [](const std::string& dump) {
+    const std::size_t at = dump.find("\"__run__\"");
+    return dump.substr(at, dump.find('\n', at) - at);
+  };
+  EXPECT_NE(run_line(one), run_line(two)) << "__run__ must cover every subsystem";
+}
+
+TEST(StateAuditTest, EpochEnvOverrideWins) {
+  ::setenv("BLOCKHEAD_AUDIT_EPOCH_NS", "12345", 1);
+  StateAudit audit;
+  audit.Enable(AuditConfig{.epoch_ns = 999});
+  ::unsetenv("BLOCKHEAD_AUDIT_EPOCH_NS");
+  EXPECT_EQ(audit.epoch_ns(), 12345u);
+}
+
+TEST(StateAuditTest, TelemetryBundleExposesAuditWithoutRegistryRows) {
+  // The audit layer must never add registry rows: --json output is identical with auditing
+  // on or off (the digest timeline file is the only output channel).
+  Telemetry telemetry;
+  JsonLinesSink sink;
+  std::string before;
+  sink.Render("probe", telemetry.registry.Snapshot(), &before);
+  telemetry.audit.Enable(AuditConfig{.epoch_ns = 100});
+  telemetry.audit.Register("x")->Insert(10, AuditHashWords({1}));
+  std::string after;
+  sink.Render("probe", telemetry.registry.Snapshot(), &after);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace blockhead

@@ -221,6 +221,39 @@ class RequestContextRuleTest(unittest.TestCase):
                         os.path.join("tests", "x.cc"), text), [])
 
 
+class DigestOrderRuleTest(unittest.TestCase):
+    AUDIT_CC = os.path.join("src", "telemetry", "audit", "state_digest.cc")
+
+    def test_flags_unordered_map_in_audit_layer(self):
+        text = "std::unordered_map<std::string, DigestValue> subsystems_;\n"
+        out = findings_of(lint.check_digest_order, self.AUDIT_CC, text)
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0][2], "digest-order")
+        self.assertIn("std::unordered_map", out[0][3])
+
+    def test_flags_unordered_set_in_bisect_tool(self):
+        text = "std::unordered_set<std::uint64_t> seen;\n"
+        out = findings_of(lint.check_digest_order,
+                          os.path.join("tools", "digest_bisect.cc"), text)
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0][2], "digest-order")
+
+    def test_ordered_containers_pass(self):
+        text = ("std::map<std::string, DigestValue> subsystems_;\n"
+                "std::vector<Row> rows;  // sorted by (epoch, name) before rendering\n")
+        self.assertEqual(findings_of(lint.check_digest_order, self.AUDIT_CC, text), [])
+
+    def test_comment_mentions_pass(self):
+        text = "// never std::unordered_map here: dump order must be byte-stable\n"
+        self.assertEqual(findings_of(lint.check_digest_order, self.AUDIT_CC, text), [])
+
+    def test_other_code_paths_exempt(self):
+        text = "std::unordered_map<std::uint64_t, Location> index_;\n"
+        self.assertEqual(
+            findings_of(lint.check_digest_order,
+                        os.path.join("src", "cache", "flash_cache.h"), text), [])
+
+
 class FormatRuleTest(unittest.TestCase):
     def test_flags_tabs_trailing_ws_long_lines(self):
         text = "\tint x;\nint y;  \n" + "z" * 101 + "\n"

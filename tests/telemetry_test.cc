@@ -279,6 +279,40 @@ TEST(SinkTest, CsvHasHeaderAndOneRowPerMetric) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);   // Header + 2 rows.
 }
 
+TEST(SinkTest, JsonEscapeHandlesQuotesBackslashesAndControlChars) {
+  // Regression: caller-supplied keys (tenant names, track labels, metric names assembled
+  // from them) must never corrupt a JSON stream. Quotes and backslashes get backslash
+  // escapes; control characters render as \u00XX; plain text passes through.
+  EXPECT_EQ(JsonEscape("plain.metric"), "plain.metric");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape(std::string_view("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\u000abreak\\u0009tab");
+  EXPECT_EQ(JsonEscape("\x1f"), "\\u001f");
+}
+
+TEST(SinkTest, HostileMetricNamesStayValidInJsonAndCsv) {
+  MetricRegistry reg;
+  reg.GetCounter("tenant \"a\\b\".count")->Set(1);
+  reg.GetGauge("line\nbreak.gauge")->Set(2.0);
+  std::string json;
+  JsonLinesSink().Render("bench\\\"x", reg.Snapshot(), &json);
+  // Every raw quote in the output must be a structural quote: unescaped quotes from the
+  // metric name would break the line's key/value framing.
+  EXPECT_NE(json.find("\"metric\":\"tenant \\\"a\\\\b\\\".count\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"line\\u000abreak.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench\\\\\\\"x\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 2)
+      << "control char leaked into the stream unescaped (extra line break)";
+
+  std::string csv;
+  CsvSink().Render("b,1", reg.Snapshot(), &csv);
+  // RFC 4180: fields with commas/quotes/newlines are quoted with doubled quotes. The comma
+  // in the bench name must not add a column.
+  EXPECT_NE(csv.find("\"b,1\""), std::string::npos);
+  EXPECT_NE(csv.find("\"tenant \"\"a\\b\"\".count\""), std::string::npos);
+}
+
 
 TEST(AggregateTest, MergedHistogramPercentilesMatchConcatenatedStream) {
   // Three registries record disjoint slices of one sample stream; merging their histograms

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -305,6 +306,26 @@ TEST(EventLogTest, EqualTimeRecordsKeepAppendOrder) {
   EXPECT_LT(page[0].seq, page[1].seq);
   EXPECT_EQ(page[0].arg0, 1u);
   EXPECT_EQ(page[1].arg0, 2u);
+}
+
+TEST(EventLogTest, DumpJsonSchemaAndEscaping) {
+  EventLog log(2);
+  log.Append(10, TimelineEventType::kGcVictim, "conv.ftl", "victim block 7", 7, 42);
+  log.Append(20, TimelineEventType::kCompaction, "kv \"a\\b\"", "line\nbreak", 1, 2);
+  log.Append(30, TimelineEventType::kZoneReset, "zns", "zone 3 reset", 3);  // Evicts seq 1.
+  const std::string dump = log.DumpJson();
+  EXPECT_EQ(dump.rfind("{\"schema\":\"blockhead-events-v1\",\"appended\":3,\"dropped\":1}\n",
+                       0),
+            0u);
+  // Evicted records stay evicted; retained ones carry (t_ns, seq, type, args).
+  EXPECT_EQ(dump.find("victim block 7"), std::string::npos);
+  EXPECT_NE(dump.find("{\"t_ns\":30,\"seq\":3,\"type\":\"zone_reset\",\"source\":\"zns\","
+                      "\"detail\":\"zone 3 reset\",\"arg0\":3,\"arg1\":0}"),
+            std::string::npos);
+  // Caller-supplied source/detail strings are JSON-escaped, never raw.
+  EXPECT_NE(dump.find("\"source\":\"kv \\\"a\\\\b\\\"\""), std::string::npos);
+  EXPECT_NE(dump.find("\"detail\":\"line\\u000abreak\""), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 3);  // Header + 2 retained records.
 }
 
 TEST(EventLogTest, PublishToExportsCounters) {

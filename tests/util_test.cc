@@ -326,6 +326,25 @@ TEST(RollingHistogramTest, RolloverMidMergeDropsOnlyExpiredBuckets) {
   EXPECT_EQ(rh.Merged(1500).Percentile(0.01), 4u);
 }
 
+TEST(RollingHistogramTest, LongIdleGapExpiresEveryBucketLazily) {
+  // A gap much longer than the window — and in particular a gap that is an exact multiple
+  // of the window — lands new epochs on the SAME slot indices the stale epochs used
+  // (epoch % num_buckets collides). Lazy expiry must go by epoch number, never slot
+  // occupancy, or the pre-gap samples would resurface in the post-gap merge.
+  RollingHistogram rh(1000, 4);
+  rh.Record(100, 1);
+  rh.Record(300, 2);
+  rh.Record(600, 3);
+  rh.Record(900, 4);
+  const std::uint64_t gap = rh.window_ns() * 1000;  // Epochs collide modulo num_buckets.
+  EXPECT_EQ(rh.Merged(900 + gap).count(), 0u);
+  rh.Record(100 + gap, 50);  // Same slot as the t=100 sample's epoch.
+  const Histogram after = rh.Merged(100 + gap);
+  EXPECT_EQ(after.count(), 1u);
+  EXPECT_EQ(after.Percentile(0.5), 50u);
+  EXPECT_EQ(after.min(), 50u) << "pre-gap sample resurfaced after idle gap";
+}
+
 TEST(RollingCounterTest, SumTracksWindowAndRollover) {
   RollingCounter rc(1000, 4);
   EXPECT_EQ(rc.Sum(0), 0u);  // Empty window.
@@ -336,6 +355,16 @@ TEST(RollingCounterTest, SumTracksWindowAndRollover) {
   rc.Add(1100, 5);              // Reuses epoch 0's slot without resurrecting its value.
   EXPECT_EQ(rc.Sum(1100), 6u);
   EXPECT_EQ(rc.Sum(1100 + rc.window_ns() * 2), 0u);
+}
+
+TEST(RollingCounterTest, LongIdleGapExpiresEveryBucketLazily) {
+  RollingCounter rc(1000, 4);
+  rc.Add(100, 10);
+  rc.Add(900, 7);
+  const std::uint64_t gap = rc.window_ns() * 4096;  // Exact multiple: slots collide.
+  EXPECT_EQ(rc.Sum(900 + gap), 0u);
+  rc.Add(100 + gap, 3);  // Reuses the t=100 tally's slot after the idle gap.
+  EXPECT_EQ(rc.Sum(100 + gap), 3u) << "pre-gap tally resurfaced after idle gap";
 }
 
 TEST(BitmapTest, SetTestClear) {

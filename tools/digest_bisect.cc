@@ -1,0 +1,400 @@
+// digest_bisect: localize the first divergent (epoch, subsystem) cell between two state-digest
+// timelines produced by a bench's `--audit <path>` flag.
+//
+// Two same-seed runs of a deterministic simulation must produce byte-identical digest
+// timelines. When they do not (a perturbed decision, a wall-clock leak, a platform-dependent
+// iteration order), this tool answers "where did the simulations first differ" without any
+// manual diffing: it merges the two timelines in (epoch, subsystem) order and reports the
+// first cell whose digest disagrees — including cells present in only one run, which happen
+// when a subsystem was touched in different epochs.
+//
+// Usage:
+//   digest_bisect <baseline.audit.jsonl> <candidate.audit.jsonl>
+//                 [--events <candidate.events.jsonl>] [--window <n>]
+//
+// With --events, the decision window around the divergent epoch is printed from the candidate
+// run's event log (`--events` bench flag): every retained event inside the epoch plus up to
+// <n> events before and after it (default 8) — the GC victim selections, zone transitions and
+// compactions amongst which the first divergent mutation hides.
+//
+// Exit codes: 0 = timelines identical, 1 = divergence found (report printed), 2 = usage or
+// parse error. The report itself is deterministic: same input files -> same output bytes.
+//
+// Parsing is hand-rolled over the known JSON-lines schema (audit rows are flat objects with
+// fixed key order); no JSON library is needed or used.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct DigestRow {
+  std::uint64_t epoch = 0;
+  std::uint64_t t_ns = 0;
+  std::string subsystem;
+  std::string digest;
+  std::uint64_t mutations = 0;
+};
+
+struct DigestTimeline {
+  std::uint64_t epoch_ns = 0;
+  std::vector<DigestRow> rows;                       // Checkpoint cells, file order.
+  std::map<std::string, std::string> finals;         // Subsystem -> final digest.
+  std::string run_digest;                            // The "__run__" composite line.
+};
+
+struct EventRow {
+  std::uint64_t t_ns = 0;
+  std::uint64_t seq = 0;
+  std::string line;  // Raw JSON line, reprinted verbatim in the report.
+};
+
+// Extracts the value of `"key":` from a flat JSON object line. Returns false if absent.
+// String values are returned without quotes; escapes are kept as-is (digests and subsystem
+// names never contain them, event details are reprinted raw anyway).
+bool ExtractField(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  std::size_t pos = at + needle.size();
+  if (pos >= line.size()) {
+    return false;
+  }
+  if (line[pos] == '"') {
+    ++pos;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        value += line[pos];
+        ++pos;
+      }
+      value += line[pos];
+      ++pos;
+    }
+    *out = value;
+    return true;
+  }
+  std::string value;
+  while (pos < line.size() && line[pos] != ',' && line[pos] != '}') {
+    value += line[pos];
+    ++pos;
+  }
+  *out = value;
+  return true;
+}
+
+bool ExtractU64(const std::string& line, const char* key, std::uint64_t* out) {
+  std::string text;
+  if (!ExtractField(line, key, &text)) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end != text.c_str();
+}
+
+bool LoadTimeline(const char* path, DigestTimeline* timeline) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "digest_bisect: cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::string schema;
+    if (ExtractField(line, "schema", &schema)) {
+      if (schema != "blockhead-audit-v1") {
+        std::fprintf(stderr, "digest_bisect: %s: unexpected schema '%s'\n", path,
+                     schema.c_str());
+        return false;
+      }
+      if (!ExtractU64(line, "epoch_ns", &timeline->epoch_ns)) {
+        std::fprintf(stderr, "digest_bisect: %s: header lacks epoch_ns\n", path);
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    std::string final_marker;
+    std::string subsystem;
+    std::string digest;
+    if (!ExtractField(line, "subsystem", &subsystem) ||
+        !ExtractField(line, "digest", &digest)) {
+      std::fprintf(stderr, "digest_bisect: %s: malformed row: %s\n", path, line.c_str());
+      return false;
+    }
+    if (ExtractField(line, "final", &final_marker)) {
+      if (subsystem == "__run__") {
+        timeline->run_digest = digest;
+      } else {
+        timeline->finals.emplace(subsystem, digest);
+      }
+      continue;
+    }
+    DigestRow row;
+    row.subsystem = subsystem;
+    row.digest = digest;
+    if (!ExtractU64(line, "epoch", &row.epoch) || !ExtractU64(line, "t_ns", &row.t_ns)) {
+      std::fprintf(stderr, "digest_bisect: %s: row lacks epoch/t_ns: %s\n", path,
+                   line.c_str());
+      return false;
+    }
+    ExtractU64(line, "mutations", &row.mutations);
+    timeline->rows.push_back(std::move(row));
+  }
+  if (!saw_header) {
+    std::fprintf(stderr, "digest_bisect: %s: missing blockhead-audit-v1 header\n", path);
+    return false;
+  }
+  return true;
+}
+
+bool LoadEvents(const char* path, std::vector<EventRow>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "digest_bisect: cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.find("\"schema\"") != std::string::npos) {
+      continue;
+    }
+    EventRow row;
+    row.line = line;
+    if (!ExtractU64(line, "t_ns", &row.t_ns)) {
+      continue;
+    }
+    ExtractU64(line, "seq", &row.seq);
+    events->push_back(std::move(row));
+  }
+  return true;
+}
+
+// Cells ordered by (epoch, subsystem): the audit dump's own stable order, so "first" means
+// earliest epoch, ties broken by name — the earliest simulation moment the states disagree.
+using CellKey = std::pair<std::uint64_t, std::string>;
+
+void PrintEventWindow(const std::vector<EventRow>& events, std::uint64_t epoch_start,
+                      std::uint64_t epoch_end, std::size_t margin) {
+  // Index range of events inside the divergent epoch.
+  std::size_t lo = events.size();
+  std::size_t hi = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].t_ns >= epoch_start && events[i].t_ns < epoch_end) {
+      lo = std::min(lo, i);
+      hi = std::max(hi, i + 1);
+    }
+  }
+  if (lo >= events.size()) {
+    // Nothing retained inside the epoch (ring buffer evicted it, or no events fired): show
+    // the closest retained events around the epoch start instead.
+    std::size_t split = events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].t_ns >= epoch_start) {
+        split = i;
+        break;
+      }
+    }
+    lo = split;
+    hi = split;
+    std::printf("  (no events retained inside the divergent epoch; nearest neighbors:)\n");
+  }
+  const std::size_t begin = lo > margin ? lo - margin : 0;
+  const std::size_t end = std::min(events.size(), hi + margin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const bool inside = events[i].t_ns >= epoch_start && events[i].t_ns < epoch_end;
+    std::printf("  %s %s\n", inside ? ">" : " ", events[i].line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  const char* events_path = nullptr;
+  std::size_t window = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: digest_bisect <baseline.jsonl> <candidate.jsonl> "
+          "[--events <events.jsonl>] [--window <n>]\n");
+      return 0;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      std::fprintf(stderr, "digest_bisect: unexpected argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: digest_bisect <baseline.jsonl> <candidate.jsonl> "
+                 "[--events <events.jsonl>] [--window <n>]\n");
+    return 2;
+  }
+
+  DigestTimeline baseline;
+  DigestTimeline candidate;
+  if (!LoadTimeline(baseline_path, &baseline) || !LoadTimeline(candidate_path, &candidate)) {
+    return 2;
+  }
+  if (baseline.epoch_ns != candidate.epoch_ns) {
+    std::fprintf(stderr,
+                 "digest_bisect: epoch length mismatch (%llu vs %llu ns) — timelines are not "
+                 "comparable; rerun both with the same BLOCKHEAD_AUDIT_EPOCH_NS\n",
+                 static_cast<unsigned long long>(baseline.epoch_ns),
+                 static_cast<unsigned long long>(candidate.epoch_ns));
+    return 2;
+  }
+
+  // A (epoch, subsystem) cell can legitimately repeat when a bench builds and destroys the
+  // same stack configuration more than once (retired digests keep their names). Fold repeats
+  // by occurrence index so the nth occurrence in one run lines up with the nth in the other.
+  std::map<CellKey, std::vector<const DigestRow*>> base_cells;
+  std::map<CellKey, std::vector<const DigestRow*>> cand_cells;
+  for (const DigestRow& row : baseline.rows) {
+    base_cells[{row.epoch, row.subsystem}].push_back(&row);
+  }
+  for (const DigestRow& row : candidate.rows) {
+    cand_cells[{row.epoch, row.subsystem}].push_back(&row);
+  }
+
+  const DigestRow* first_base = nullptr;
+  const DigestRow* first_cand = nullptr;
+  CellKey divergent_key;
+  auto bit = base_cells.begin();
+  auto cit = cand_cells.begin();
+  while (bit != base_cells.end() || cit != cand_cells.end()) {
+    if (cit == cand_cells.end() || (bit != base_cells.end() && bit->first < cit->first)) {
+      divergent_key = bit->first;
+      first_base = bit->second.front();
+      break;
+    }
+    if (bit == base_cells.end() || cit->first < bit->first) {
+      divergent_key = cit->first;
+      first_cand = cit->second.front();
+      break;
+    }
+    const std::vector<const DigestRow*>& bv = bit->second;
+    const std::vector<const DigestRow*>& cv = cit->second;
+    const std::size_t common = std::min(bv.size(), cv.size());
+    bool diverged = false;
+    for (std::size_t i = 0; i < common; ++i) {
+      if (bv[i]->digest != cv[i]->digest || bv[i]->mutations != cv[i]->mutations) {
+        divergent_key = bit->first;
+        first_base = bv[i];
+        first_cand = cv[i];
+        diverged = true;
+        break;
+      }
+    }
+    if (!diverged && bv.size() != cv.size()) {
+      divergent_key = bit->first;
+      first_base = bv.size() > common ? bv[common] : nullptr;
+      first_cand = cv.size() > common ? cv[common] : nullptr;
+      diverged = true;
+    }
+    if (diverged) {
+      break;
+    }
+    ++bit;
+    ++cit;
+  }
+
+  if (first_base == nullptr && first_cand == nullptr) {
+    // No checkpoint cell differs; verify the finals (covers divergence after the last
+    // checkpointed epoch, and runs short enough to never seal an epoch).
+    for (const auto& [name, digest] : baseline.finals) {
+      auto it = candidate.finals.find(name);
+      const std::string other = it == candidate.finals.end() ? "<absent>" : it->second;
+      if (other != digest) {
+        std::printf("DIVERGENCE in final digest only (no checkpoint cell differs)\n");
+        std::printf("  subsystem: %s\n  baseline:  %s\n  candidate: %s\n", name.c_str(),
+                    digest.c_str(), other.c_str());
+        return 1;
+      }
+    }
+    for (const auto& [name, digest] : candidate.finals) {
+      if (baseline.finals.find(name) == baseline.finals.end()) {
+        std::printf("DIVERGENCE in final digest only (no checkpoint cell differs)\n");
+        std::printf("  subsystem: %s\n  baseline:  <absent>\n  candidate: %s\n", name.c_str(),
+                    digest.c_str());
+        return 1;
+      }
+    }
+    if (baseline.run_digest != candidate.run_digest) {
+      std::printf("DIVERGENCE in whole-run digest only: %s vs %s\n",
+                  baseline.run_digest.c_str(), candidate.run_digest.c_str());
+      return 1;
+    }
+    std::printf("identical: %zu checkpoint cells, %zu subsystem finals, run digest %s\n",
+                base_cells.size(), baseline.finals.size(), baseline.run_digest.c_str());
+    return 0;
+  }
+
+  const std::uint64_t epoch = divergent_key.first;
+  const std::uint64_t epoch_start = epoch * baseline.epoch_ns;
+  const std::uint64_t epoch_end = epoch_start + baseline.epoch_ns;
+  std::printf("FIRST DIVERGENT CELL\n");
+  std::printf("  epoch:     %llu  [%llu ns, %llu ns)\n",
+              static_cast<unsigned long long>(epoch),
+              static_cast<unsigned long long>(epoch_start),
+              static_cast<unsigned long long>(epoch_end));
+  std::printf("  subsystem: %s\n", divergent_key.second.c_str());
+  std::printf("  baseline:  %s (mutations %llu)\n",
+              first_base != nullptr ? first_base->digest.c_str() : "<cell absent>",
+              first_base != nullptr ? static_cast<unsigned long long>(first_base->mutations)
+                                    : 0ULL);
+  std::printf("  candidate: %s (mutations %llu)\n",
+              first_cand != nullptr ? first_cand->digest.c_str() : "<cell absent>",
+              first_cand != nullptr ? static_cast<unsigned long long>(first_cand->mutations)
+                                    : 0ULL);
+
+  // Every other subsystem that also diverged somewhere (summary, not bisection).
+  std::map<std::string, std::uint64_t> also_divergent;
+  for (const auto& [name, digest] : baseline.finals) {
+    auto it = candidate.finals.find(name);
+    if (it != candidate.finals.end() && it->second != digest &&
+        name != divergent_key.second) {
+      also_divergent.emplace(name, 0);
+    }
+  }
+  if (!also_divergent.empty()) {
+    std::printf("  downstream subsystems whose finals also differ:\n");
+    for (const auto& [name, unused] : also_divergent) {
+      (void)unused;
+      std::printf("    %s\n", name.c_str());
+    }
+  }
+
+  if (events_path != nullptr) {
+    std::vector<EventRow> events;
+    if (!LoadEvents(events_path, &events)) {
+      return 2;
+    }
+    std::printf("\nDECISION WINDOW (candidate events, '>' = inside the divergent epoch)\n");
+    PrintEventWindow(events, epoch_start, epoch_end, window);
+  }
+  return 1;
+}

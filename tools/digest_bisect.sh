@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Thin wrapper around the digest_bisect binary (tools/digest_bisect.cc).
+#
+# Finds the built binary in the conventional build tree (or $BLOCKHEAD_BUILD_DIR),
+# building it on demand if the build tree is already configured, then forwards all
+# arguments. Usage matches the binary:
+#
+#   tools/digest_bisect.sh <baseline.audit.jsonl> <candidate.audit.jsonl> \
+#       [--events <events.jsonl>] [--window <epochs>]
+#
+# Exit codes: 0 identical, 1 divergence found (printed), 2 usage/parse error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BLOCKHEAD_BUILD_DIR:-$repo_root/build}"
+bin="$build_dir/tools/digest_bisect"
+
+if [[ ! -x "$bin" ]]; then
+  if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+    cmake --build "$build_dir" --target digest_bisect -j >&2
+  else
+    echo "digest_bisect.sh: $bin not found and $build_dir is not configured;" >&2
+    echo "  run: cmake -B build -S $repo_root && cmake --build build --target digest_bisect" >&2
+    exit 2
+  fi
+fi
+
+exec "$bin" "$@"

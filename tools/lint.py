@@ -30,6 +30,12 @@ Enforces invariants that the compiler cannot (or that we want flagged before it 
                  mutable reference) and never stored in a member (`..._` fields, or any
                  declaration in a header) — the reqpath ledger copies the fields it needs
                  and is the single sanctioned owner (src/telemetry/reqpath/ is exempt).
+  digest-order   Digest/audit code paths (src/telemetry/audit/, tools/digest_bisect*) must
+                 not use std::unordered_* containers at all: their iteration order is
+                 implementation-defined, and anything that touches digest folding,
+                 checkpoint sealing, or dump rendering must stay byte-stable across
+                 platforms and standard libraries. Use std::map/std::set, or a vector
+                 sorted on an explicit key, instead.
   self-contained Every header in src/ must compile on its own (include-what-you-use probe:
                  a TU containing only `#include "<header>"`).
   format         No tabs, no trailing whitespace, lines <= 100 columns, final newline.
@@ -91,6 +97,15 @@ FLEET_FLASH_INCLUDE_RE = re.compile(r'#include\s*"src/flash/')
 # Request-context hygiene: the context rides the call chain for exactly one op. By-value
 # parameters invite accidental retention and slicing; members outlive the op. The ledger
 # (src/telemetry/reqpath/) holds the one sanctioned copy of the active request's context.
+# Digest determinism: audit dumps are compared byte-for-byte across runs, machines, and
+# standard libraries, and std::unordered_* iteration order is implementation-defined. The
+# audit layer deliberately holds its registries in ordered containers; this rule keeps a
+# refactor from quietly reintroducing an unordered one (even a non-iterated unordered member
+# is one innocent range-for away from a platform-dependent dump).
+DIGEST_ORDER_DIR = os.path.join("src", "telemetry", "audit") + os.sep
+DIGEST_ORDER_TOOL_PREFIX = os.path.join("tools", "digest_bisect")
+DIGEST_ORDER_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+
 REQUEST_CONTEXT_ALLOWLIST_DIR = os.path.join("src", "telemetry", "reqpath") + os.sep
 REQUEST_CONTEXT_BYVALUE_RE = re.compile(r"\bRequestContext\s+\w+\s*[,)]")
 REQUEST_CONTEXT_REF_RE = re.compile(r"\bRequestContext\s*&")
@@ -185,6 +200,19 @@ def check_fleet_layering(path, lines):
                    "public maintenance pumps only")
 
 
+def check_digest_order(path, lines):
+    if not (path.startswith(DIGEST_ORDER_DIR)
+            or path.startswith(DIGEST_ORDER_TOOL_PREFIX)):
+        return
+    for i, line in enumerate(lines, 1):
+        m = DIGEST_ORDER_RE.search(line)
+        if m and not is_comment_or_string(line, m.start()):
+            yield (path, i, "digest-order",
+                   f"std::unordered_{m.group(1)} in a digest/audit code path — iteration "
+                   "order is implementation-defined and would break byte-stable digest "
+                   "dumps; use std::map/std::set or sort on an explicit key")
+
+
 def check_request_context(path, lines):
     if not path.startswith("src" + os.sep):
         return
@@ -273,6 +301,7 @@ def lint_file(root, rel_path):
         findings.extend(check_cause_scope(rel_path, lines))
         findings.extend(check_naked_address_params(rel_path, lines))
         findings.extend(check_fleet_layering(rel_path, lines))
+        findings.extend(check_digest_order(rel_path, lines))
         findings.extend(check_request_context(rel_path, lines))
     return findings
 
