@@ -1,0 +1,112 @@
+// Shard-safety annotation vocabulary: the pre-parallelization discipline for the sharded
+// simulation core (ROADMAP "Sharded parallel simulation core").
+//
+// The simulator is single-threaded today, so TSan can prove nothing about the sharding plan —
+// races only exist in code that already runs threaded. This header lets us declare, member by
+// member and global by global, which future shard owns every piece of mutable state, and two
+// static passes enforce the declarations *before* any thread exists:
+//
+//   * tools/shard_analyze.py (ci.sh --analyze) inventories every mutable static/global and
+//     every mutable member of a class reachable from two or more subsystem directories, fails
+//     on unannotated shared mutable state, and emits shard_safety_report.json — the
+//     state-access matrix (symbol × subsystem × read/write) that *is* the sharding plan;
+//   * clang's -Werror=thread-safety build (ci.sh --analyze, where clang is installed) checks
+//     the capability annotations; under GCC they expand to nothing.
+//
+// Two annotation families live here:
+//
+// 1. Shard-domain tags — analyzer-only markers (they always expand to nothing) declaring the
+//    intended owner of a piece of mutable state once the core shards by channel/plane:
+//
+//      BLOCKHEAD_SHARD_LOCAL(domain)  owned by one shard of `domain` (channel, plane, zone,
+//                                     or `owner` for value types that inherit the shard of
+//                                     whatever object embeds them); no cross-shard access.
+//      BLOCKHEAD_SHARD_SHARED         read or written by more than one shard; needs a merge
+//                                     rule, a partition, or a lock before the core can shard.
+//      BLOCKHEAD_SIM_GLOBAL           simulation-global context (telemetry registry, ledgers,
+//                                     audit, attach-time wiring); crosses every shard and must
+//                                     be funneled through the deterministic merge step.
+//
+//    Tags are placed after the declarator, before the initializer:
+//
+//      std::vector<SimTime> plane_busy_ BLOCKHEAD_SHARD_LOCAL(plane);
+//      FlashStats stats_ BLOCKHEAD_SHARD_SHARED;
+//      Telemetry* telemetry_ BLOCKHEAD_SIM_GLOBAL = nullptr;
+//
+// 2. Clang thread-safety capability attributes — the enforcement vocabulary the parallel core
+//    will use once real locks exist. ShardMutex below is the placeholder capability: a no-op
+//    today, swapped for a real mutex when the sharded core lands, at which point every
+//    BLOCKHEAD_GUARDED_BY already in the tree becomes compiler-checked. The negative proof
+//    that the checking works lives in tests/shard_safety_compile_fail.cc.
+
+#ifndef BLOCKHEAD_SRC_CORE_SHARD_SAFETY_H_
+#define BLOCKHEAD_SRC_CORE_SHARD_SAFETY_H_
+
+// --- Shard-domain tags (analyzer-only; see tools/shard_analyze.py) -------------------------
+
+#define BLOCKHEAD_SHARD_LOCAL(domain)
+#define BLOCKHEAD_SHARD_SHARED
+#define BLOCKHEAD_SIM_GLOBAL
+
+// --- Clang thread-safety attributes (no-ops under GCC) -------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BLOCKHEAD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BLOCKHEAD_THREAD_ANNOTATION
+#define BLOCKHEAD_THREAD_ANNOTATION(x)
+#endif
+
+// A type that is a lockable capability ("mutex", "shard", ...).
+#define BLOCKHEAD_CAPABILITY(x) BLOCKHEAD_THREAD_ANNOTATION(capability(x))
+// Data member readable/writable only while the named capability is held.
+#define BLOCKHEAD_GUARDED_BY(x) BLOCKHEAD_THREAD_ANNOTATION(guarded_by(x))
+// Pointer member whose *pointee* is guarded by the named capability.
+#define BLOCKHEAD_PT_GUARDED_BY(x) BLOCKHEAD_THREAD_ANNOTATION(pt_guarded_by(x))
+// Function requires the capabilities to be held on entry (and does not release them).
+#define BLOCKHEAD_REQUIRES(...) BLOCKHEAD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// Function must NOT be called with the capabilities held (deadlock prevention).
+#define BLOCKHEAD_EXCLUDES(...) BLOCKHEAD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Function acquires / releases the capabilities (member-function form refers to *this).
+#define BLOCKHEAD_ACQUIRE(...) BLOCKHEAD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BLOCKHEAD_RELEASE(...) BLOCKHEAD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Scoped RAII lock type.
+#define BLOCKHEAD_SCOPED_CAPABILITY BLOCKHEAD_THREAD_ANNOTATION(scoped_lockable)
+// Escape hatch for functions deliberately outside the analysis.
+#define BLOCKHEAD_NO_THREAD_SAFETY_ANALYSIS \
+  BLOCKHEAD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace blockhead {
+
+// Placeholder shard capability. Single-threaded today (Acquire/Release are no-ops with zero
+// cost), but it carries the full capability annotations, so GUARDED_BY/REQUIRES contracts
+// written against it are checked by clang's thread-safety analysis now and become real
+// exclusion when the sharded core swaps in an actual mutex. Non-copyable: a capability is an
+// identity, not a value.
+class BLOCKHEAD_CAPABILITY("mutex") ShardMutex {
+ public:
+  ShardMutex() = default;
+  ShardMutex(const ShardMutex&) = delete;
+  ShardMutex& operator=(const ShardMutex&) = delete;
+
+  void Acquire() BLOCKHEAD_ACQUIRE() {}
+  void Release() BLOCKHEAD_RELEASE() {}
+};
+
+// RAII holder for a ShardMutex, usable under thread-safety analysis.
+class BLOCKHEAD_SCOPED_CAPABILITY ShardLock {
+ public:
+  explicit ShardLock(ShardMutex& mu) BLOCKHEAD_ACQUIRE(mu) : mu_(mu) { mu_.Acquire(); }
+  ~ShardLock() BLOCKHEAD_RELEASE() { mu_.Release(); }
+  ShardLock(const ShardLock&) = delete;
+  ShardLock& operator=(const ShardLock&) = delete;
+
+ private:
+  ShardMutex& mu_;
+};
+
+}  // namespace blockhead
+
+#endif  // BLOCKHEAD_SRC_CORE_SHARD_SAFETY_H_

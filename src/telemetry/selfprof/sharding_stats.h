@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/shard_safety.h"
 #include "src/telemetry/metric_registry.h"
 
 namespace blockhead {
@@ -80,13 +81,13 @@ class ShardingStats {
   void PublishTo(MetricRegistry& registry, std::string_view prefix) const;
 
  private:
-  std::vector<std::uint64_t> per_channel_;
-  std::vector<std::uint64_t> per_plane_;
-  std::uint64_t total_events_ = 0;
-  std::uint64_t cross_channel_deps_ = 0;
-  std::uint64_t same_channel_deps_ = 0;
-  std::uint32_t last_channel_ = 0;
-  bool has_last_ = false;
+  std::vector<std::uint64_t> per_channel_ BLOCKHEAD_SIM_GLOBAL;
+  std::vector<std::uint64_t> per_plane_ BLOCKHEAD_SIM_GLOBAL;
+  std::uint64_t total_events_ BLOCKHEAD_SIM_GLOBAL = 0;
+  std::uint64_t cross_channel_deps_ BLOCKHEAD_SIM_GLOBAL = 0;
+  std::uint64_t same_channel_deps_ BLOCKHEAD_SIM_GLOBAL = 0;
+  std::uint32_t last_channel_ BLOCKHEAD_SIM_GLOBAL = 0;
+  bool has_last_ BLOCKHEAD_SIM_GLOBAL = false;
 };
 
 }  // namespace blockhead

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/shard_safety.h"
 #include "src/util/types.h"
 
 namespace blockhead {
@@ -51,8 +52,8 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_ BLOCKHEAD_SHARD_SHARED;
+  std::uint64_t next_seq_ BLOCKHEAD_SHARD_SHARED = 0;
 };
 
 }  // namespace blockhead

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <utility>
 
+#include "src/core/shard_safety.h"
+
 namespace blockhead {
 
 // Error taxonomy. The zone-specific codes correspond to NVMe ZNS command status values; the
@@ -66,8 +68,8 @@ class Status {
   friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
 
  private:
-  ErrorCode code_;
-  std::string message_;
+  ErrorCode code_ BLOCKHEAD_SHARD_LOCAL(owner);
+  std::string message_ BLOCKHEAD_SHARD_LOCAL(owner);
 };
 
 // A value-or-status result. Accessing the value of a failed result asserts in debug builds and
@@ -106,8 +108,8 @@ class Result {
   const T* operator->() const { return &value(); }
 
  private:
-  std::optional<T> value_;
-  Status status_;
+  std::optional<T> value_ BLOCKHEAD_SHARD_LOCAL(owner);
+  Status status_ BLOCKHEAD_SHARD_LOCAL(owner);
 };
 
 // Evaluates `expr` (a Status-returning expression) and early-returns on failure.

@@ -171,6 +171,52 @@ class FleetLayeringRuleTest(unittest.TestCase):
                         os.path.join("src", "hostftl", "x.cc"), text), [])
 
 
+class RngDisciplineRuleTest(unittest.TestCase):
+    def test_flags_rand_and_srand(self):
+        text = "int r = rand();\nsrand(42);\n"
+        out = findings_of(lint.check_rng_discipline,
+                          os.path.join("src", "workload", "x.cc"), text)
+        self.assertEqual(len(out), 2)
+        self.assertTrue(all(f[2] == "rng-discipline" for f in out))
+        self.assertIn("hidden global state", out[0][3])
+
+    def test_flags_random_device(self):
+        text = "std::random_device rd;\n"
+        out = findings_of(lint.check_rng_discipline,
+                          os.path.join("src", "kv", "x.cc"), text)
+        self.assertEqual(len(out), 1)
+        self.assertIn("hardware entropy", out[0][3])
+
+    def test_flags_raw_mt19937_seeding(self):
+        text = ("std::mt19937 gen{std::random_device{}()};\n"
+                "std::mt19937_64 gen64(seed);\n")
+        out = findings_of(lint.check_rng_discipline,
+                          os.path.join("src", "ftl", "x.cc"), text)
+        self.assertEqual(len(out), 3)  # mt19937 + random_device + mt19937_64
+
+    def test_sanctioned_rng_and_lookalikes_pass(self):
+        text = ("Rng rng(config_.seed);\n"
+                "std::uint64_t r = rng.Next();\n"
+                "double o = zipf_.operand();\n"  # `rand(` inside an identifier
+                "// never call rand() here\n")
+        self.assertEqual(
+            findings_of(lint.check_rng_discipline,
+                        os.path.join("src", "workload", "x.cc"), text), [])
+
+    def test_rng_implementation_itself_exempt(self):
+        text = "std::mt19937_64 reference(seed);  // cross-check in comments\n"
+        for name in ("rng.h", "rng.cc"):
+            self.assertEqual(
+                findings_of(lint.check_rng_discipline,
+                            os.path.join("src", "util", name), text), [])
+
+    def test_files_outside_src_exempt(self):
+        text = "int r = rand();\n"
+        self.assertEqual(
+            findings_of(lint.check_rng_discipline,
+                        os.path.join("tools", "x.cc"), text), [])
+
+
 class RequestContextRuleTest(unittest.TestCase):
     def test_flags_byvalue_parameter(self):
         text = "Status Admit(ShardId shard, SimTime now, RequestContext ctx);\n"

@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/shard_analyze.py (registered as the shard_analyze ctest).
+
+Each finding class is exercised on a tiny synthetic src/ tree written into a temp dir:
+a mutable namespace-scope static, a function-local static, an unannotated mutable member
+of a class included from a second subsystem, an allowlist hit, a stale allowlist entry,
+an accepted annotation, and the seeded-violation negative test. The last tests assert the
+report is byte-identical across reruns and that the real committed tree passes clean.
+"""
+
+import contextlib
+import io
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import shard_analyze  # noqa: E402
+
+THING_H = """\
+#ifndef SRC_AAA_THING_H_
+#define SRC_AAA_THING_H_
+
+class Thing {
+ public:
+  void Touch();
+
+ private:
+  int plain_ = 0;
+  int tagged_ BLOCKHEAD_SHARD_LOCAL(plane) = 0;
+  long shared_ BLOCKHEAD_SHARD_SHARED = 0;
+  int guarded_ BLOCKHEAD_GUARDED_BY(mu_) = 0;
+};
+
+struct PassiveConfig {
+  int knob = 0;  // struct = value aggregate: never a finding by itself.
+};
+
+#endif  // SRC_AAA_THING_H_
+"""
+
+USER_CC = """\
+#include "src/aaa/thing.h"
+
+static int g_counter = 0;
+
+int Next() {
+  static int call_count = 0;
+  return ++call_count;
+}
+
+void Use(Thing& t) {
+  g_counter++;
+  t.shared_ = Next();
+  t.Touch();
+}
+"""
+
+SEED_CC = """\
+#include "src/aaa/thing.h"
+
+#ifdef BLOCKHEAD_ANALYZE_SEED_VIOLATION
+static int g_sneak = 0;
+#endif
+
+void Pump(Thing& t) { t.Touch(); }
+"""
+
+
+class Fixture:
+    """A synthetic repo tree plus captured analyzer output."""
+
+    def __init__(self, tmp, files, allowlist=None):
+        self.root = tmp
+        for rel, text in files.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+        self.allowlist_path = os.path.join(tmp, "allow.txt")
+        with open(self.allowlist_path, "w", encoding="utf-8") as f:
+            for entry in allowlist or []:
+                f.write(entry + "\n")
+
+    def run(self, *extra):
+        out_path = os.path.join(self.root, "report.json")
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            rc = shard_analyze.main([
+                "--root", self.root, "--output", out_path,
+                "--allowlist", self.allowlist_path, *extra])
+        with open(out_path, "rb") as f:
+            raw = f.read()
+        return rc, stdout.getvalue(), json.loads(raw), raw
+
+
+FILES = {"src/aaa/thing.h": THING_H, "src/bbb/user.cc": USER_CC, "src/bbb/seed.cc": SEED_CC}
+
+
+class FindingClassesTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_mutable_statics_and_cross_member_are_found(self):
+        fx = Fixture(self._tmp.name, FILES)
+        rc, out, report, _ = fx.run()
+        self.assertEqual(rc, 1)
+        flagged = {(f["finding_class"], f["symbol"]) for f in report["findings"]}
+        self.assertEqual(flagged, {
+            ("mutable-static", "src/bbb/user.cc::g_counter"),
+            ("mutable-static", "src/bbb/user.cc::call_count"),
+            ("cross-subsystem-member", "Thing::plain_"),
+        })
+        self.assertIn("g_counter", out)
+        self.assertIn("[mutable-static]", out)
+        self.assertIn("[cross-subsystem-member]", out)
+
+    def test_struct_members_are_exempt(self):
+        fx = Fixture(self._tmp.name, FILES)
+        _, _, report, _ = fx.run()
+        self.assertNotIn("PassiveConfig::knob",
+                         {f["symbol"] for f in report["findings"]})
+
+    def test_annotations_accepted_and_inventoried(self):
+        fx = Fixture(self._tmp.name, FILES)
+        _, _, report, _ = fx.run()
+        symbols = {s["symbol"]: s for s in report["symbols"]}
+        self.assertEqual(symbols["Thing::tagged_"]["domain"], "shard_local")
+        self.assertEqual(symbols["Thing::tagged_"]["shard_key"], "plane")
+        self.assertEqual(symbols["Thing::shared_"]["domain"], "shard_shared")
+        self.assertEqual(symbols["Thing::guarded_"]["domain"], "guarded_by")
+        self.assertEqual(symbols["Thing::guarded_"]["shard_key"], "mu_")
+        flagged = {f["symbol"] for f in report["findings"]}
+        self.assertFalse({"Thing::tagged_", "Thing::shared_", "Thing::guarded_"} & flagged)
+
+    def test_access_matrix_records_cross_subsystem_write(self):
+        fx = Fixture(self._tmp.name, FILES)
+        _, _, report, _ = fx.run()
+        shared = next(s for s in report["symbols"] if s["symbol"] == "Thing::shared_")
+        self.assertTrue(shared["cross_subsystem"])
+        self.assertIn("w", shared["access"].get("bbb", ""))
+
+    def test_member_of_single_subsystem_class_is_not_flagged(self):
+        lonely = {"src/aaa/thing.h": THING_H}  # No second subsystem includes it.
+        fx = Fixture(self._tmp.name, lonely)
+        _, _, report, _ = fx.run()
+        self.assertNotIn("Thing::plain_", {f["symbol"] for f in report["findings"]})
+
+    def test_allowlist_hit_passes_and_is_reported(self):
+        fx = Fixture(self._tmp.name, FILES, allowlist=[
+            "# grandfathered",
+            "mutable-static src/bbb/user.cc::g_counter",
+            "mutable-static src/bbb/user.cc::call_count",
+            "cross-subsystem-member Thing::plain_",
+        ])
+        rc, _, report, _ = fx.run()
+        self.assertEqual(rc, 0)
+        self.assertEqual(report["summary"]["findings"], 0)
+        self.assertEqual(report["summary"]["allowlisted"], 3)
+        self.assertIn("Thing::plain_", {s["symbol"] for s in report["allowlisted"]})
+
+    def test_stale_allowlist_entry_fails(self):
+        fx = Fixture(self._tmp.name, FILES, allowlist=[
+            "mutable-static src/bbb/user.cc::g_counter",
+            "mutable-static src/bbb/user.cc::call_count",
+            "cross-subsystem-member Thing::plain_",
+            "mutable-static src/bbb/user.cc::long_gone",
+        ])
+        rc, out, report, _ = fx.run()
+        self.assertEqual(rc, 1)
+        self.assertIn("stale allowlist entry", out)
+        self.assertIn("long_gone", out)
+        self.assertEqual(report["summary"]["stale_allowlist_entries"], 1)
+
+    def test_seeded_violation_caught_and_named(self):
+        allow = ["mutable-static src/bbb/user.cc::g_counter",
+                 "mutable-static src/bbb/user.cc::call_count",
+                 "cross-subsystem-member Thing::plain_"]
+        fx = Fixture(self._tmp.name, FILES, allowlist=allow)
+        rc, out, _, _ = fx.run()
+        self.assertEqual(rc, 0)  # Without seeding the #ifdef body is invisible.
+        self.assertNotIn("g_sneak", out)
+        rc, out, report, _ = fx.run("--seed-violation")
+        self.assertEqual(rc, 1)
+        self.assertIn("g_sneak", out)
+        self.assertIn("[mutable-static]", out)
+        self.assertIn("src/bbb/seed.cc::g_sneak", {f["symbol"] for f in report["findings"]})
+
+    def test_report_is_byte_identical_across_reruns(self):
+        fx = Fixture(self._tmp.name, FILES)
+        _, _, _, first = fx.run()
+        _, _, _, second = fx.run()
+        self.assertEqual(first, second)
+
+
+class CommittedTreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean_and_deterministic(self):
+        """The committed tree passes with its committed allowlist, byte-identically."""
+        with tempfile.TemporaryDirectory() as tmp:
+            out_a = os.path.join(tmp, "a.json")
+            out_b = os.path.join(tmp, "b.json")
+            for out in (out_a, out_b):
+                rc = shard_analyze.main(
+                    ["--root", str(REPO_ROOT), "--output", out, "--quiet"])
+                self.assertEqual(rc, 0)
+            with open(out_a, "rb") as fa, open(out_b, "rb") as fb:
+                self.assertEqual(fa.read(), fb.read())
+
+    def test_repo_inventory_covers_the_sharding_hazards(self):
+        """Every SHARD_SHARED / SIM_GLOBAL symbol carries its subsystem access matrix."""
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "r.json")
+            shard_analyze.main(["--root", str(REPO_ROOT), "--output", out, "--quiet"])
+            with open(out, encoding="utf-8") as f:
+                report = json.load(f)
+        symbols = report["symbols"]
+        hazards = [s for s in symbols if s.get("domain") in ("shard_shared", "sim_global")]
+        self.assertGreater(len(hazards), 50)
+        for s in hazards:
+            self.assertTrue(s["access"], f"{s['symbol']} has an empty access matrix")
+        names = {s["symbol"] for s in symbols}
+        for expected in ("ConventionalSsd::l2p_", "FlashDevice::plane_busy_",
+                         "ZnsDevice::zones_", "MetricRegistry::metrics_"):
+            self.assertIn(expected, names)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,57 @@
+// Negative-space proof for the shard-safety capability annotations (clang-only section of
+// the strong_id_compile_fail ctest, see tests/compile_fail_test.sh). Each TS_EXPECT_FAIL_n
+// case must be rejected by clang's -Werror=thread-safety; the baseline with no case defined
+// must compile clean, otherwise every "expected failure" would pass vacuously. Under GCC the
+// annotations expand to nothing, so the harness only runs this file when the compiler is
+// clang.
+
+#include <cstdint>
+
+#include "src/core/shard_safety.h"
+
+namespace blockhead {
+namespace {
+
+// Members are public so every rejection below is a thread-safety diagnostic, never an
+// access-control error masquerading as one.
+class GuardedCounter {
+ public:
+  void Bump() BLOCKHEAD_REQUIRES(mu_) { value_ += 1; }
+
+  ShardMutex mu_;
+  std::uint64_t value_ BLOCKHEAD_GUARDED_BY(mu_) = 0;
+};
+
+// Baseline: correctly locked accesses must be clean under -Werror=thread-safety.
+inline void ScopedLockedUse(GuardedCounter& c) {
+  ShardLock lock(c.mu_);
+  c.value_ += 1;
+  c.Bump();
+}
+
+inline void ManuallyLockedUse(GuardedCounter& c) {
+  c.mu_.Acquire();
+  c.value_ += 1;
+  c.mu_.Release();
+}
+
+#ifdef TS_EXPECT_FAIL_1
+// Writing a GUARDED_BY member without holding its capability.
+inline void UnguardedWrite(GuardedCounter& c) { c.value_ += 1; }
+#endif
+
+#ifdef TS_EXPECT_FAIL_2
+// Calling a REQUIRES method without holding the capability it names.
+inline void CallWithoutLock(GuardedCounter& c) { c.Bump(); }
+#endif
+
+#ifdef TS_EXPECT_FAIL_3
+// Acquire without Release: the capability is still held when the function returns.
+inline void AcquireWithoutRelease(GuardedCounter& c) {
+  c.mu_.Acquire();
+  c.value_ += 1;
+}
+#endif
+
+}  // namespace
+}  // namespace blockhead

@@ -1,21 +1,35 @@
 #!/usr/bin/env bash
 # Static-analysis entry point: project lint, format check, and (when installed) clang-tidy.
 #
-#   tools/check.sh            # lint + format; clang-tidy if available
+#   tools/check.sh            # lint + format; clang-tidy if available, loud SKIPPED if not
 #   tools/check.sh --no-tidy  # lint + format only
+#   tools/check.sh --strict   # missing tools are an error, not a skip (used by ci.sh --lint)
 #
 # The container this repo builds in has g++ and python3 but not always clang-format or
 # clang-tidy, so both are availability-gated: the committed .clang-format / .clang-tidy
 # configs apply wherever those tools exist, and tools/lint.py carries fallback format rules
-# (tabs, trailing whitespace, 100-column limit, final newline) that always run.
+# (tabs, trailing whitespace, 100-column limit, final newline) that always run. A skipped
+# tool is announced on a dedicated `SKIPPED:` line so a CI environment that silently lost
+# clang off its image shows up in the log; under --strict the skip is a hard failure, which
+# is what ci.sh --lint uses so the hosted lint gate cannot quietly degrade to lint.py-only.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tidy=1
-if [[ "${1:-}" == "--no-tidy" ]]; then
-  run_tidy=0
-fi
+strict=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    --strict) strict=1 ;;
+    *)
+      echo "usage: tools/check.sh [--no-tidy] [--strict]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+skipped=0
 
 echo "=== project lint (tools/lint.py) ==="
 python3 tools/lint.py
@@ -26,7 +40,8 @@ if command -v clang-format > /dev/null 2>&1; then
     'examples/*.cpp')
   clang-format --dry-run --Werror "${files[@]}"
 else
-  echo "clang-format not installed; lint.py format rules served as the fallback"
+  echo "SKIPPED: clang-format not found (lint.py format rules served as the fallback)"
+  skipped=1
 fi
 
 if [[ "$run_tidy" == 1 ]] && command -v clang-tidy > /dev/null 2>&1; then
@@ -47,7 +62,12 @@ if [[ "$run_tidy" == 1 ]] && command -v clang-tidy > /dev/null 2>&1; then
     echo "no changed src/ files to tidy"
   fi
 elif [[ "$run_tidy" == 1 ]]; then
-  echo "clang-tidy not installed; skipping (config committed in .clang-tidy)"
+  echo "SKIPPED: clang-tidy not found (config committed in .clang-tidy)"
+  skipped=1
 fi
 
+if [[ "$strict" == 1 && "$skipped" == 1 ]]; then
+  echo "check.sh: FAILED under --strict: required tools were skipped (see SKIPPED lines)" >&2
+  exit 1
+fi
 echo "check.sh: all static-analysis checks passed"

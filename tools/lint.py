@@ -36,6 +36,10 @@ Enforces invariants that the compiler cannot (or that we want flagged before it 
                  checkpoint sealing, or dump rendering must stay byte-stable across
                  platforms and standard libraries. Use std::map/std::set, or a vector
                  sorted on an explicit key, instead.
+  rng-discipline All randomness in src/ must flow through the run-seeded Rng / ZipfGenerator
+                 in src/util/rng.h so runs stay reproducible from a single seed: no rand()
+                 or srand(), no std::random_device (nondeterministic hardware entropy), and
+                 no raw std::mt19937/std::mt19937_64 construction outside src/util/rng.{h,cc}.
   self-contained Every header in src/ must compile on its own (include-what-you-use probe:
                  a TU containing only `#include "<header>"`).
   format         No tabs, no trailing whitespace, lines <= 100 columns, final newline.
@@ -105,6 +109,21 @@ FLEET_FLASH_INCLUDE_RE = re.compile(r'#include\s*"src/flash/')
 DIGEST_ORDER_DIR = os.path.join("src", "telemetry", "audit") + os.sep
 DIGEST_ORDER_TOOL_PREFIX = os.path.join("tools", "digest_bisect")
 DIGEST_ORDER_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
+
+# RNG discipline: the simulator's determinism contract is "one seed, one trace". rand()/srand()
+# use hidden global state, std::random_device draws hardware entropy, and a std::mt19937
+# constructed ad hoc invites seeding from wall clocks or addresses. src/util/rng.{h,cc} is the
+# single sanctioned randomness implementation; everything else takes an Rng& (or a seed) from
+# its caller.
+RNG_ALLOWLIST_FILES = (os.path.join("src", "util", "rng.h"),
+                       os.path.join("src", "util", "rng.cc"))
+RNG_PATTERNS = [
+    (re.compile(r"(^|[^\w:.])s?rand\s*\("), "rand()/srand() use hidden global state"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic hardware entropy"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"),
+     "raw std::mt19937 seeding bypasses run-seed plumbing"),
+]
 
 REQUEST_CONTEXT_ALLOWLIST_DIR = os.path.join("src", "telemetry", "reqpath") + os.sep
 REQUEST_CONTEXT_BYVALUE_RE = re.compile(r"\bRequestContext\s+\w+\s*[,)]")
@@ -213,6 +232,17 @@ def check_digest_order(path, lines):
                    "dumps; use std::map/std::set or sort on an explicit key")
 
 
+def check_rng_discipline(path, lines):
+    if not path.startswith("src" + os.sep) or path in RNG_ALLOWLIST_FILES:
+        return
+    for i, line in enumerate(lines, 1):
+        for pattern, why in RNG_PATTERNS:
+            m = pattern.search(line)
+            if m and not is_comment_or_string(line, m.start()):
+                yield (path, i, "rng-discipline",
+                       f"{why}; use the run-seeded Rng/ZipfGenerator (src/util/rng.h)")
+
+
 def check_request_context(path, lines):
     if not path.startswith("src" + os.sep):
         return
@@ -302,6 +332,7 @@ def lint_file(root, rel_path):
         findings.extend(check_naked_address_params(rel_path, lines))
         findings.extend(check_fleet_layering(rel_path, lines))
         findings.extend(check_digest_order(rel_path, lines))
+        findings.extend(check_rng_discipline(rel_path, lines))
         findings.extend(check_request_context(rel_path, lines))
     return findings
 
